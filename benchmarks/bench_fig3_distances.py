@@ -1,0 +1,54 @@
+"""Figure 3: comparison of the P-view, minimum, and common-prefix distances.
+
+The paper's figure exhibits executions α, β with three processes where
+
+    d_max(α, β) = d_{3}(α, β) = 1,   d_{2}(α, β) = 1/2,
+    d_min(α, β) = d_{1}(α, β) = 1/4.
+
+With 0-based process ids (paper's process i is our i-1) we realize exactly
+that pattern with a two-round information chain 2 -> 1 -> 0 and inputs
+differing at process 2, and benchmark the distance kernel.
+"""
+
+from conftest import emit
+
+from repro.core.digraph import Digraph
+from repro.core.distances import d_max, d_min, d_p, equality_profile
+from repro.core.ptg import PTGPrefix
+from repro.core.views import ViewInterner
+
+CHAIN = Digraph(3, [(2, 1), (1, 0)])
+
+
+def build_pair():
+    interner = ViewInterner(3)
+    alpha = PTGPrefix(interner, (0, 0, 0), [CHAIN, CHAIN])
+    beta = PTGPrefix(interner, (0, 0, 1), [CHAIN, CHAIN])
+    return alpha, beta
+
+
+def test_fig3_distance_table(benchmark):
+    alpha, beta = build_pair()
+
+    def kernel():
+        return (
+            d_p(alpha, beta, 2),
+            d_p(alpha, beta, 1),
+            d_p(alpha, beta, 0),
+            d_max(alpha, beta),
+            d_min(alpha, beta),
+        )
+
+    d2, d1, d0, dmax, dmin = benchmark(kernel)
+    profile = equality_profile(alpha, beta)
+    lines = [
+        "paper (1-based)      measured (0-based)",
+        f"d_max = 1            d_max          = {dmax}",
+        f"d_{{3}} = 1            d_{{2}}          = {d2}",
+        f"d_{{2}} = 1/2          d_{{1}}          = {d1}",
+        f"d_min = d_{{1}} = 1/4   d_min = d_{{0}}   = {dmin} = {d0}",
+        f"Eq-set trajectory: {[sorted(s) for s in profile]}",
+    ]
+    emit(benchmark, "Figure 3 (distance comparison)", lines)
+
+    assert (dmax, d2, d1, d0, dmin) == (1.0, 1.0, 0.5, 0.25, 0.25)

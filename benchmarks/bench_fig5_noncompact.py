@@ -1,0 +1,91 @@
+"""Figure 5: decision sets of a non-compact adversary touch (distance 0).
+
+For "transiently {←, →}, eventually → forever" the runs
+
+    a_k = (0,1)·←^k·→^ω   (decide 0: process 0 broadcasts)
+    b_k = (1,1)·←^k·→^ω   (decide 1)
+
+are admissible with d_min(a_k, b_k) = 2^{-(k+1)} -> 0, while their limits
+(0,1)·←^ω and (1,1)·←^ω form an unfair pair (Definition 5.16) at exact
+``d_min`` distance 0 that the adversary *excludes* — the '×' marks of the
+figure.  The benchmark times the exact lasso-distance kernel.
+"""
+
+from conftest import emit
+
+from repro.adversaries import eventually_one_direction
+from repro.core.digraph import arrow
+from repro.topology.limits import (
+    UltimatelyPeriodic,
+    check_unfair_pair,
+    d_min_periodic,
+    is_excluded_limit,
+)
+
+TO, FRO = arrow("->"), arrow("<-")
+
+
+def test_fig5_decision_sets_touch(benchmark):
+    adversary = eventually_one_direction("->")
+    left_limit = UltimatelyPeriodic((0, 1), [], [FRO])
+    right_limit = UltimatelyPeriodic((1, 1), [], [FRO])
+
+    def kernel():
+        distances = []
+        for k in range(1, 9):
+            a = left_limit.pumped(k, [TO])
+            b = right_limit.pumped(k, [TO])
+            distances.append(d_min_periodic(a, b))
+        return distances
+
+    distances = benchmark(kernel)
+
+    lines = ["k   d_min((0,1)<-^k ->^ω, (1,1)<-^k ->^ω)"]
+    for k, distance in enumerate(distances, start=1):
+        lines.append(f"{k:<3} {distance}")
+        assert distance == 2.0 ** -(k + 1)
+        # Both approaching runs are admissible for the adversary.
+        a = left_limit.pumped(k, [TO])
+        assert adversary.admits_lasso(a.stem, a.cycle)
+
+    report = check_unfair_pair(adversary, left_limit, right_limit)
+    lines += [
+        "",
+        f"unfair-pair limits: d_min = {report.distance} (exact, Eq-set automaton)",
+        f"  (0,1)<-^ω admissible: {report.left_admissible}, excluded limit: "
+        f"{report.left_excluded_limit}",
+        f"  (1,1)<-^ω admissible: {report.right_admissible}, excluded limit: "
+        f"{report.right_excluded_limit}",
+        "paper shape: inf distance of decision sets = 0; the connecting",
+        "limits (x in the figure) are excluded by the non-compact adversary",
+    ]
+    emit(benchmark, "Figure 5 (non-compact decision sets at distance 0)", lines)
+
+    assert report.distance == 0.0
+    assert report.left_excluded_limit and report.right_excluded_limit
+
+
+def test_fig5_finite_depth_distances_decay(benchmark):
+    """The same phenomenon measured on finite prefix layers."""
+    from repro.core.distances import d_min as d_min_prefix
+    from repro.core.views import ViewInterner
+
+    left_limit = UltimatelyPeriodic((0, 1), [], [FRO])
+    right_limit = UltimatelyPeriodic((1, 1), [], [FRO])
+
+    def kernel():
+        interner = ViewInterner(2)
+        rows = []
+        for k in range(1, 7):
+            a = left_limit.pumped(k, [TO]).ptg_prefix(interner, 10)
+            b = right_limit.pumped(k, [TO]).ptg_prefix(interner, 10)
+            rows.append(d_min_prefix(a, b))
+        return rows
+
+    rows = benchmark(kernel)
+    emit(
+        benchmark,
+        "Figure 5 (finite-prefix view of the decaying distances)",
+        [f"k={k}: d_min on depth-10 prefixes = {v}" for k, v in enumerate(rows, 1)],
+    )
+    assert rows == [2.0 ** -(k + 1) for k in range(1, 7)]

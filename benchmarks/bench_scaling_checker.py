@@ -1,0 +1,86 @@
+"""Scaling study: checker cost vs depth, alphabet size, and process count.
+
+Not a figure of the paper, but the data a downstream user needs: how the
+prefix space, the component analysis, and the full solvability check scale.
+Workload sizes are chosen to finish in seconds while exposing the
+exponential layer growth ``|V|^n · |D|^t``.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.adversaries import (
+    ObliviousAdversary,
+    lossy_link_full,
+    lossy_link_no_hub,
+    out_star_set,
+    santoro_widmayer_family,
+)
+from repro.consensus import check_consensus
+from repro.topology.components import ComponentAnalysis
+from repro.topology.prefixspace import PrefixSpace
+
+
+@pytest.mark.parametrize("depth", [2, 4, 6])
+def test_scaling_layer_construction_depth(benchmark, depth):
+    def kernel():
+        space = PrefixSpace(lossy_link_full())
+        space.ensure_depth(depth)
+        return len(space.layer(depth))
+
+    size = benchmark(kernel)
+    emit(
+        benchmark,
+        f"scaling: layer construction, depth={depth}",
+        [f"|layer {depth}| = {size} prefixes (4 * 3^{depth})"],
+    )
+    assert size == 4 * 3**depth
+
+
+@pytest.mark.parametrize("depth", [2, 4, 6])
+def test_scaling_component_analysis(benchmark, depth):
+    space = PrefixSpace(lossy_link_no_hub())
+    space.ensure_depth(depth)
+
+    analysis = benchmark(lambda: ComponentAnalysis(space, depth))
+    emit(
+        benchmark,
+        f"scaling: component analysis, depth={depth}",
+        [repr(analysis.summary())],
+    )
+
+
+@pytest.mark.parametrize(
+    "label, factory",
+    [
+        ("n=2 |D|=2", lossy_link_no_hub),
+        ("n=2 |D|=3", lossy_link_full),
+        ("n=3 |D|=3", lambda: ObliviousAdversary(3, out_star_set(3))),
+        ("n=3 |D|=7", lambda: santoro_widmayer_family(3, 1)),
+        ("n=4 |D|=13", lambda: santoro_widmayer_family(4, 1)),
+        ("n=4 |D|=299", lambda: santoro_widmayer_family(4, 3)),
+    ],
+)
+def test_scaling_full_check(benchmark, label, factory):
+    result = benchmark(lambda: check_consensus(factory(), max_depth=4))
+    emit(
+        benchmark,
+        f"scaling: full check, {label}",
+        [f"{result.status.name}, certified depth {result.certified_depth}"],
+    )
+
+
+def test_scaling_view_interning(benchmark):
+    """Throughput of the hash-consing view store on a deep layer."""
+    space = PrefixSpace(lossy_link_no_hub())
+
+    def kernel():
+        space.ensure_depth(9)
+        return space.interner.stats().total
+
+    total = benchmark.pedantic(kernel, rounds=1, iterations=1)
+    emit(
+        benchmark,
+        "scaling: view interning",
+        [f"interned views after depth-9 space: {total}"],
+    )

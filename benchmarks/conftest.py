@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` module regenerates one artifact of the paper (a figure, a
+worked example, or a claim) and times its computational kernel with
+pytest-benchmark.  The regenerated artifact is printed through
+:func:`emit`, so running ``pytest benchmarks/ --benchmark-only -s`` shows
+the reproduced figures next to the timings, and is also attached to the
+benchmark's ``extra_info`` so it lands in JSON exports.
+"""
+
+from __future__ import annotations
+
+
+def emit(benchmark, title: str, lines) -> None:
+    """Print an artifact block and attach it to the benchmark record."""
+    text = "\n".join(lines) if not isinstance(lines, str) else lines
+    print(f"\n----- {title} -----")
+    print(text)
+    if benchmark is not None:
+        benchmark.extra_info["artifact"] = text

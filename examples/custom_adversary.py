@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Defining your own ω-regular message adversary.
+
+The library's adversaries are ω-automata over the alphabet of
+communication graphs; :class:`repro.adversaries.BuchiAdversary` lets you
+define any ω-regular adversary from an explicit transition table.  This
+example builds "infinitely many ↔ rounds over the lossy-link alphabet":
+
+* its *closure* (drop the liveness promise) is the lossy link {←, ↔, →},
+  certified impossible;
+* the promise "↔ recurs forever" makes *both* processes guaranteed
+  broadcasters, so consensus becomes solvable (Theorem 5.11/6.7) — another
+  instance of the paper's non-compact phenomenon;
+* the excluded limits are exactly the sequences where ↔ eventually stops.
+
+The same table-driven route works for any custom liveness constraint.
+"""
+
+from repro.adversaries import BuchiAdversary, find_limit_violation, limit_closure
+from repro.consensus import check_consensus, find_guaranteed_broadcaster
+from repro.core.digraph import arrow
+from repro.viz import render_bivalence_sparkline
+
+TO, FRO, BOTH = arrow("->"), arrow("<-"), arrow("<->")
+
+
+def build() -> BuchiAdversary:
+    table = {
+        "idle": {TO: ["idle"], FRO: ["idle"], BOTH: ["seen"]},
+        "seen": {TO: ["idle"], FRO: ["idle"], BOTH: ["seen"]},
+    }
+    return BuchiAdversary(
+        2, ["idle"], table, accepting=["seen"], name="InfinitelyMany{<->}"
+    )
+
+
+def main() -> None:
+    adversary = build()
+    print(f"Adversary: {adversary.name}")
+    print(f"limit-closed (compact): {adversary.is_limit_closed()}")
+    print(f"excluded-limit witness: {find_limit_violation(adversary)}")
+
+    closure = limit_closure(adversary)
+    closure_result = check_consensus(closure, max_depth=4)
+    print(f"\nclosure verdict: {closure_result.status.name}")
+    print("  " + closure_result.impossibility.explain().replace("\n", "\n  "))
+
+    from repro.consensus import bivalence_history
+
+    history = bivalence_history(adversary, max_depth=4)
+    print("\nprefix-space view (over the safety closure):")
+    print("  " + render_bivalence_sparkline(history))
+    print("  (never separates — finite prefixes cannot certify this adversary)")
+
+    broadcaster = find_guaranteed_broadcaster(adversary)
+    result = check_consensus(adversary, max_depth=4)
+    print(f"\nguaranteed broadcaster: process {broadcaster}")
+    print(f"adversary verdict: {result.status.name}")
+    print("  " + result.broadcaster.explain())
+    print(
+        "\n=> the liveness promise ('<-> recurs forever') converts the "
+        "impossible lossy link\n   into a solvable adversary, certified "
+        "without ever separating a prefix space."
+    )
+
+
+if __name__ == "__main__":
+    main()

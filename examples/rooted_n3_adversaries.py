@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Three-process adversaries: Santoro–Widmayer losses and rooted families.
+
+For n = 3 processes this script walks through:
+
+1. the Santoro–Widmayer loss families [21, 22]: with up to ``n-1 = 2``
+   messages lost per round consensus is impossible; with at most one loss
+   it is solvable (the checker finds a depth-2 decision table);
+2. out-star adversaries (one process speaks per round): solvable in one
+   round — the first round's speaker is a broadcaster;
+3. a multi-root graph (two source components): a single such graph makes
+   consensus impossible, witnessed by a non-broadcastable lasso;
+4. a census of random rooted oblivious adversaries, comparing the checker
+   with the CGP β-class reconstruction and reporting any disagreement.
+"""
+
+import argparse
+import random
+
+from repro.adversaries import (
+    ObliviousAdversary,
+    out_star_set,
+    random_oblivious_adversary,
+    santoro_widmayer_family,
+)
+from repro.consensus import (
+    SolvabilityStatus,
+    cgp_predicts_solvable,
+    check_consensus,
+)
+from repro.core.digraph import Digraph
+
+
+def section(title: str) -> None:
+    print("\n" + "=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def main(samples: int = 30) -> None:
+    section("1. Santoro-Widmayer loss families (n = 3)")
+    for losses in (0, 1, 2):
+        adversary = santoro_widmayer_family(3, losses)
+        result = check_consensus(adversary, max_depth=4)
+        depth = (
+            f" (decision table at depth {result.certified_depth})"
+            if result.decision_table
+            else ""
+        )
+        print(
+            f"  up to {losses} lost message(s)/round "
+            f"(|D| = {len(adversary.graphs):3d}): {result.status.name}{depth}"
+        )
+    print("  -> matches [21]: impossible exactly at n-1 = 2 losses.")
+
+    section("2. Out-star adversary: one speaker per round")
+    adversary = ObliviousAdversary(3, out_star_set(3))
+    result = check_consensus(adversary)
+    print(result.explain())
+
+    section("3. A multi-root graph alone breaks consensus")
+    split = Digraph(3, [(0, 1)])  # root components {0} and {2}
+    result = check_consensus(ObliviousAdversary(3, [split]))
+    print(result.explain())
+
+    section("4. Random rooted census: checker vs CGP reconstruction")
+    rng = random.Random(42)
+    agreements = disagreements = undecided = 0
+    for i in range(samples):
+        adversary = random_oblivious_adversary(
+            rng, 3, size=rng.randint(1, 3), rooted_only=True
+        )
+        result = check_consensus(adversary, max_depth=4)
+        cgp = cgp_predicts_solvable(adversary)
+        if result.status is SolvabilityStatus.UNDECIDED:
+            undecided += 1
+            marker = "UNDECIDED"
+        elif result.solvable == cgp:
+            agreements += 1
+            marker = "agree"
+        else:
+            disagreements += 1
+            marker = "DISAGREE"
+        if marker != "agree":
+            print(
+                f"  #{i:02d} |D|={len(adversary.graphs)}: checker="
+                f"{result.status.name}, CGP="
+                f"{'SOLVABLE' if cgp else 'IMPOSSIBLE'} [{marker}]"
+            )
+    print(
+        f"  {agreements} agreements, {disagreements} disagreements, "
+        f"{undecided} undecided (CGP reconstruction is a heuristic; "
+        f"disagreements favour the checker's certificates)"
+    )
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--samples", type=int, default=30, help="random census sample size"
+    )
+    main(parser.parse_args().samples)

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Non-compact message adversaries: Figure 5 and Theorem 6.7 in action.
+
+The adversary "transiently {←, ↔, →}, eventually → forever" is *not*
+limit-closed: the sequences that never stabilize are limits of admissible
+sequences but are excluded.  Its compact closure is the impossible lossy
+link {←, ↔, →} — so consensus here is solvable *only because of the
+liveness promise*:
+
+* the checker certifies solvability via a guaranteed broadcaster
+  (process 0, whose input must eventually reach process 1);
+* decision times are unbounded: the longer the adversary stalls with ←,
+  the later process 1 decides;
+* the decision sets approach each other: d(PS(0), PS(1)) <= 2^{-k} for
+  every k, realized by the runs (0,1)·←^k·→^ω vs (1,1)·←^k·→^ω;
+* their limits (0,1)·←^ω and (1,1)·←^ω form the *unfair pair* of
+  Definition 5.16 — at d_min distance 0 — and are excluded by the
+  adversary, exactly as Corollary 5.19 demands.
+"""
+
+import random
+
+from repro.adversaries import EventuallyForeverAdversary, find_limit_violation
+from repro.consensus import check_consensus
+from repro.core.digraph import arrow
+from repro.core.views import ViewInterner
+from repro.simulation import BroadcastValueAlgorithm, run_word
+from repro.topology import UltimatelyPeriodic, check_unfair_pair, d_min_periodic
+
+TO, FRO, BOTH = arrow("->"), arrow("<-"), arrow("<->")
+
+
+def main() -> None:
+    adversary = EventuallyForeverAdversary(2, [FRO, BOTH, TO], [TO])
+    print(f"Adversary: {adversary.name}")
+    print(f"limit-closed (compact): {adversary.is_limit_closed()}")
+    violation = find_limit_violation(adversary)
+    print(f"excluded limit witness: {violation}\n")
+
+    # 1. Solvability through the liveness promise.
+    result = check_consensus(adversary, max_depth=4)
+    print(result.explain())
+    broadcaster = result.broadcaster.process
+
+    # 2. Unbounded decision times.
+    print("\nDecision round of process 1 vs length of the <- transient:")
+    algorithm = BroadcastValueAlgorithm(ViewInterner(2), broadcaster)
+    for k in range(6):
+        from repro.core.graphword import GraphWord
+
+        word = GraphWord([FRO] * k + [TO] * 2)
+        run = run_word(algorithm, (0, 1), word)
+        print(f"  <-^{k} ->^2 : process 1 decides in round {run.outcomes[1].round}")
+
+    # 3. Decision sets at distance 0 (Figure 5).
+    print("\nd_min between approaching runs from PS(0) and PS(1):")
+    left_limit = UltimatelyPeriodic((0, 1), [], [FRO])
+    right_limit = UltimatelyPeriodic((1, 1), [], [FRO])
+    for k in range(1, 7):
+        a = left_limit.pumped(k, [TO])   # decides 0 (x_0 = 0 broadcast)
+        b = right_limit.pumped(k, [TO])  # decides 1
+        print(f"  k={k}: d_min = {d_min_periodic(a, b)}")
+
+    # 4. The unfair pair of limits is excluded.
+    report = check_unfair_pair(adversary, left_limit, right_limit)
+    print(
+        f"\nUnfair pair (0,1)<-^ω vs (1,1)<-^ω: distance {report.distance}, "
+        f"admissible: {report.left_admissible}/{report.right_admissible}, "
+        f"excluded limits: {report.left_excluded_limit}/"
+        f"{report.right_excluded_limit}"
+    )
+    print(
+        "=> exactly the Figure 5 picture: decision sets at distance 0, "
+        "their connecting limits excluded by the (non-compact) adversary."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Topological characterization of consensus under general message adversaries.
+
+An executable reproduction of Nowak, Schmid, Winkler (PODC 2019,
+arXiv:1905.09590).  The library provides:
+
+* :mod:`repro.core` — communication graphs, process-time graphs, interned
+  full-information views, and the paper's distance functions ``d_P``,
+  ``d_min``, ``d_max`` (Sections 2-4);
+* :mod:`repro.adversaries` — message adversaries: oblivious sets, safety
+  automata (the compact/limit-closed class), and non-compact eventually
+  stabilizing families (Section 6);
+* :mod:`repro.topology` — prefix spaces, indistinguishability components,
+  ε-approximations (Definition 6.2), set distances and fair/unfair limits
+  (Definition 5.16);
+* :mod:`repro.consensus` — the solvability checker implementing
+  Theorems 5.5/5.11/6.6/6.7, broadcastability analysis, decision-table
+  universal algorithms, impossibility provers and literature baselines;
+* :mod:`repro.simulation` — a synchronous lock-step simulator that runs the
+  universal algorithm (and others) against admissible graph sequences.
+
+Quickstart
+----------
+>>> from repro import arrow, ObliviousAdversary, check_consensus
+>>> solvable = check_consensus(ObliviousAdversary(2, [arrow("->"), arrow("<-")]))
+>>> solvable.status.name
+'SOLVABLE'
+"""
+
+from repro._version import __version__
+from repro.core import (
+    Digraph,
+    GraphWord,
+    PTGPrefix,
+    ViewInterner,
+    all_assignments,
+    arrow,
+    d_max,
+    d_min,
+    d_p,
+    d_view,
+    unanimous,
+)
+
+__all__ = [
+    "Digraph",
+    "GraphWord",
+    "PTGPrefix",
+    "ViewInterner",
+    "all_assignments",
+    "arrow",
+    "d_max",
+    "d_min",
+    "d_p",
+    "d_view",
+    "unanimous",
+    "__version__",
+]
+
+
+def __getattr__(name: str):
+    """Lazily re-export the high-level API to avoid import cycles."""
+    if name in {"ObliviousAdversary", "SafetyAdversary", "MessageAdversary"}:
+        import repro.adversaries as _adv
+
+        return getattr(_adv, name)
+    if name in {"check_consensus", "SolvabilityStatus"}:
+        import repro.consensus as _cons
+
+        return getattr(_cons, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

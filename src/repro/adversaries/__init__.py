@@ -1,0 +1,90 @@
+"""Message adversaries: oblivious, safety-automaton, and stabilizing families.
+
+The subpackage models message adversaries (sets of infinite communication
+graph sequences, Section 2 of the paper) as ω-automata over the alphabet of
+communication graphs.  Compact adversaries are safety automata; non-compact
+adversaries carry a Büchi acceptance condition.
+"""
+
+from repro.adversaries.base import MessageAdversary, State
+from repro.adversaries.buchi import BuchiAdversary
+from repro.adversaries.combinators import (
+    IntersectionAdversary,
+    PrefixedAdversary,
+    UnionAdversary,
+)
+from repro.adversaries.compactness import (
+    LimitViolation,
+    find_limit_violation,
+    limit_closure,
+)
+from repro.adversaries.generators import (
+    all_digraphs,
+    all_possible_edges,
+    all_rooted_digraphs,
+    out_star_set,
+    random_oblivious_adversary,
+    random_rooted_digraph,
+    santoro_widmayer_family,
+)
+from repro.adversaries.heardof import (
+    graphs_satisfying,
+    has_nonempty_kernel,
+    is_no_split,
+    kernel_of,
+    min_degree_adversary,
+    no_split_adversary,
+    nonempty_kernel_adversary,
+    rooted_adversary,
+)
+from repro.adversaries.lossylink import (
+    directed_only,
+    eventually_one_direction,
+    lossy_link_full,
+    lossy_link_no_hub,
+    lossy_link_with_silence,
+    one_directional_and_both,
+)
+from repro.adversaries.oblivious import ObliviousAdversary
+from repro.adversaries.safety import SafetyAdversary
+from repro.adversaries.stabilizing import (
+    EventuallyForeverAdversary,
+    StabilizingAdversary,
+)
+
+__all__ = [
+    "BuchiAdversary",
+    "EventuallyForeverAdversary",
+    "IntersectionAdversary",
+    "LimitViolation",
+    "MessageAdversary",
+    "ObliviousAdversary",
+    "PrefixedAdversary",
+    "SafetyAdversary",
+    "StabilizingAdversary",
+    "State",
+    "UnionAdversary",
+    "all_digraphs",
+    "all_possible_edges",
+    "all_rooted_digraphs",
+    "directed_only",
+    "eventually_one_direction",
+    "find_limit_violation",
+    "graphs_satisfying",
+    "has_nonempty_kernel",
+    "is_no_split",
+    "kernel_of",
+    "limit_closure",
+    "min_degree_adversary",
+    "no_split_adversary",
+    "nonempty_kernel_adversary",
+    "rooted_adversary",
+    "lossy_link_full",
+    "lossy_link_no_hub",
+    "lossy_link_with_silence",
+    "one_directional_and_both",
+    "out_star_set",
+    "random_oblivious_adversary",
+    "random_rooted_digraph",
+    "santoro_widmayer_family",
+]

@@ -1,0 +1,100 @@
+"""General ω-regular message adversaries from explicit Büchi tables.
+
+:class:`SafetyAdversary` covers the compact case; this class is its
+non-compact sibling: users describe an arbitrary ω-regular adversary by a
+nondeterministic transition table plus a set of Büchi-accepting states,
+without subclassing :class:`~repro.adversaries.base.MessageAdversary`.
+
+Example — "infinitely many ↔ rounds" over the lossy link alphabet::
+
+    table = {
+        "idle": {to: ["idle"], fro: ["idle"], both: ["seen"]},
+        "seen": {to: ["idle"], fro: ["idle"], both: ["seen"]},
+    }
+    adversary = BuchiAdversary(2, ["idle"], table, accepting=["seen"])
+
+Every derived query (prefix admissibility with liveness pruning, lasso
+acceptance, enumeration, the compactness analysis, the solvability
+checker's certificates) works unchanged on top of the base class.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.adversaries.base import MessageAdversary, State
+from repro.core.digraph import Digraph
+from repro.errors import AdversaryError
+
+__all__ = ["BuchiAdversary"]
+
+
+class BuchiAdversary(MessageAdversary):
+    """An ω-regular adversary given by an explicit table + acceptance set.
+
+    Parameters
+    ----------
+    n:
+        Number of processes.
+    initial:
+        Iterable of initial states.
+    table:
+        ``{state: {graph: iterable of successor states}}``.
+    accepting:
+        The Büchi acceptance set: an infinite sequence is admissible iff
+        some run visits these states infinitely often.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        initial,
+        table: Mapping[State, Mapping[Digraph, object]],
+        accepting,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(n, name or "BuchiAdversary")
+        self._initial = frozenset(initial)
+        if not self._initial:
+            raise AdversaryError("a Büchi adversary needs an initial state")
+        normalized: dict[State, dict[Digraph, frozenset]] = {}
+        letters: set[Digraph] = set()
+        for state, row in table.items():
+            normalized[state] = {}
+            for graph, successors in row.items():
+                if graph.n != n:
+                    raise AdversaryError("alphabet graph has wrong n")
+                successor_set = frozenset(successors)
+                if successor_set:
+                    normalized[state][graph] = successor_set
+                    letters.add(graph)
+        for state in self._initial:
+            normalized.setdefault(state, {})
+        self._table = normalized
+        self._accepting = frozenset(accepting)
+        unknown = self._accepting - set(self._table)
+        if unknown:
+            raise AdversaryError(f"accepting states missing from table: {unknown}")
+        self._alphabet = tuple(sorted(letters))
+
+    def alphabet(self) -> tuple[Digraph, ...]:
+        return self._alphabet
+
+    def initial_states(self) -> frozenset:
+        return self._initial
+
+    def transitions(self, state) -> Mapping[Digraph, frozenset]:
+        try:
+            return self._table[state]
+        except KeyError:
+            raise AdversaryError(f"unknown state {state!r}") from None
+
+    def accepting_states(self) -> frozenset:
+        return self._accepting
+
+    def is_limit_closed(self) -> bool:
+        # Sufficient condition only: if every reachable live state is
+        # accepting, the language is a safety property.  Genuine Büchi
+        # conditions are conservatively classified as non-compact; use
+        # repro.adversaries.compactness.find_limit_violation for witnesses.
+        return self._accepting >= self.all_states()

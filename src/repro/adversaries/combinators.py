@@ -1,0 +1,199 @@
+"""Adversary combinators: union, intersection, prefix constraints.
+
+These make the adversary algebra closed under the operations the paper's
+constructions use informally: restricting attention to sequences with a
+given prefix (the sub-adversary "after" a history), taking unions of
+scenario families, and intersecting safety constraints with liveness
+promises.
+
+The Büchi intersection uses the standard two-flag counter construction so
+that acceptance of *both* operands is required infinitely often.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.adversaries.base import MessageAdversary
+from repro.core.digraph import Digraph
+from repro.core.graphword import GraphWord
+from repro.errors import AdversaryError
+
+__all__ = ["UnionAdversary", "IntersectionAdversary", "PrefixedAdversary"]
+
+
+class UnionAdversary(MessageAdversary):
+    """The adversary admitting any sequence admissible for some operand."""
+
+    def __init__(self, *operands: MessageAdversary, name: str | None = None) -> None:
+        if not operands:
+            raise AdversaryError("a union needs at least one operand")
+        n = operands[0].n
+        for adversary in operands:
+            if adversary.n != n:
+                raise AdversaryError("union operands must share n")
+        super().__init__(
+            n, name or "Union(" + ", ".join(a.name for a in operands) + ")"
+        )
+        self.operands = tuple(operands)
+        self._alphabet = tuple(
+            sorted({g for a in operands for g in a.alphabet()})
+        )
+
+    def alphabet(self) -> tuple[Digraph, ...]:
+        return self._alphabet
+
+    def initial_states(self) -> frozenset:
+        return frozenset(
+            (i, s) for i, a in enumerate(self.operands) for s in a.initial_states()
+        )
+
+    def transitions(self, state) -> Mapping[Digraph, frozenset]:
+        i, inner = state
+        table = self.operands[i].transitions(inner)
+        return {g: frozenset((i, s) for s in succ) for g, succ in table.items()}
+
+    def accepting_states(self) -> frozenset:
+        return frozenset(
+            (i, s)
+            for i, a in enumerate(self.operands)
+            for s in a.accepting_states()
+        )
+
+    def is_limit_closed(self) -> bool:
+        # A finite union of closed sets is closed.
+        return all(a.is_limit_closed() for a in self.operands)
+
+
+class IntersectionAdversary(MessageAdversary):
+    """The adversary admitting sequences admissible for *both* operands.
+
+    States are ``(s1, s2, flag)`` where ``flag`` tracks whose acceptance is
+    currently owed; a combined state is accepting when the second operand
+    pays its debt, which happens infinitely often iff both operands accept
+    infinitely often.
+    """
+
+    def __init__(
+        self, left: MessageAdversary, right: MessageAdversary, name: str | None = None
+    ) -> None:
+        if left.n != right.n:
+            raise AdversaryError("intersection operands must share n")
+        super().__init__(left.n, name or f"Intersection({left.name}, {right.name})")
+        self.left = left
+        self.right = right
+        self._alphabet = tuple(
+            sorted(set(left.alphabet()) & set(right.alphabet()))
+        )
+
+    def alphabet(self) -> tuple[Digraph, ...]:
+        return self._alphabet
+
+    def initial_states(self) -> frozenset:
+        return frozenset(
+            (s1, s2, 0)
+            for s1 in self.left.initial_states()
+            for s2 in self.right.initial_states()
+        )
+
+    def transitions(self, state) -> Mapping[Digraph, frozenset]:
+        s1, s2, flag = state
+        # Standard flag update (source-based): while the flag is 0 we wait
+        # for the left operand to accept, then owe the right operand one
+        # acceptance before resetting.
+        if flag == 0:
+            nxt_flag = 1 if s1 in self.left.accepting_states() else 0
+        else:
+            nxt_flag = 0 if s2 in self.right.accepting_states() else 1
+        row1 = self.left.transitions(s1)
+        row2 = self.right.transitions(s2)
+        result: dict[Digraph, frozenset] = {}
+        for g in self._alphabet:
+            succ1 = row1.get(g, frozenset())
+            succ2 = row2.get(g, frozenset())
+            if not succ1 or not succ2:
+                continue
+            result[g] = frozenset(
+                (t1, t2, nxt_flag) for t1 in succ1 for t2 in succ2
+            )
+        return result
+
+    def accepting_states(self) -> frozenset:
+        # Accepting = flag-0 states whose left component accepts; visiting
+        # them infinitely often forces infinitely many 0 -> 1 -> 0 flag
+        # round-trips, hence acceptance of both operands infinitely often.
+        left_acc = self.left.accepting_states()
+        return frozenset(
+            (s1, s2, flag)
+            for (s1, s2, flag) in self.all_states()
+            if flag == 0 and s1 in left_acc
+        )
+
+    def is_limit_closed(self) -> bool:
+        # Intersection of closed sets is closed; otherwise unknown, report
+        # conservatively.
+        return self.left.is_limit_closed() and self.right.is_limit_closed()
+
+
+class PrefixedAdversary(MessageAdversary):
+    """Sequences that start with ``prefix`` and continue per ``suffix_adversary``.
+
+    This is the sub-adversary "after a given history", used to study the
+    connected component / decision-set structure around one prefix.
+    """
+
+    def __init__(
+        self,
+        prefix: GraphWord,
+        suffix_adversary: MessageAdversary,
+        name: str | None = None,
+    ) -> None:
+        if prefix.n != suffix_adversary.n:
+            raise AdversaryError("prefix and suffix adversary must share n")
+        super().__init__(
+            suffix_adversary.n,
+            name or f"Prefixed(len={len(prefix)}, {suffix_adversary.name})",
+        )
+        self.prefix = prefix
+        self.suffix_adversary = suffix_adversary
+        self._alphabet = tuple(
+            sorted(set(prefix.graphs) | set(suffix_adversary.alphabet()))
+        )
+
+    def alphabet(self) -> tuple[Digraph, ...]:
+        return self._alphabet
+
+    def initial_states(self) -> frozenset:
+        if len(self.prefix) == 0:
+            return frozenset(
+                ("suffix", s) for s in self.suffix_adversary.initial_states()
+            )
+        return frozenset({("prefix", 0)})
+
+    def transitions(self, state) -> Mapping[Digraph, frozenset]:
+        kind, payload = state
+        if kind == "prefix":
+            position = payload
+            expected = self.prefix[position]
+            if position + 1 < len(self.prefix):
+                return {expected: frozenset({("prefix", position + 1)})}
+            return {
+                expected: frozenset(
+                    ("suffix", s) for s in self.suffix_adversary.initial_states()
+                )
+            }
+        row = self.suffix_adversary.transitions(payload)
+        return {
+            g: frozenset(("suffix", s) for s in succ) for g, succ in row.items()
+        }
+
+    def accepting_states(self) -> frozenset:
+        suffix_acc = self.suffix_adversary.accepting_states()
+        return frozenset(
+            state
+            for state in self.all_states()
+            if state[0] == "suffix" and state[1] in suffix_acc
+        )
+
+    def is_limit_closed(self) -> bool:
+        return self.suffix_adversary.is_limit_closed()

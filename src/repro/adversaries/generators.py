@@ -1,0 +1,106 @@
+"""Generators for communication-graph families and standard adversaries.
+
+These feed the census tooling and the benchmark harnesses: enumerating every
+digraph (or every rooted digraph) on small ``n``, the Santoro–Widmayer
+bounded-loss families [21, 22], out-star collections, and random rooted
+graphs.
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import combinations
+from typing import Iterator
+
+from repro.adversaries.oblivious import ObliviousAdversary
+from repro.core.digraph import Digraph
+from repro.errors import AdversaryError
+
+__all__ = [
+    "all_digraphs",
+    "all_rooted_digraphs",
+    "all_possible_edges",
+    "santoro_widmayer_family",
+    "out_star_set",
+    "random_rooted_digraph",
+    "random_oblivious_adversary",
+]
+
+
+def all_possible_edges(n: int) -> tuple[tuple[int, int], ...]:
+    """All ``n(n-1)`` directed non-self edges, in deterministic order."""
+    return tuple((u, v) for u in range(n) for v in range(n) if u != v)
+
+
+def all_digraphs(n: int) -> Iterator[Digraph]:
+    """All ``2^{n(n-1)}`` digraphs on ``n`` nodes (deterministic order).
+
+    Intended for small ``n`` (the count is 2 for n=1, 4 for n=2, 64 for
+    n=3, 4096 for n=4); raises for ``n > 4`` to avoid accidental blowups.
+    """
+    if n > 4:
+        raise AdversaryError(f"refusing to enumerate 2^{n * (n - 1)} digraphs")
+    edges = all_possible_edges(n)
+    for mask in range(1 << len(edges)):
+        yield Digraph(n, [e for i, e in enumerate(edges) if mask >> i & 1])
+
+
+def all_rooted_digraphs(n: int) -> Iterator[Digraph]:
+    """All digraphs on ``n`` nodes with a unique root component."""
+    for g in all_digraphs(n):
+        if g.is_rooted:
+            yield g
+
+
+def santoro_widmayer_family(n: int, losses: int) -> ObliviousAdversary:
+    """The Santoro–Widmayer oblivious adversary: up to ``losses`` lost messages.
+
+    In every round the adversary starts from the complete graph and may
+    suppress up to ``losses`` of the ``n(n-1)`` messages.  [21] proves
+    consensus impossible when ``losses >= n - 1``; [22] sharpens the
+    solvable/unsolvable frontier for structured loss patterns.
+    """
+    if losses < 0:
+        raise AdversaryError("losses must be nonnegative")
+    edges = all_possible_edges(n)
+    losses = min(losses, len(edges))
+    graphs = []
+    for k in range(losses + 1):
+        for missing in combinations(edges, k):
+            graphs.append(Digraph(n, set(edges) - set(missing)))
+    return ObliviousAdversary(
+        n, graphs, name=f"SantoroWidmayer(n={n}, losses={losses})"
+    )
+
+
+def out_star_set(n: int) -> tuple[Digraph, ...]:
+    """The ``n`` out-stars: in each graph one process reaches everyone."""
+    return tuple(Digraph.star_out(n, center) for center in range(n))
+
+
+def random_rooted_digraph(rng: random.Random, n: int, p: float = 0.4) -> Digraph:
+    """A random digraph conditioned (by rejection) on having a unique root."""
+    edges = all_possible_edges(n)
+    for _ in range(10_000):
+        g = Digraph(n, [e for e in edges if rng.random() < p])
+        if g.is_rooted:
+            return g
+    raise AdversaryError("rejection sampling failed to find a rooted digraph")
+
+
+def random_oblivious_adversary(
+    rng: random.Random, n: int, size: int, rooted_only: bool = False, p: float = 0.4
+) -> ObliviousAdversary:
+    """A random oblivious adversary with ``size`` distinct graphs."""
+    chosen: set[Digraph] = set()
+    edges = all_possible_edges(n)
+    attempts = 0
+    while len(chosen) < size:
+        attempts += 1
+        if attempts > 100_000:
+            raise AdversaryError("could not sample enough distinct graphs")
+        if rooted_only:
+            chosen.add(random_rooted_digraph(rng, n, p))
+        else:
+            chosen.add(Digraph(n, [e for e in edges if rng.random() < p]))
+    return ObliviousAdversary(n, chosen)

@@ -1,0 +1,119 @@
+"""Heard-Of model bridge (Charron-Bost & Schiper [7]).
+
+The paper's related work notes that benign communication-failure models can
+be expressed as oblivious message adversaries.  The *Heard-Of* (HO) model
+describes a round by the collection of heard-of sets ``HO(p) ⊆ [n]`` —
+which is exactly the in-neighborhood description of a communication graph.
+This module translates classic HO *communication predicates* into oblivious
+adversaries over the corresponding graph sets:
+
+* ``nonempty_kernel_adversary`` — rounds whose kernel (processes heard by
+  everyone) is nonempty, the predicate behind many HO algorithms;
+* ``no_split_adversary`` — any two processes hear some common process
+  (``HO(p) ∩ HO(q) ≠ ∅``), the classic "no-split" predicate;
+* ``min_degree_adversary`` — every process hears at least ``k`` processes;
+* ``rooted_adversary`` — every round graph has a unique root component,
+  the premise of the VSSC line of work [6, 23].
+
+All of them are *per-round* (oblivious) predicates, hence compact
+adversaries the paper's Theorem 6.6 machinery applies to.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.adversaries.generators import all_digraphs
+from repro.adversaries.oblivious import ObliviousAdversary
+from repro.core.digraph import Digraph
+from repro.errors import AdversaryError
+
+__all__ = [
+    "kernel_of",
+    "has_nonempty_kernel",
+    "is_no_split",
+    "graphs_satisfying",
+    "nonempty_kernel_adversary",
+    "no_split_adversary",
+    "min_degree_adversary",
+    "rooted_adversary",
+]
+
+
+def kernel_of(graph: Digraph) -> frozenset[int]:
+    """The kernel of a round graph: processes heard by *every* process.
+
+    In HO terms: ``K = ∩_p HO(p)``.  Self-loops are implicit, so a process
+    is always in its own heard-of set.
+    """
+    kernel = set(range(graph.n))
+    for p in range(graph.n):
+        kernel &= graph.in_neighbors(p)
+    return frozenset(kernel)
+
+
+def has_nonempty_kernel(graph: Digraph) -> bool:
+    """Whether some process is heard by everyone this round."""
+    return bool(kernel_of(graph))
+
+
+def is_no_split(graph: Digraph) -> bool:
+    """The no-split predicate: any two heard-of sets intersect."""
+    n = graph.n
+    for p in range(n):
+        for q in range(p + 1, n):
+            if not (graph.in_neighbors(p) & graph.in_neighbors(q)):
+                return False
+    return True
+
+
+def graphs_satisfying(
+    n: int, predicate: Callable[[Digraph], bool]
+) -> Iterator[Digraph]:
+    """All digraphs on ``n`` nodes satisfying a per-round predicate."""
+    for g in all_digraphs(n):
+        if predicate(g):
+            yield g
+
+
+def _predicate_adversary(
+    n: int, predicate: Callable[[Digraph], bool], name: str
+) -> ObliviousAdversary:
+    graphs = list(graphs_satisfying(n, predicate))
+    if not graphs:
+        raise AdversaryError(f"no graph on {n} nodes satisfies {name}")
+    return ObliviousAdversary(n, graphs, name=name)
+
+
+def nonempty_kernel_adversary(n: int) -> ObliviousAdversary:
+    """Rounds with a nonempty kernel (someone is heard by all)."""
+    return _predicate_adversary(
+        n, has_nonempty_kernel, f"HO-nonempty-kernel(n={n})"
+    )
+
+
+def no_split_adversary(n: int) -> ObliviousAdversary:
+    """Rounds where any two processes hear a common process."""
+    return _predicate_adversary(n, is_no_split, f"HO-no-split(n={n})")
+
+
+def min_degree_adversary(n: int, k: int) -> ObliviousAdversary:
+    """Rounds where every process hears at least ``k`` processes.
+
+    Degrees count the implicit self-loop, so ``k = 1`` allows every graph
+    and ``k = n`` forces the complete graph.
+    """
+    if not 1 <= k <= n:
+        raise AdversaryError(f"need 1 <= k <= n, got k={k}")
+    return _predicate_adversary(
+        n,
+        lambda g: all(len(g.in_neighbors(p)) >= k for p in range(n)),
+        f"HO-min-degree(n={n}, k={k})",
+    )
+
+
+def rooted_adversary(n: int) -> ObliviousAdversary:
+    """Rounds whose graph has a unique root component ([6, 23] premise)."""
+    return _predicate_adversary(
+        n, lambda g: g.is_rooted, f"HO-rooted(n={n})"
+    )

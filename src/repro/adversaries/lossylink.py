@@ -1,0 +1,75 @@
+"""Named two-process (lossy link) adversaries from the literature.
+
+The two-process scenario is the recurring example of the paper:
+
+* ``lossy_link_full()`` — the Santoro–Widmayer adversary over {←, ↔, →},
+  for which consensus is **impossible** [21] (Section 6.1);
+* ``lossy_link_no_hub()`` — the reduced set {←, →} of Coulouma–Godard–
+  Peters [8], for which consensus is **solvable**;
+* ``directed_only(direction)`` — one-graph adversaries, trivially solvable;
+* ``lossy_link_with_silence()`` — includes the empty graph, impossible;
+* ``eventually_one_direction()`` — the non-compact Figure 5 example:
+  {←, →} transiently, eventually → forever.
+"""
+
+from __future__ import annotations
+
+from repro.adversaries.oblivious import ObliviousAdversary
+from repro.adversaries.stabilizing import EventuallyForeverAdversary
+from repro.core.digraph import arrow
+
+__all__ = [
+    "lossy_link_full",
+    "lossy_link_no_hub",
+    "lossy_link_with_silence",
+    "directed_only",
+    "one_directional_and_both",
+    "eventually_one_direction",
+]
+
+
+def lossy_link_full() -> ObliviousAdversary:
+    """The impossible lossy link: D = {←, ↔, →} ([21], Section 6.1)."""
+    return ObliviousAdversary(
+        2, [arrow("<-"), arrow("<->"), arrow("->")], name="LossyLink{<-,<->,->}"
+    )
+
+
+def lossy_link_no_hub() -> ObliviousAdversary:
+    """The solvable reduced lossy link: D = {←, →} ([8])."""
+    return ObliviousAdversary(2, [arrow("<-"), arrow("->")], name="LossyLink{<-,->}")
+
+
+def lossy_link_with_silence() -> ObliviousAdversary:
+    """D = {←, →, ∅}: the empty graph makes consensus impossible."""
+    return ObliviousAdversary(
+        2, [arrow("<-"), arrow("->"), arrow("none")], name="LossyLink{<-,->,none}"
+    )
+
+
+def directed_only(direction: str = "->") -> ObliviousAdversary:
+    """The singleton adversary {→} (or {←}); consensus trivially solvable."""
+    return ObliviousAdversary(2, [arrow(direction)], name=f"Only{{{direction}}}")
+
+
+def one_directional_and_both(direction: str = "->") -> ObliviousAdversary:
+    """D = {→, ↔} (or {←, ↔}): solvable, the receiver always hears."""
+    return ObliviousAdversary(
+        2, [arrow(direction), arrow("<->")], name=f"Oblivious{{{direction},<->}}"
+    )
+
+
+def eventually_one_direction(direction: str = "->") -> EventuallyForeverAdversary:
+    """Transiently {←, →}, eventually ``direction`` forever (Figure 5).
+
+    Non-compact: the limits where the transient phase never ends are
+    excluded.  Consensus is solvable by Theorem 6.7 (components are
+    broadcastable by the eventual sender) even though the decision sets
+    have distance zero.
+    """
+    return EventuallyForeverAdversary(
+        2,
+        [arrow("<-"), arrow("->")],
+        [arrow(direction)],
+        name=f"Eventually{{{direction}}}",
+    )

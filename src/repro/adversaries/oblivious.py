@@ -1,0 +1,95 @@
+"""Oblivious message adversaries (Section 6.2; [8, 21]).
+
+An *oblivious* adversary is determined by a set ``D`` of communication
+graphs: the admissible sequences are exactly ``D^ω``.  Oblivious adversaries
+are limit-closed, hence compact in the paper's sense, and are the setting of
+the Coulouma–Godard–Peters characterization [8] and of the classic
+Santoro–Widmayer lossy-link results [21].
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.adversaries.base import MessageAdversary
+from repro.core.digraph import Digraph
+from repro.errors import AdversaryError
+
+__all__ = ["ObliviousAdversary"]
+
+_STATE = "oblivious"
+
+
+class ObliviousAdversary(MessageAdversary):
+    """The adversary whose admissible sequences are ``D^ω``.
+
+    Parameters
+    ----------
+    n:
+        Number of processes.
+    graphs:
+        The nonempty set ``D`` of communication graphs the adversary may
+        pick from in every round, independently of the past.
+
+    Examples
+    --------
+    >>> from repro.core.digraph import arrow
+    >>> adversary = ObliviousAdversary(2, [arrow("->"), arrow("<-")])
+    >>> adversary.count_words(3)
+    8
+    """
+
+    def __init__(
+        self, n: int, graphs: Iterable[Digraph], name: str | None = None
+    ) -> None:
+        graph_set = frozenset(graphs)
+        if not graph_set:
+            raise AdversaryError("an oblivious adversary needs at least one graph")
+        for g in graph_set:
+            if g.n != n:
+                raise AdversaryError(
+                    f"graph on {g.n} nodes in an adversary for n={n}"
+                )
+        if name is None:
+            if n == 2:
+                inner = ",".join(g.name for g in sorted(graph_set))
+                name = f"Oblivious{{{inner}}}"
+            else:
+                name = f"Oblivious(n={n}, |D|={len(graph_set)})"
+        super().__init__(n, name)
+        self.graphs = graph_set
+        self._sorted = tuple(sorted(graph_set))
+        self._transitions = {g: frozenset({_STATE}) for g in self._sorted}
+
+    def alphabet(self) -> tuple[Digraph, ...]:
+        return self._sorted
+
+    def initial_states(self) -> frozenset:
+        return frozenset({_STATE})
+
+    def transitions(self, state) -> Mapping[Digraph, frozenset]:
+        if state != _STATE:
+            raise AdversaryError(f"unknown state {state!r}")
+        return self._transitions
+
+    def is_limit_closed(self) -> bool:
+        return True
+
+    def __contains__(self, graph: Digraph) -> bool:
+        return graph in self.graphs
+
+    def restricted(self, graphs: Iterable[Digraph]) -> "ObliviousAdversary":
+        """The oblivious adversary over ``D ∩ graphs``."""
+        return ObliviousAdversary(self.n, self.graphs & frozenset(graphs))
+
+    def extended_with(self, graphs: Iterable[Digraph]) -> "ObliviousAdversary":
+        """The oblivious adversary over ``D ∪ graphs``."""
+        return ObliviousAdversary(self.n, self.graphs | frozenset(graphs))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ObliviousAdversary):
+            return NotImplemented
+        return self.n == other.n and self.graphs == other.graphs
+
+    def __hash__(self) -> int:
+        return hash((self.n, self.graphs))

@@ -1,0 +1,94 @@
+"""Explicit safety (compact) adversaries given by a finite automaton.
+
+Compact message adversaries — those that are limit-closed, cf. Section 6.2 —
+are exactly the safety properties among the ω-regular adversaries.  The
+:class:`SafetyAdversary` wraps an explicit nondeterministic transition table
+in which *every* state is accepting, so an infinite sequence is admissible
+iff all of its finite prefixes are.
+
+This strictly generalizes :class:`~repro.adversaries.oblivious.
+ObliviousAdversary` (whose automaton has one state) while remaining compact,
+e.g. "round-alternating" adversaries or adversaries with bounded-memory
+constraints on consecutive graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.adversaries.base import MessageAdversary, State
+from repro.core.digraph import Digraph
+from repro.errors import AdversaryError
+
+__all__ = ["SafetyAdversary"]
+
+
+class SafetyAdversary(MessageAdversary):
+    """A compact adversary given by an explicit automaton.
+
+    Parameters
+    ----------
+    n:
+        Number of processes.
+    initial:
+        Iterable of initial states.
+    table:
+        ``{state: {graph: iterable of successor states}}``.  States may be
+        any hashable values.  Every state is accepting (safety).
+
+    Examples
+    --------
+    An adversary alternating between ``->`` and ``<-`` deterministically:
+
+    >>> from repro.core.digraph import arrow
+    >>> table = {
+    ...     "a": {arrow("->"): ["b"]},
+    ...     "b": {arrow("<-"): ["a"]},
+    ... }
+    >>> adversary = SafetyAdversary(2, ["a"], table)
+    >>> adversary.count_words(4)
+    1
+    """
+
+    def __init__(
+        self,
+        n: int,
+        initial,
+        table: Mapping[State, Mapping[Digraph, object]],
+        name: str | None = None,
+    ) -> None:
+        super().__init__(n, name or "SafetyAdversary")
+        self._initial = frozenset(initial)
+        if not self._initial:
+            raise AdversaryError("a safety adversary needs an initial state")
+        normalized: dict[State, dict[Digraph, frozenset]] = {}
+        letters: set[Digraph] = set()
+        for state, row in table.items():
+            normalized[state] = {}
+            for graph, successors in row.items():
+                if graph.n != n:
+                    raise AdversaryError("alphabet graph has wrong n")
+                succ = frozenset(successors)
+                if succ:
+                    normalized[state][graph] = succ
+                    letters.add(graph)
+        self._table = normalized
+        self._alphabet = tuple(sorted(letters))
+        for state in self._initial:
+            if state not in self._table:
+                self._table[state] = {}
+
+    def alphabet(self) -> tuple[Digraph, ...]:
+        return self._alphabet
+
+    def initial_states(self) -> frozenset:
+        return self._initial
+
+    def transitions(self, state) -> Mapping[Digraph, frozenset]:
+        try:
+            return self._table[state]
+        except KeyError:
+            raise AdversaryError(f"unknown state {state!r}") from None
+
+    def is_limit_closed(self) -> bool:
+        return True

@@ -1,0 +1,247 @@
+"""Command-line interface: ``repro-cli``.
+
+Subcommands:
+
+* ``check`` — run the solvability checker on a named adversary;
+* ``census`` — classify every two-process oblivious adversary;
+* ``simulate`` — run the universal algorithm against sampled sequences;
+* ``ptg`` — print the Figure 2 process-time graph.
+
+Named adversaries (``--adversary``): ``lossy-full``, ``no-hub``,
+``silence``, ``to-and-both``, ``only-to``, ``eventually-to``,
+``eventually-to-full-base``, ``sw-n3-1``, ``sw-n3-2``, ``stars-n3``,
+``stabilizing-w2``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import Callable
+
+from repro.adversaries import (
+    EventuallyForeverAdversary,
+    ObliviousAdversary,
+    StabilizingAdversary,
+    eventually_one_direction,
+    lossy_link_full,
+    lossy_link_no_hub,
+    lossy_link_with_silence,
+    one_directional_and_both,
+    directed_only,
+    out_star_set,
+    santoro_widmayer_family,
+)
+from repro.core.digraph import Digraph, arrow
+
+ADVERSARIES: dict[str, Callable] = {
+    "lossy-full": lossy_link_full,
+    "no-hub": lossy_link_no_hub,
+    "silence": lossy_link_with_silence,
+    "to-and-both": lambda: one_directional_and_both("->"),
+    "only-to": lambda: directed_only("->"),
+    "eventually-to": lambda: eventually_one_direction("->"),
+    "eventually-to-full-base": lambda: EventuallyForeverAdversary(
+        2, [arrow("<-"), arrow("<->"), arrow("->")], [arrow("->")]
+    ),
+    "sw-n3-1": lambda: santoro_widmayer_family(3, 1),
+    "sw-n3-2": lambda: santoro_widmayer_family(3, 2),
+    "stars-n3": lambda: ObliviousAdversary(3, out_star_set(3)),
+    "stabilizing-w2": lambda: StabilizingAdversary(
+        2, [arrow("<-"), arrow("->")], window=2
+    ),
+}
+
+
+def _resolve(name: str):
+    try:
+        return ADVERSARIES[name]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown adversary {name!r}; choose from {sorted(ADVERSARIES)}"
+        )
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    from repro.consensus import check_consensus
+
+    adversary = _resolve(args.adversary)
+    result = check_consensus(adversary, max_depth=args.max_depth)
+    print(result.explain())
+    return 0
+
+
+def cmd_census(args: argparse.Namespace) -> int:
+    from repro.consensus.census import two_process_census
+    from repro.viz import render_census
+
+    rows = two_process_census(max_depth=args.max_depth)
+    print(render_census(rows))
+    agreements = sum(1 for row in rows if row.oracle_agrees)
+    print(f"{agreements}/{len(rows)} rows agree with the literature oracle: "
+          f"{'True' if agreements == len(rows) else 'False'}")
+    return 0 if agreements == len(rows) else 1
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.consensus import check_consensus
+    from repro.simulation import run_many
+
+    adversary = _resolve(args.adversary)
+    result = check_consensus(adversary, max_depth=args.max_depth)
+    if not result.solvable:
+        print(f"{adversary.name}: {result.status.name}; nothing to simulate")
+        return 1
+    algorithm = result.algorithm()
+    rounds = (
+        max(args.rounds, result.certified_depth)
+        if result.certified_depth is not None
+        else args.rounds
+    )
+    rng = random.Random(args.seed)
+    stats = run_many(algorithm, adversary, rng, trials=args.trials, rounds=rounds)
+    print(
+        f"{adversary.name} x {algorithm.name}: {stats.runs} runs, "
+        f"{stats.decided} decided, agreement failures "
+        f"{stats.agreement_failures}, max decision round {stats.max_round}"
+    )
+    return 0
+
+
+def cmd_kset(args: argparse.Namespace) -> int:
+    from repro.consensus import check_kset_by_depth
+    from repro.consensus.spec import ConsensusSpec
+
+    adversary = _resolve(args.adversary)
+    spec = ConsensusSpec(domain=tuple(range(args.values)))
+    for depth in range(args.max_depth + 1):
+        table = check_kset_by_depth(adversary, args.k, depth, spec=spec)
+        if table is not None:
+            print(
+                f"{adversary.name}: {args.k}-set agreement solvable with "
+                f"decisions by round {depth} ({len(table.assignment)} views)"
+            )
+            return 0
+    print(
+        f"{adversary.name}: no {args.k}-set certificate up to depth "
+        f"{args.max_depth}"
+    )
+    return 1
+
+
+def cmd_heardof(args: argparse.Namespace) -> int:
+    from repro.adversaries.heardof import (
+        min_degree_adversary,
+        no_split_adversary,
+        nonempty_kernel_adversary,
+        rooted_adversary,
+    )
+    from repro.consensus import check_consensus
+
+    factories = {
+        "kernel": nonempty_kernel_adversary,
+        "no-split": no_split_adversary,
+        "rooted": rooted_adversary,
+    }
+    print(f"{'predicate':12s} {'|D|':>5s} {'verdict':11s}")
+    for label, factory in factories.items():
+        adversary = factory(args.n)
+        result = check_consensus(adversary, max_depth=args.max_depth)
+        print(f"{label:12s} {len(adversary.graphs):>5d} {result.status.name:11s}")
+    complete = min_degree_adversary(args.n, args.n)
+    result = check_consensus(complete, max_depth=args.max_depth)
+    print(f"{'complete':12s} {len(complete.graphs):>5d} {result.status.name:11s}")
+    return 0
+
+
+def cmd_fair(args: argparse.Namespace) -> int:
+    from repro.consensus import fair_sequence_candidates
+    from repro.viz import render_word
+
+    adversary = _resolve(args.adversary)
+    candidates = fair_sequence_candidates(
+        adversary, verify_depth=args.depth, limit=args.limit
+    )
+    if not candidates:
+        print(
+            f"{adversary.name}: no fair-sequence candidate survives depth "
+            f"{args.depth} (evidence of solvability)"
+        )
+        return 0
+    print(f"{adversary.name}: {len(candidates)} candidate(s) bivalent through depth {args.depth}")
+    for candidate in candidates:
+        sequence = candidate.sequence
+        print(
+            f"  inputs {sequence.inputs}, cycle [{render_word(sequence.cycle)}], "
+            f"component sizes {candidate.component_sizes}"
+        )
+    return 0
+
+
+def cmd_ptg(args: argparse.Namespace) -> int:
+    from repro.core.ptg import PTGPrefix
+    from repro.core.views import ViewInterner
+    from repro.viz import render_ptg
+
+    g1 = Digraph(3, [(0, 1), (2, 1)])
+    g2 = Digraph(3, [(1, 0)])
+    prefix = PTGPrefix(ViewInterner(3), (1, 0, 1), [g1, g2])
+    print("Figure 2: process-time graph at t=2, n=3, x=(1,0,1)")
+    print(render_ptg(prefix, highlight_process=args.process))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro-cli",
+        description="Consensus under general message adversaries (PODC 2019 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="run the solvability checker")
+    check.add_argument("--adversary", required=True)
+    check.add_argument("--max-depth", type=int, default=8)
+    check.set_defaults(func=cmd_check)
+
+    census = sub.add_parser("census", help="two-process oblivious census")
+    census.add_argument("--max-depth", type=int, default=6)
+    census.set_defaults(func=cmd_census)
+
+    simulate = sub.add_parser("simulate", help="simulate the certified algorithm")
+    simulate.add_argument("--adversary", required=True)
+    simulate.add_argument("--trials", type=int, default=50)
+    simulate.add_argument("--rounds", type=int, default=8)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--max-depth", type=int, default=8)
+    simulate.set_defaults(func=cmd_simulate)
+
+    ptg = sub.add_parser("ptg", help="print the Figure 2 process-time graph")
+    ptg.add_argument("--process", type=int, default=0)
+    ptg.set_defaults(func=cmd_ptg)
+
+    kset = sub.add_parser("kset", help="k-set agreement depth sweep")
+    kset.add_argument("--adversary", required=True)
+    kset.add_argument("--k", type=int, default=2)
+    kset.add_argument("--values", type=int, default=2)
+    kset.add_argument("--max-depth", type=int, default=3)
+    kset.set_defaults(func=cmd_kset)
+
+    heardof = sub.add_parser("heardof", help="classify Heard-Of predicate families")
+    heardof.add_argument("--n", type=int, default=3)
+    heardof.add_argument("--max-depth", type=int, default=3)
+    heardof.set_defaults(func=cmd_heardof)
+
+    fair = sub.add_parser("fair", help="extract fair-sequence candidates")
+    fair.add_argument("--adversary", required=True)
+    fair.add_argument("--depth", type=int, default=4)
+    fair.add_argument("--limit", type=int, default=5)
+    fair.set_defaults(func=cmd_fair)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

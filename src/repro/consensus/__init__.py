@@ -1,0 +1,112 @@
+"""Consensus solvability: checker, certificates, baselines (Sections 5-6).
+
+The package turns the paper's characterizations into executable decision
+procedures:
+
+* :func:`~repro.consensus.solvability.check_consensus` — the orchestrated
+  checker (Theorems 5.5/5.11/6.6/6.7) returning validated certificates;
+* :mod:`~repro.consensus.decision` — decision tables (the universal
+  algorithm's lookup structure);
+* :mod:`~repro.consensus.provers` — sound impossibility/solvability
+  provers (non-broadcastable lassos, single-component induction,
+  guaranteed broadcasters);
+* :mod:`~repro.consensus.broadcastability` — Definition 5.8 analysis and
+  the Theorem 6.6 ε-sweeps;
+* :mod:`~repro.consensus.bivalence` — forever-bivalent runs (Section 6.1);
+* :mod:`~repro.consensus.baselines` — literature criteria for comparison.
+"""
+
+from repro.consensus.baselines import (
+    cgp_beta_classes,
+    cgp_predicts_solvable,
+    common_root_member,
+    santoro_widmayer_applies,
+)
+from repro.consensus.bivalence import (
+    BivalentRun,
+    bivalence_history,
+    forever_bivalent_run,
+)
+from repro.consensus.broadcastability import (
+    ComponentBroadcastReport,
+    broadcastability_report,
+    minimal_broadcast_depth,
+    minimal_separation_depth,
+)
+from repro.consensus.census import (
+    CensusRow,
+    random_rooted_census,
+    two_process_census,
+)
+from repro.consensus.decision import DecisionTable, build_decision_table
+from repro.consensus.decision_times import (
+    decision_round_histogram,
+    earliest_possible_round,
+    worst_case_decision_round,
+)
+from repro.consensus.fairsequences import (
+    FairSequenceCandidate,
+    fair_sequence_candidates,
+)
+from repro.consensus.kset import KSetTable, check_kset_by_depth, kset_depth_sweep
+from repro.consensus.provers import (
+    SingleComponentInduction,
+    find_guaranteed_broadcaster,
+    find_lasso_avoiding_broadcast_by,
+    find_nonbroadcastable_lasso,
+    oblivious_core,
+    oblivious_cores,
+    two_process_oblivious_verdict,
+)
+from repro.consensus.solvability import (
+    BroadcasterCertificate,
+    DepthReport,
+    ImpossibilityWitness,
+    SolvabilityResult,
+    SolvabilityStatus,
+    check_consensus,
+)
+from repro.consensus.spec import STRONG, WEAK, ConsensusSpec
+
+__all__ = [
+    "BivalentRun",
+    "BroadcasterCertificate",
+    "CensusRow",
+    "ComponentBroadcastReport",
+    "ConsensusSpec",
+    "DecisionTable",
+    "DepthReport",
+    "FairSequenceCandidate",
+    "ImpossibilityWitness",
+    "KSetTable",
+    "check_kset_by_depth",
+    "kset_depth_sweep",
+    "STRONG",
+    "SingleComponentInduction",
+    "SolvabilityResult",
+    "SolvabilityStatus",
+    "WEAK",
+    "bivalence_history",
+    "broadcastability_report",
+    "build_decision_table",
+    "cgp_beta_classes",
+    "cgp_predicts_solvable",
+    "check_consensus",
+    "common_root_member",
+    "decision_round_histogram",
+    "earliest_possible_round",
+    "fair_sequence_candidates",
+    "find_guaranteed_broadcaster",
+    "find_lasso_avoiding_broadcast_by",
+    "find_nonbroadcastable_lasso",
+    "forever_bivalent_run",
+    "minimal_broadcast_depth",
+    "minimal_separation_depth",
+    "oblivious_core",
+    "oblivious_cores",
+    "random_rooted_census",
+    "santoro_widmayer_applies",
+    "two_process_census",
+    "two_process_oblivious_verdict",
+    "worst_case_decision_round",
+]

@@ -1,0 +1,133 @@
+"""Broadcastability analysis (Definition 5.8, Theorems 5.9/5.11/6.6).
+
+Broadcastability of a connected component — a single process whose input
+becomes known to every process, in every member sequence — is the paper's
+operational characterization of solvability.  This module provides:
+
+* :func:`broadcastability_report` — per-component broadcasters, the forced
+  broadcaster values (constant by Theorem 5.9), and the worst-case round by
+  which the broadcast completes;
+* :func:`minimal_broadcast_depth` — the ε-sweep of Theorem 6.6: the
+  smallest ``t`` (i.e. largest ``ε = 2^{-t}``) at which every component of
+  the depth-``t`` layer is broadcastable;
+* :func:`minimal_separation_depth` — the smallest ``t`` with no bivalent
+  component, for the executable Theorem 6.6 equivalence study.
+"""
+
+from __future__ import annotations
+
+from repro.adversaries.base import MessageAdversary
+from repro.core.views import ViewInterner
+from repro.errors import AnalysisError
+from repro.topology.components import Component, ComponentAnalysis
+from repro.topology.prefixspace import PrefixSpace
+
+__all__ = [
+    "ComponentBroadcastReport",
+    "broadcastability_report",
+    "minimal_broadcast_depth",
+    "minimal_separation_depth",
+]
+
+
+class ComponentBroadcastReport:
+    """Broadcast structure of one component."""
+
+    __slots__ = ("component", "broadcasters", "values", "completion_round")
+
+    def __init__(self, component: Component) -> None:
+        self.component = component
+        self.broadcasters = component.broadcasters
+        self.values = {
+            p: component.broadcaster_value(p) for p in sorted(self.broadcasters)
+        }
+        self.completion_round = self._completion_round(component)
+
+    @staticmethod
+    def _completion_round(component: Component) -> int | None:
+        """Worst member's earliest round at which some broadcaster finished.
+
+        This is the ``max T(a)`` of Definition 5.8 restricted to the
+        component's depth; None when the component is not broadcastable.
+        """
+        if not component.is_broadcastable:
+            return None
+        worst = 0
+        for node in component.members():
+            best = None
+            for t in range(node.depth + 1):
+                mask = node.prefix.heard_by_all_mask(t)
+                if mask & component.broadcast_mask:
+                    best = t
+                    break
+            if best is None:  # pragma: no cover - contradicts broadcast_mask
+                raise AnalysisError("inconsistent broadcast mask")
+            worst = max(worst, best)
+        return worst
+
+    def __repr__(self) -> str:
+        return (
+            f"ComponentBroadcastReport(component={self.component.id}, "
+            f"broadcasters={set(self.broadcasters)}, "
+            f"completion_round={self.completion_round})"
+        )
+
+
+def broadcastability_report(
+    analysis: ComponentAnalysis,
+) -> list[ComponentBroadcastReport]:
+    """Broadcast structure of every component of a layer."""
+    return [ComponentBroadcastReport(c) for c in analysis.components]
+
+
+def _sweep(
+    adversary: MessageAdversary,
+    max_depth: int,
+    predicate,
+    interner: ViewInterner | None = None,
+    max_nodes: int = 2_000_000,
+) -> int | None:
+    space = PrefixSpace(adversary, interner=interner, max_nodes=max_nodes)
+    for depth in range(max_depth + 1):
+        analysis = ComponentAnalysis(space, depth)
+        if predicate(analysis):
+            return depth
+    return None
+
+
+def minimal_broadcast_depth(
+    adversary: MessageAdversary,
+    max_depth: int = 10,
+    interner: ViewInterner | None = None,
+    max_nodes: int = 2_000_000,
+) -> int | None:
+    """Smallest ``t`` at which every depth-``t`` component is broadcastable.
+
+    The ε-sweep of Theorem 6.6 (``ε = 2^{-t}``); None when no such depth
+    exists within the bound — for compact adversaries that is evidence of
+    impossibility, for non-compact adversaries it is expected
+    (Section 6.3: the ε-approximation machinery fails there).
+    """
+    return _sweep(
+        adversary,
+        max_depth,
+        lambda analysis: not analysis.non_broadcastable_components(),
+        interner,
+        max_nodes,
+    )
+
+
+def minimal_separation_depth(
+    adversary: MessageAdversary,
+    max_depth: int = 10,
+    interner: ViewInterner | None = None,
+    max_nodes: int = 2_000_000,
+) -> int | None:
+    """Smallest ``t`` with no bivalent component (valence separation)."""
+    return _sweep(
+        adversary,
+        max_depth,
+        lambda analysis: not analysis.bivalent_components(),
+        interner,
+        max_nodes,
+    )

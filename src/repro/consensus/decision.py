@@ -1,0 +1,183 @@
+"""Decision tables: the executable form of the universal algorithm.
+
+Theorem 5.5's universal algorithm decides as soon as the ``2^{-t}``-ball
+around the sequences compatible with the local view is contained in one
+decision set.  Once a certification depth ``t`` and a value assignment to
+the depth-``t`` components are fixed, that rule becomes a pure lookup:
+
+* a process's view at depth ``t`` determines the component of every
+  compatible admissible prefix, hence the decision value;
+* a view at an earlier depth ``s < t`` determines a *set* of reachable
+  depth-``t`` components; when all of them carry the same value the ball is
+  already contained in one decision set and the process may decide early —
+  this is exactly the paper's decision rule, evaluated eagerly.
+
+:class:`DecisionTable` materializes both maps and validates itself against
+the prefix space (agreement, validity, termination by round ``t``).
+"""
+
+from __future__ import annotations
+
+from repro.consensus.spec import ConsensusSpec
+from repro.errors import CertificateError
+from repro.topology.components import ComponentAnalysis
+from repro.topology.prefixspace import PrefixSpace
+
+__all__ = ["DecisionTable", "build_decision_table"]
+
+
+class DecisionTable:
+    """View-to-value decision map certified at a given depth.
+
+    Attributes
+    ----------
+    depth:
+        The certification depth ``t`` (every process decides by round
+        ``t``).
+    assignment:
+        Component id -> decision value at depth ``t``.
+    final:
+        View id (at depth ``t``) -> decision value.
+    early:
+        View id (any depth ``<= t``) -> decision value, present only when
+        the value is already determined (the ε-ball rule).
+    """
+
+    __slots__ = ("space", "depth", "spec", "assignment", "final", "early")
+
+    def __init__(
+        self,
+        space: PrefixSpace,
+        depth: int,
+        spec: ConsensusSpec,
+        assignment: dict[int, object],
+        final: dict[int, object],
+        early: dict[int, object],
+    ) -> None:
+        self.space = space
+        self.depth = depth
+        self.spec = spec
+        self.assignment = assignment
+        self.final = final
+        self.early = early
+
+    # ------------------------------------------------------------------ #
+    # Lookup interface (used by the universal algorithm)
+    # ------------------------------------------------------------------ #
+
+    def decision_for_view(self, view_id: int):
+        """The decided value for a view, or None when not yet determined.
+
+        Accepts views of any depth up to the certification depth; views at
+        the certification depth always decide.
+        """
+        return self.early.get(view_id)
+
+    def decided_values(self) -> frozenset:
+        """All values the table can output."""
+        return frozenset(self.assignment.values())
+
+    # ------------------------------------------------------------------ #
+    # Self-validation (executable Theorem 5.5 correctness argument)
+    # ------------------------------------------------------------------ #
+
+    def validate(self) -> None:
+        """Check termination, agreement, and validity over the prefix space.
+
+        Raises :class:`CertificateError` on any violation; passing is an
+        end-to-end check of the universal construction at this depth.
+        """
+        layer = self.space.layer(self.depth)
+        n = self.space.adversary.n
+        for node in layer:
+            views = node.prefix.views(self.depth)
+            decisions = set()
+            for p in range(n):
+                value = self.early.get(views[p])
+                if value is None:
+                    raise CertificateError(
+                        f"termination violation: no decision for process {p} "
+                        f"in {node!r}"
+                    )
+                decisions.add(value)
+            if len(decisions) != 1:
+                raise CertificateError(
+                    f"agreement violation in {node!r}: {decisions}"
+                )
+            value = decisions.pop()
+            unanimous = node.unanimous_value
+            if unanimous is not None and value != unanimous:
+                raise CertificateError(
+                    f"validity violation in {node!r}: decided {value!r}"
+                )
+            if self.spec.validity == "strong" and value not in node.inputs:
+                raise CertificateError(
+                    f"strong validity violation in {node!r}: decided {value!r}"
+                )
+        # Early decisions must be consistent with final ones.
+        for view, value in self.final.items():
+            if self.early.get(view) != value:
+                raise CertificateError("early/final decision mismatch")
+
+    def decision_round_for(self, node) -> int:
+        """The earliest round at which all processes have decided in a prefix."""
+        n = self.space.adversary.n
+        last = 0
+        for p in range(n):
+            for s in range(self.depth + 1):
+                if node.prefix.view(p, s) in self.early:
+                    last = max(last, s)
+                    break
+            else:
+                raise CertificateError("process never decides")
+        return last
+
+    def __repr__(self) -> str:
+        return (
+            f"DecisionTable(depth={self.depth}, components={len(self.assignment)}, "
+            f"views={len(self.early)})"
+        )
+
+
+def build_decision_table(
+    analysis: ComponentAnalysis, spec: ConsensusSpec
+) -> DecisionTable:
+    """Assign values to components and derive the view decision maps.
+
+    Raises :class:`~repro.errors.AnalysisError` (via the spec) when some
+    component admits no value — i.e. when consensus is not certified at
+    this depth.
+    """
+    space = analysis.space
+    depth = analysis.depth
+    assignment = {
+        component.id: spec.pick_value(component)
+        for component in analysis.components
+    }
+
+    # Final map: every view occurring at the certification depth.
+    final: dict[int, object] = {}
+    layer = space.layer(depth)
+    n = space.adversary.n
+    for node in layer:
+        value = assignment[analysis.component_of(node).id]
+        for p in range(n):
+            final[node.prefix.view(p, depth)] = value
+
+    # Early map: a view at depth s <= depth decides when every admissible
+    # depth-t continuation carries the same value.
+    possible: dict[int, set] = {}
+    for node in layer:
+        value = assignment[analysis.component_of(node).id]
+        for s in range(depth + 1):
+            for p in range(n):
+                possible.setdefault(node.prefix.view(p, s), set()).add(value)
+    early = {
+        view: next(iter(values))
+        for view, values in possible.items()
+        if len(values) == 1
+    }
+
+    table = DecisionTable(space, depth, spec, assignment, final, early)
+    table.validate()
+    return table

@@ -1,0 +1,118 @@
+"""Fair-sequence extraction (Definition 5.16, Section 6.1).
+
+A *fair sequence* is a common limit of runs from two different decision
+sets — the infinite object that bivalence proofs construct round by round.
+On finite evidence the library can certify "bivalent through depth ``T``"
+and extrapolate periodically: a lasso ``(x, stem · cycle^ω)`` whose every
+prefix lies in a bivalent component is the natural candidate for the
+forever-bivalent limit (for the lossy link {←, ↔, →} *every* admissible
+lasso qualifies, because the whole layer stays one component — the
+strongest possible form of the Santoro–Widmayer obstruction).
+
+The verification is exact up to the requested depth and honestly labelled:
+``verified_depth`` says how far bivalence was actually checked.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Sequence
+
+from repro.adversaries.base import MessageAdversary
+from repro.core.views import ViewInterner
+from repro.errors import AnalysisError
+from repro.topology.components import ComponentAnalysis
+from repro.topology.limits import UltimatelyPeriodic
+from repro.topology.prefixspace import PrefixSpace
+
+__all__ = ["FairSequenceCandidate", "fair_sequence_candidates"]
+
+
+class FairSequenceCandidate:
+    """A lasso whose prefixes stay bivalent through ``verified_depth``."""
+
+    __slots__ = ("sequence", "verified_depth", "component_sizes")
+
+    def __init__(
+        self,
+        sequence: UltimatelyPeriodic,
+        verified_depth: int,
+        component_sizes: list[int],
+    ) -> None:
+        self.sequence = sequence
+        self.verified_depth = verified_depth
+        self.component_sizes = component_sizes
+
+    def __repr__(self) -> str:
+        return (
+            f"FairSequenceCandidate({self.sequence!r}, "
+            f"verified_depth={self.verified_depth})"
+        )
+
+
+def fair_sequence_candidates(
+    adversary: MessageAdversary,
+    verify_depth: int = 5,
+    max_cycle: int = 2,
+    inputs: Sequence | None = None,
+    limit: int = 10,
+    max_nodes: int = 2_000_000,
+) -> list[FairSequenceCandidate]:
+    """Periodic candidates for forever-bivalent (fair) sequences.
+
+    Enumerates admissible lassos with cycles up to ``max_cycle`` over the
+    adversary's alphabet and keeps those whose every prefix up to
+    ``verify_depth`` lies in a bivalent component of the admissible prefix
+    space.  An empty result at sufficient depth is evidence of solvability
+    (and is guaranteed once the separation depth is passed); a non-empty
+    result reproduces the bivalence-based obstruction of Section 6.1.
+    """
+    if verify_depth < 1:
+        raise AnalysisError("verify_depth must be >= 1")
+    space = PrefixSpace(adversary, interner=ViewInterner(adversary.n), max_nodes=max_nodes)
+    analyses = [ComponentAnalysis(space, t) for t in range(verify_depth + 1)]
+
+    input_vectors = (
+        [tuple(inputs)] if inputs is not None else list(space.input_vectors)
+    )
+    # Mixed assignments first: the classic constructions start from a
+    # bivalent initial configuration.
+    input_vectors.sort(key=lambda x: len(set(x)), reverse=True)
+
+    candidates: list[FairSequenceCandidate] = []
+    alphabet = adversary.alphabet()
+    seen_words: set[tuple] = set()
+    for cycle_len in range(1, max_cycle + 1):
+        for cycle in product(alphabet, repeat=cycle_len):
+            repeats = -(-verify_depth // cycle_len)  # ceil division
+            word = (cycle * repeats)[:verify_depth]
+            if word in seen_words:
+                continue
+            seen_words.add(word)
+            if not adversary.admits_prefix(word):
+                continue
+            for x in input_vectors:
+                sizes = []
+                bivalent = True
+                for t in range(1, verify_depth + 1):
+                    try:
+                        node = space.find_node(t, x, word[:t])
+                    except AnalysisError:
+                        bivalent = False
+                        break
+                    component = analyses[t].component_of(node)
+                    if not component.is_bivalent:
+                        bivalent = False
+                        break
+                    sizes.append(len(component))
+                if bivalent:
+                    candidates.append(
+                        FairSequenceCandidate(
+                            UltimatelyPeriodic(x, [], cycle),
+                            verify_depth,
+                            sizes,
+                        )
+                    )
+                    if len(candidates) >= limit:
+                        return candidates
+    return candidates

@@ -1,0 +1,236 @@
+"""k-set agreement under message adversaries (extension study).
+
+The paper's conclusion names the generalization "to other decision
+problems" as future work; k-set agreement is the canonical next problem:
+every process decides a valid value, and at most ``k`` distinct values are
+decided *per execution* (``k = 1`` is consensus).
+
+Unlike consensus, processes in one execution may legally decide different
+values, so the decision structure is not a component labelling but a
+per-view assignment subject to per-execution cardinality constraints.  On a
+depth-``t`` prefix space this is a finite constraint-satisfaction problem:
+
+* variables: the views occurring at depth ``t`` (each owned by a process);
+* per admissible prefix: the set of its ``n`` views' values has size ≤ k;
+* validity: weak — a view occurring in a unanimous-``v`` prefix is forced
+  to ``v``; strong — a view's value must be an input of every prefix it
+  occurs in.
+
+:func:`check_kset_by_depth` decides, exactly, whether a k-set agreement
+algorithm exists *that decides by round ``t``* (the analogue of the
+consensus decision-table certificate).  A positive answer yields an
+executable :class:`KSetTable`; a negative answer at increasing depths is
+evidence (not proof) of unsolvability, reported honestly.
+"""
+
+from __future__ import annotations
+
+from repro.adversaries.base import MessageAdversary
+from repro.consensus.spec import STRONG, ConsensusSpec
+from repro.core.views import ViewInterner
+from repro.errors import AnalysisError, CertificateError
+from repro.topology.prefixspace import PrefixSpace
+
+__all__ = ["KSetTable", "check_kset_by_depth", "kset_depth_sweep"]
+
+
+class KSetTable:
+    """A certified per-view decision map for k-set agreement at a depth."""
+
+    __slots__ = ("space", "depth", "k", "spec", "assignment")
+
+    def __init__(
+        self,
+        space: PrefixSpace,
+        depth: int,
+        k: int,
+        spec: ConsensusSpec,
+        assignment: dict[int, object],
+    ) -> None:
+        self.space = space
+        self.depth = depth
+        self.k = k
+        self.spec = spec
+        self.assignment = assignment
+
+    def decision_for_view(self, view_id: int):
+        """The decided value of the process holding ``view_id``."""
+        return self.assignment[view_id]
+
+    def validate(self) -> None:
+        """Re-check the k-set contract over the whole prefix layer."""
+        n = self.space.adversary.n
+        for node in self.space.layer(self.depth):
+            views = node.prefix.views(self.depth)
+            values = {self.assignment[v] for v in views}
+            if len(values) > self.k:
+                raise CertificateError(
+                    f"{len(values)} > k = {self.k} values in {node!r}"
+                )
+            unanimous = node.unanimous_value
+            if unanimous is not None and values != {unanimous}:
+                raise CertificateError(f"validity violation in {node!r}")
+            if self.spec.validity == STRONG and not values <= set(node.inputs):
+                raise CertificateError(f"strong validity violation in {node!r}")
+
+    def __repr__(self) -> str:
+        return f"KSetTable(k={self.k}, depth={self.depth}, views={len(self.assignment)})"
+
+
+def _view_domains(
+    space: PrefixSpace, depth: int, spec: ConsensusSpec
+) -> tuple[dict[int, set], list[tuple[int, ...]]]:
+    """Per-view value domains and the per-prefix view tuples."""
+    n = space.adversary.n
+    domains: dict[int, set] = {}
+    prefix_views: list[tuple[int, ...]] = []
+    for node in space.layer(depth):
+        views = node.prefix.views(depth)
+        prefix_views.append(views)
+        unanimous = node.unanimous_value
+        for v in views:
+            domain = domains.setdefault(v, set(spec.domain))
+            if unanimous is not None:
+                domain &= {unanimous}
+            if spec.validity == STRONG:
+                domain &= set(node.inputs)
+    return domains, prefix_views
+
+
+def check_kset_by_depth(
+    adversary: MessageAdversary,
+    k: int,
+    depth: int,
+    spec: ConsensusSpec | None = None,
+    interner: ViewInterner | None = None,
+    max_nodes: int = 2_000_000,
+) -> KSetTable | None:
+    """Exact existence of a k-set agreement algorithm deciding by ``depth``.
+
+    Returns a validated :class:`KSetTable` or ``None`` when no assignment
+    exists (no algorithm whose decisions are functions of round-``depth``
+    views can achieve k-agreement; deeper algorithms may still exist).
+    """
+    if k < 1:
+        raise AnalysisError("k must be >= 1")
+    spec = spec or ConsensusSpec()
+    from repro.core.inputs import all_assignments
+
+    space = PrefixSpace(
+        adversary,
+        input_vectors=all_assignments(adversary.n, spec.domain),
+        interner=interner,
+        max_nodes=max_nodes,
+    )
+    if k == 1:
+        # Consensus: exact and fast via components (Theorem 5.5).
+        from repro.topology.components import ComponentAnalysis
+
+        analysis = ComponentAnalysis(space, depth)
+        if not all(spec.allowed_values(c) for c in analysis.components):
+            return None
+        assignment: dict[int, object] = {}
+        for node in space.layer(depth):
+            value = spec.pick_value(analysis.component_of(node))
+            for v in node.prefix.views(depth):
+                assignment[v] = value
+        table = KSetTable(space, depth, k, spec, assignment)
+        table.validate()
+        return table
+
+    domains, prefix_views = _view_domains(space, depth, spec)
+    if any(not domain for domain in domains.values()):
+        return None
+
+    constraints_of: dict[int, list[int]] = {v: [] for v in domains}
+    for index, views in enumerate(prefix_views):
+        for v in views:
+            constraints_of[v].append(index)
+
+    assignment = {
+        v: next(iter(domain)) for v, domain in domains.items() if len(domain) == 1
+    }
+
+    def consistent(view: int) -> bool:
+        for index in constraints_of[view]:
+            views = prefix_views[index]
+            assigned = {assignment[v] for v in views if v in assignment}
+            if len(assigned) > k:
+                return False
+        return True
+
+    for view in list(assignment):
+        if not consistent(view):
+            return None
+
+    # Iterative backtracking, most-constrained variables first; values
+    # already used in a variable's prefixes are tried first to keep the
+    # per-execution value sets small.
+    order = sorted(
+        (v for v in domains if v not in assignment),
+        key=lambda v: (len(domains[v]), -len(constraints_of[v]), v),
+    )
+
+    def candidate_values(view: int):
+        used = set()
+        for index in constraints_of[view]:
+            for v in prefix_views[index]:
+                if v in assignment:
+                    used.add(assignment[v])
+        preferred = [value for value in domains[view] if value in used]
+        rest = [value for value in domains[view] if value not in used]
+        return preferred + sorted(rest, key=repr)
+
+    stack: list[tuple[int, list]] = []
+    position = 0
+    steps = 0
+    step_limit = 2_000_000
+    while position < len(order):
+        steps += 1
+        if steps > step_limit:
+            raise AnalysisError(
+                "k-set backtracking exceeded its step budget; "
+                "reduce the depth or the input domain"
+            )
+        if len(stack) == position:
+            stack.append((position, candidate_values(order[position])))
+        _, values = stack[position]
+        advanced = False
+        while values:
+            value = values.pop(0)
+            view = order[position]
+            assignment[view] = value
+            if consistent(view):
+                advanced = True
+                break
+            del assignment[view]
+        if advanced:
+            position += 1
+            continue
+        # Exhausted: backtrack.
+        stack.pop()
+        if position == 0:
+            return None
+        position -= 1
+        del assignment[order[position]]
+    table = KSetTable(space, depth, k, spec, dict(assignment))
+    table.validate()
+    return table
+
+
+def kset_depth_sweep(
+    adversary: MessageAdversary,
+    k: int,
+    max_depth: int = 5,
+    spec: ConsensusSpec | None = None,
+) -> tuple[int | None, list[bool]]:
+    """First depth with a k-set certificate, plus the per-depth outcomes."""
+    outcomes = []
+    found = None
+    for depth in range(max_depth + 1):
+        table = check_kset_by_depth(adversary, k, depth, spec=spec)
+        outcomes.append(table is not None)
+        if table is not None and found is None:
+            found = depth
+            break
+    return found, outcomes

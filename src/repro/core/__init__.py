@@ -1,0 +1,56 @@
+"""Core substrate: communication graphs, process-time graphs, views, distances.
+
+This subpackage contains the model layer of the reproduction (Sections 2-4 of
+the paper): immutable communication graphs, graph words with heard-of
+dynamics, input assignments, interned full-information views, process-time
+graph prefixes, and the paper's three families of distance functions.
+"""
+
+from repro.core.digraph import ARROW_NAMES_N2, Digraph, arrow
+from repro.core.distances import (
+    d_max,
+    d_min,
+    d_p,
+    d_view,
+    diameter,
+    distance_value,
+    divergence_time,
+    equality_profile,
+    set_distance,
+)
+from repro.core.graphword import GraphWord, full_mask, heard_of_step
+from repro.core.inputs import (
+    all_assignments,
+    binary_domain,
+    unanimity_value,
+    unanimous,
+    validate_assignment,
+)
+from repro.core.ptg import PTGPrefix
+from repro.core.views import ViewInterner, ViewStats
+
+__all__ = [
+    "ARROW_NAMES_N2",
+    "Digraph",
+    "GraphWord",
+    "PTGPrefix",
+    "ViewInterner",
+    "ViewStats",
+    "all_assignments",
+    "arrow",
+    "binary_domain",
+    "d_max",
+    "d_min",
+    "d_p",
+    "d_view",
+    "diameter",
+    "distance_value",
+    "divergence_time",
+    "equality_profile",
+    "full_mask",
+    "heard_of_step",
+    "set_distance",
+    "unanimity_value",
+    "unanimous",
+    "validate_assignment",
+]

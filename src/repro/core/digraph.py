@@ -1,0 +1,388 @@
+"""Immutable directed communication graphs on the process set ``{0,...,n-1}``.
+
+A *communication graph* (Section 2 of the paper) is a directed graph whose
+nodes are the ``n`` processes; an edge ``(p, q)`` means that a message sent by
+``p`` in the current round is delivered to ``q``.  Following the standard
+convention for full-information protocols, every process always "hears"
+itself: self-loops are implicit and are therefore *stripped* from the stored
+edge set but *included* by :meth:`Digraph.in_neighbors` and all reachability
+computations.
+
+The class is immutable and hashable, so graphs can be used as alphabet
+symbols of adversary automata, dictionary keys of decision tables, and
+members of oblivious adversary sets.
+
+Besides basic accessors the class offers the graph-theoretic notions the
+paper's applications rely on:
+
+* :meth:`strongly_connected_components` — Tarjan's algorithm (iterative).
+* :meth:`root_components` — source components of the condensation, i.e.
+  strongly connected components without incoming edges from other components.
+  These are the "vertex-stable source components" of [6, 23].
+* :meth:`is_rooted` — exactly one root component, equivalent to the existence
+  of a node from which every node is reachable.
+* :meth:`broadcasters` — the set of processes that reach every process.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import InvalidGraphError
+
+__all__ = [
+    "Digraph",
+    "ARROW_NAMES_N2",
+    "arrow",
+]
+
+#: Conventional names for the four communication graphs on two processes,
+#: matching the paper's lossy-link notation.  ``"->"`` is "process 0's message
+#: reaches process 1" (the paper's ``→`` with processes renumbered to 0/1).
+ARROW_NAMES_N2 = {
+    frozenset(): "none",
+    frozenset({(0, 1)}): "->",
+    frozenset({(1, 0)}): "<-",
+    frozenset({(0, 1), (1, 0)}): "<->",
+}
+
+_ARROW_EDGES = {name: edges for edges, name in ARROW_NAMES_N2.items()}
+# Accept a few unicode/typed aliases for convenience.
+_ARROW_EDGES["→"] = _ARROW_EDGES["->"]
+_ARROW_EDGES["←"] = _ARROW_EDGES["<-"]
+_ARROW_EDGES["↔"] = _ARROW_EDGES["<->"]
+_ARROW_EDGES["<>"] = _ARROW_EDGES["<->"]
+_ARROW_EDGES["empty"] = _ARROW_EDGES["none"]
+_ARROW_EDGES["∅"] = _ARROW_EDGES["none"]
+
+
+class Digraph:
+    """An immutable directed graph on nodes ``0..n-1`` with implicit self-loops.
+
+    Parameters
+    ----------
+    n:
+        Number of processes (nodes).  Must be positive.
+    edges:
+        Iterable of directed edges ``(u, v)``.  Self-loops are allowed in the
+        input but normalized away (they are semantically always present).
+
+    Examples
+    --------
+    >>> g = Digraph(2, [(0, 1)])
+    >>> g.in_neighbors(1)
+    frozenset({0, 1})
+    >>> g.name
+    '->'
+    """
+
+    __slots__ = ("n", "edges", "_in", "_out", "_hash", "__dict__")
+
+    def __init__(self, n: int, edges: Iterable[tuple[int, int]] = ()) -> None:
+        if n <= 0:
+            raise InvalidGraphError(f"graph needs at least one node, got n={n}")
+        normalized = set()
+        for u, v in edges:
+            if not (0 <= u < n and 0 <= v < n):
+                raise InvalidGraphError(
+                    f"edge ({u}, {v}) out of range for n={n} (nodes are 0..{n - 1})"
+                )
+            if u != v:
+                normalized.add((u, v))
+        object.__setattr__(self, "n", n)
+        object.__setattr__(self, "edges", frozenset(normalized))
+        ins: list[set[int]] = [{p} for p in range(n)]
+        outs: list[set[int]] = [{p} for p in range(n)]
+        for u, v in normalized:
+            ins[v].add(u)
+            outs[u].add(v)
+        object.__setattr__(self, "_in", tuple(frozenset(s) for s in ins))
+        object.__setattr__(self, "_out", tuple(frozenset(s) for s in outs))
+        object.__setattr__(self, "_hash", hash((n, self.edges)))
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def empty(cls, n: int) -> "Digraph":
+        """The graph with no (non-self) edges: every process is isolated."""
+        return cls(n, ())
+
+    @classmethod
+    def complete(cls, n: int) -> "Digraph":
+        """The complete graph: every message is delivered."""
+        return cls(n, [(u, v) for u in range(n) for v in range(n) if u != v])
+
+    @classmethod
+    def from_arrow(cls, name: str) -> "Digraph":
+        """Build one of the four two-process graphs from its arrow name.
+
+        Accepted names: ``"->"``, ``"<-"``, ``"<->"``, ``"none"`` and the
+        unicode aliases ``"→"``, ``"←"``, ``"↔"``, ``"∅"``.
+        """
+        try:
+            return cls(2, _ARROW_EDGES[name])
+        except KeyError:
+            raise InvalidGraphError(f"unknown two-process arrow name: {name!r}") from None
+
+    @classmethod
+    def star_out(cls, n: int, center: int) -> "Digraph":
+        """The out-star: ``center`` sends to everyone, no other edges."""
+        return cls(n, [(center, q) for q in range(n) if q != center])
+
+    @classmethod
+    def star_in(cls, n: int, center: int) -> "Digraph":
+        """The in-star: everyone sends to ``center``, no other edges."""
+        return cls(n, [(q, center) for q in range(n) if q != center])
+
+    @classmethod
+    def directed_cycle(cls, n: int, order: Sequence[int] | None = None) -> "Digraph":
+        """The directed cycle visiting ``order`` (default ``0,1,...,n-1``)."""
+        seq = list(order) if order is not None else list(range(n))
+        return cls(n, [(seq[i], seq[(i + 1) % len(seq)]) for i in range(len(seq))])
+
+    @classmethod
+    def directed_path(cls, n: int, order: Sequence[int] | None = None) -> "Digraph":
+        """The directed path visiting ``order`` (default ``0,1,...,n-1``)."""
+        seq = list(order) if order is not None else list(range(n))
+        return cls(n, [(seq[i], seq[i + 1]) for i in range(len(seq) - 1)])
+
+    @classmethod
+    def from_matrix(cls, matrix: Sequence[Sequence[int]]) -> "Digraph":
+        """Build from an adjacency matrix; ``matrix[u][v]`` truthy adds (u,v)."""
+        n = len(matrix)
+        edges = [
+            (u, v)
+            for u in range(n)
+            for v in range(len(matrix[u]))
+            if u != v and matrix[u][v]
+        ]
+        return cls(n, edges)
+
+    @classmethod
+    def from_dict(cls, n: int, out_neighbors: Mapping[int, Iterable[int]]) -> "Digraph":
+        """Build from a mapping ``u -> iterable of v`` of out-neighborhoods."""
+        edges = [(u, v) for u, vs in out_neighbors.items() for v in vs]
+        return cls(n, edges)
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+
+    def in_neighbors(self, p: int) -> frozenset[int]:
+        """Processes whose round message reaches ``p`` (always contains ``p``)."""
+        return self._in[p]
+
+    def out_neighbors(self, p: int) -> frozenset[int]:
+        """Processes that receive ``p``'s round message (always contains ``p``)."""
+        return self._out[p]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the (possibly implicit self-) edge ``(u, v)`` is present."""
+        return u == v or (u, v) in self.edges
+
+    @property
+    def name(self) -> str:
+        """Human-readable name; arrow notation for ``n == 2``."""
+        if self.n == 2:
+            return ARROW_NAMES_N2[self.edges]
+        return f"Digraph(n={self.n}, m={len(self.edges)})"
+
+    # ------------------------------------------------------------------ #
+    # Derived graphs
+    # ------------------------------------------------------------------ #
+
+    def transpose(self) -> "Digraph":
+        """The graph with every edge reversed."""
+        return Digraph(self.n, [(v, u) for u, v in self.edges])
+
+    def union(self, other: "Digraph") -> "Digraph":
+        """Edge-union of two graphs on the same node set."""
+        self._check_same_n(other)
+        return Digraph(self.n, self.edges | other.edges)
+
+    def intersection(self, other: "Digraph") -> "Digraph":
+        """Edge-intersection of two graphs on the same node set."""
+        self._check_same_n(other)
+        return Digraph(self.n, self.edges & other.edges)
+
+    def with_edge(self, u: int, v: int) -> "Digraph":
+        """A copy with edge ``(u, v)`` added."""
+        return Digraph(self.n, self.edges | {(u, v)})
+
+    def without_edge(self, u: int, v: int) -> "Digraph":
+        """A copy with edge ``(u, v)`` removed (self-loops cannot be removed)."""
+        return Digraph(self.n, self.edges - {(u, v)})
+
+    def is_subgraph_of(self, other: "Digraph") -> bool:
+        """Whether every edge of ``self`` is an edge of ``other``."""
+        self._check_same_n(other)
+        return self.edges <= other.edges
+
+    def _check_same_n(self, other: "Digraph") -> None:
+        if self.n != other.n:
+            raise InvalidGraphError(
+                f"graphs have different sizes: {self.n} != {other.n}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Reachability and component structure
+    # ------------------------------------------------------------------ #
+
+    def reachable_from(self, p: int) -> frozenset[int]:
+        """All processes reachable from ``p`` along directed edges (incl. p)."""
+        seen = {p}
+        stack = [p]
+        while stack:
+            u = stack.pop()
+            for v in self._out[u]:
+                if v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        return frozenset(seen)
+
+    @cached_property
+    def _scc_data(self) -> tuple[tuple[frozenset[int], ...], tuple[int, ...]]:
+        """Tarjan SCCs (iterative); returns (components, node->component index)."""
+        n = self.n
+        index_counter = 0
+        indices = [-1] * n
+        lowlink = [0] * n
+        on_stack = [False] * n
+        stack: list[int] = []
+        components: list[frozenset[int]] = []
+        comp_of = [-1] * n
+
+        for root in range(n):
+            if indices[root] != -1:
+                continue
+            # Iterative Tarjan with an explicit work stack of (node, iterator).
+            work: list[tuple[int, Iterator[int]]] = []
+            indices[root] = lowlink[root] = index_counter
+            index_counter += 1
+            stack.append(root)
+            on_stack[root] = True
+            work.append((root, iter(sorted(self._out[root] - {root}))))
+            while work:
+                node, it = work[-1]
+                advanced = False
+                for succ in it:
+                    if indices[succ] == -1:
+                        indices[succ] = lowlink[succ] = index_counter
+                        index_counter += 1
+                        stack.append(succ)
+                        on_stack[succ] = True
+                        work.append((succ, iter(sorted(self._out[succ] - {succ}))))
+                        advanced = True
+                        break
+                    if on_stack[succ]:
+                        lowlink[node] = min(lowlink[node], indices[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == indices[node]:
+                    comp = set()
+                    while True:
+                        w = stack.pop()
+                        on_stack[w] = False
+                        comp.add(w)
+                        if w == node:
+                            break
+                    cid = len(components)
+                    components.append(frozenset(comp))
+                    for w in comp:
+                        comp_of[w] = cid
+        return tuple(components), tuple(comp_of)
+
+    def strongly_connected_components(self) -> tuple[frozenset[int], ...]:
+        """All strongly connected components (order: reverse topological)."""
+        return self._scc_data[0]
+
+    def component_of(self, p: int) -> frozenset[int]:
+        """The strongly connected component containing ``p``."""
+        comps, comp_of = self._scc_data
+        return comps[comp_of[p]]
+
+    @cached_property
+    def root_components(self) -> tuple[frozenset[int], ...]:
+        """Source components: SCCs with no incoming edge from another SCC.
+
+        Every digraph has at least one root component.  If there is exactly
+        one, each of its members reaches every node.
+        """
+        comps, comp_of = self._scc_data
+        has_incoming = [False] * len(comps)
+        for u, v in self.edges:
+            cu, cv = comp_of[u], comp_of[v]
+            if cu != cv:
+                has_incoming[cv] = True
+        return tuple(c for i, c in enumerate(comps) if not has_incoming[i])
+
+    @property
+    def is_rooted(self) -> bool:
+        """Whether there is a single root component (some node reaches all)."""
+        return len(self.root_components) == 1
+
+    @cached_property
+    def roots(self) -> frozenset[int]:
+        """Union of all root-component members."""
+        return frozenset().union(*self.root_components)
+
+    @cached_property
+    def broadcasters(self) -> frozenset[int]:
+        """Processes whose message (transitively) reaches every process.
+
+        Nonempty iff :attr:`is_rooted` holds, in which case it equals the
+        single root component.
+        """
+        if not self.is_rooted:
+            return frozenset()
+        root = self.root_components[0]
+        member = next(iter(root))
+        if len(self.reachable_from(member)) == self.n:
+            return root
+        return frozenset()
+
+    @property
+    def is_strongly_connected(self) -> bool:
+        """Whether the whole graph forms a single SCC."""
+        return len(self.strongly_connected_components()) == 1
+
+    # ------------------------------------------------------------------ #
+    # Dunder protocol
+    # ------------------------------------------------------------------ #
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Digraph):
+            return NotImplemented
+        return self.n == other.n and self.edges == other.edges
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __lt__(self, other: "Digraph") -> bool:
+        if not isinstance(other, Digraph):
+            return NotImplemented
+        return self.sort_key() < other.sort_key()
+
+    def sort_key(self) -> tuple:
+        """A deterministic total-order key (used to canonicalize alphabets)."""
+        return (self.n, len(self.edges), tuple(sorted(self.edges)))
+
+    def __repr__(self) -> str:
+        if self.n == 2:
+            return f"Digraph.from_arrow({self.name!r})"
+        return f"Digraph({self.n}, {sorted(self.edges)!r})"
+
+    def __setattr__(self, key: str, value: object) -> None:
+        raise AttributeError("Digraph is immutable")
+
+
+def arrow(name: str) -> Digraph:
+    """Shorthand for :meth:`Digraph.from_arrow`."""
+    return Digraph.from_arrow(name)

@@ -1,0 +1,150 @@
+"""Distance functions of Section 4: ``d_P``, ``d_min`` and ``d_max``.
+
+All functions operate on :class:`~repro.core.ptg.PTGPrefix` objects sharing a
+view interner.  For finite prefixes the convention is:
+
+* :func:`divergence_time` returns the first round ``t`` (within the common
+  depth) at which the relevant views differ, or ``None`` when the prefixes
+  are indistinguishable through their common depth;
+* the numeric distances return ``2^{-t}`` in the first case and ``0.0`` in
+  the second.  ``0.0`` therefore means "indistinguishable as far as the
+  finite prefixes can tell" — exactly the semantics needed by the ball
+  computations of Definition 6.2, where balls of radius ``2^{-t}`` are taken
+  around depth-``t`` prefixes.
+
+The functions mirror the paper's definitions:
+
+* ``d_P(α, β) = 2^{-inf{t >= 0 : V_P(α^t) != V_P(β^t)}}`` (Section 4.1),
+  where the ``P``-view is the tuple of the views of the processes in ``P``;
+* ``d_min(α, β) = min_{p} d_{p}(α, β)`` (Section 4.2), a pseudo-semi-metric;
+* ``d_max = d_{[n]}`` coincides with the common-prefix metric (Theorem 4.3).
+
+Because views are nested (each view contains its predecessor), the set of
+processes that cannot yet distinguish two prefixes shrinks monotonically with
+``t``; :func:`equality_profile` exposes that decreasing "Eq-set" trajectory,
+which the limit machinery of :mod:`repro.topology.limits` builds on.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Sequence
+
+from repro.core.ptg import PTGPrefix
+from repro.errors import AnalysisError
+
+__all__ = [
+    "divergence_time",
+    "d_view",
+    "d_p",
+    "d_min",
+    "d_max",
+    "distance_value",
+    "equality_profile",
+    "set_distance",
+    "diameter",
+]
+
+
+def _check_compatible(a: PTGPrefix, b: PTGPrefix) -> None:
+    if a.interner is not b.interner:
+        raise AnalysisError("prefixes must share a ViewInterner to be compared")
+
+
+def distance_value(t: int | None) -> float:
+    """Convert a divergence time to the distance ``2^{-t}`` (``0.0`` if None)."""
+    if t is None:
+        return 0.0
+    if t <= 0:
+        return 1.0
+    try:
+        return math.ldexp(1.0, -t)
+    except OverflowError:  # pragma: no cover - absurdly deep prefixes
+        return 0.0
+
+
+def divergence_time(
+    a: PTGPrefix, b: PTGPrefix, processes: Iterable[int] | None = None
+) -> int | None:
+    """First time the ``P``-views of the two prefixes differ.
+
+    ``processes`` defaults to all processes (giving the common-prefix
+    divergence of ``d_max``).  Returns ``None`` when no divergence occurs
+    within the common depth.
+    """
+    _check_compatible(a, b)
+    subset = tuple(range(a.n)) if processes is None else tuple(processes)
+    if not subset:
+        raise AnalysisError("the process set P of a P-view must be nonempty")
+    horizon = min(a.depth, b.depth)
+    for t in range(horizon + 1):
+        va = a.views(t)
+        vb = b.views(t)
+        if any(va[p] != vb[p] for p in subset):
+            return t
+    return None
+
+
+def d_view(a: PTGPrefix, b: PTGPrefix, processes: Iterable[int] | None = None) -> float:
+    """The pseudo-metric ``d_P`` evaluated on two prefixes."""
+    return distance_value(divergence_time(a, b, processes))
+
+
+def d_p(a: PTGPrefix, b: PTGPrefix, p: int) -> float:
+    """The single-process pseudo-metric ``d_{p}``."""
+    return d_view(a, b, (p,))
+
+
+def d_max(a: PTGPrefix, b: PTGPrefix) -> float:
+    """The common-prefix metric ``d_max = d_{[n]}`` (Theorem 4.3)."""
+    return d_view(a, b, None)
+
+
+def d_min(a: PTGPrefix, b: PTGPrefix) -> float:
+    """The minimum pseudo-semi-metric ``d_min = min_p d_{p}`` (Section 4.2)."""
+    _check_compatible(a, b)
+    return min(d_p(a, b, p) for p in range(a.n))
+
+
+def equality_profile(a: PTGPrefix, b: PTGPrefix) -> list[frozenset[int]]:
+    """The decreasing trajectory of Eq-sets ``{p : V_p(α^t) = V_p(β^t)}``.
+
+    Entry ``t`` lists the processes that cannot distinguish the prefixes
+    through time ``t``.  The sets are monotonically decreasing because views
+    are nested; ``d_min = 2^{-(first t with empty set)}``.
+    """
+    _check_compatible(a, b)
+    horizon = min(a.depth, b.depth)
+    profile = []
+    alive = frozenset(range(a.n))
+    for t in range(horizon + 1):
+        va = a.views(t)
+        vb = b.views(t)
+        alive = frozenset(p for p in alive if va[p] == vb[p])
+        profile.append(alive)
+    return profile
+
+
+def set_distance(
+    left: Sequence[PTGPrefix],
+    right: Sequence[PTGPrefix],
+    dist: Callable[[PTGPrefix, PTGPrefix], float] = d_min,
+) -> float:
+    """``inf { dist(a, b) : a ∈ left, b ∈ right }`` (Definition 5.12)."""
+    if not left or not right:
+        raise AnalysisError("set distance needs nonempty sets")
+    return min(dist(a, b) for a in left for b in right)
+
+
+def diameter(
+    members: Sequence[PTGPrefix],
+    dist: Callable[[PTGPrefix, PTGPrefix], float] = d_min,
+) -> float:
+    """``sup { dist(a, b) : a, b ∈ members }`` (Definition 5.7)."""
+    if not members:
+        raise AnalysisError("diameter needs a nonempty set")
+    worst = 0.0
+    for i, a in enumerate(members):
+        for b in members[i + 1 :]:
+            worst = max(worst, dist(a, b))
+    return worst

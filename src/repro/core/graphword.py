@@ -1,0 +1,195 @@
+"""Finite words of communication graphs and their heard-of dynamics.
+
+A *graph word* is a finite prefix ``(G_1, ..., G_t)`` of a communication
+graph sequence.  The class precomputes the *heard-of dynamics*: for every
+round ``t`` and process ``q`` the set of processes ``p`` whose round-0 input
+has causally reached ``q`` by the end of round ``t``.  This is the
+reachability information underlying *broadcastability* (Definition 5.8 of the
+paper): process ``p`` has broadcast by round ``t`` iff every ``q`` has heard
+of ``p`` by ``t``.
+
+Heard-of sets are stored as bitmasks (int), which keeps the per-round update
+an ``O(n * deg)`` bit-or loop and makes component-level broadcast checks a
+single ``&`` fold.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.digraph import Digraph
+from repro.errors import InvalidGraphError
+
+__all__ = ["GraphWord", "heard_of_step", "full_mask"]
+
+
+def full_mask(n: int) -> int:
+    """The bitmask with all ``n`` process bits set."""
+    return (1 << n) - 1
+
+
+def heard_of_step(graph: Digraph, heard: Sequence[int]) -> tuple[int, ...]:
+    """One synchronous round of heard-of propagation.
+
+    ``heard[q]`` is the bitmask of processes whose input ``q`` knows at the
+    start of the round; the result is the corresponding vector after messages
+    are delivered along ``graph`` (self-loops implicit).
+    """
+    result = []
+    for q in range(graph.n):
+        mask = 0
+        for r in graph.in_neighbors(q):
+            mask |= heard[r]
+        result.append(mask)
+    return tuple(result)
+
+
+class GraphWord:
+    """An immutable finite sequence of communication graphs on ``n`` nodes.
+
+    Supports concatenation, slicing, and incremental extension; heard-of
+    masks are computed lazily and cached.
+
+    Examples
+    --------
+    >>> from repro.core.digraph import arrow
+    >>> w = GraphWord([arrow("->"), arrow("<-")])
+    >>> w.broadcast_complete_round(0)
+    1
+    """
+
+    __slots__ = ("n", "_graphs", "_heard", "_hash")
+
+    def __init__(self, graphs: Iterable[Digraph], n: int | None = None) -> None:
+        gs = tuple(graphs)
+        if gs:
+            n = gs[0].n
+        elif n is None:
+            raise InvalidGraphError("an empty GraphWord needs an explicit n")
+        for g in gs:
+            if g.n != n:
+                raise InvalidGraphError("all graphs in a word must have the same n")
+        object.__setattr__(self, "n", n)
+        object.__setattr__(self, "_graphs", gs)
+        object.__setattr__(self, "_heard", None)
+        object.__setattr__(self, "_hash", hash((n, gs)))
+
+    # ------------------------------------------------------------------ #
+    # Sequence protocol
+    # ------------------------------------------------------------------ #
+
+    @property
+    def graphs(self) -> tuple[Digraph, ...]:
+        """The underlying tuple of graphs ``(G_1, ..., G_t)``."""
+        return self._graphs
+
+    def __len__(self) -> int:
+        return len(self._graphs)
+
+    def __iter__(self) -> Iterator[Digraph]:
+        return iter(self._graphs)
+
+    def __getitem__(self, item):
+        if isinstance(item, slice):
+            return GraphWord(self._graphs[item], n=self.n)
+        return self._graphs[item]
+
+    def round_graph(self, t: int) -> Digraph:
+        """The communication graph of round ``t`` (1-based, as in the paper)."""
+        if not 1 <= t <= len(self._graphs):
+            raise InvalidGraphError(f"round {t} outside word of length {len(self)}")
+        return self._graphs[t - 1]
+
+    def extended(self, graph: Digraph) -> "GraphWord":
+        """The word with one more round appended."""
+        if graph.n != self.n:
+            raise InvalidGraphError("appended graph has wrong n")
+        return GraphWord(self._graphs + (graph,))
+
+    def concat(self, other: "GraphWord") -> "GraphWord":
+        """Concatenation of two words."""
+        if other.n != self.n:
+            raise InvalidGraphError("concatenated words must have the same n")
+        return GraphWord(self._graphs + other._graphs)
+
+    def repeat(self, k: int) -> "GraphWord":
+        """The word repeated ``k`` times."""
+        if k <= 0:
+            raise InvalidGraphError("repeat count must be positive")
+        return GraphWord(self._graphs * k)
+
+    # ------------------------------------------------------------------ #
+    # Heard-of dynamics
+    # ------------------------------------------------------------------ #
+
+    def _heard_history(self) -> tuple[tuple[int, ...], ...]:
+        cached = self._heard
+        if cached is None:
+            history = [tuple(1 << p for p in range(self.n))]
+            for g in self._graphs:
+                history.append(heard_of_step(g, history[-1]))
+            cached = tuple(history)
+            object.__setattr__(self, "_heard", cached)
+        return cached
+
+    def heard_masks(self, t: int | None = None) -> tuple[int, ...]:
+        """Per-process bitmasks of heard processes at the end of round ``t``.
+
+        ``t`` defaults to the full word length; ``t = 0`` is the initial
+        state where each process has heard only itself.
+        """
+        history = self._heard_history()
+        if t is None:
+            t = len(self._graphs)
+        return history[t]
+
+    def has_heard(self, q: int, p: int, t: int | None = None) -> bool:
+        """Whether ``q`` knows ``p``'s input by the end of round ``t``."""
+        return bool(self.heard_masks(t)[q] >> p & 1)
+
+    def broadcasters_by(self, t: int | None = None) -> frozenset[int]:
+        """Processes heard by *every* process by the end of round ``t``."""
+        masks = self.heard_masks(t)
+        common = full_mask(self.n)
+        for mask in masks:
+            common &= mask
+        return frozenset(p for p in range(self.n) if common >> p & 1)
+
+    def broadcast_complete_round(self, p: int) -> int | None:
+        """First round by which every process has heard ``p`` (None if never)."""
+        history = self._heard_history()
+        for t, masks in enumerate(history):
+            if all(mask >> p & 1 for mask in masks):
+                return t
+        return None
+
+    def first_broadcast_round(self) -> int | None:
+        """First round by which *some* process has been heard by everyone."""
+        history = self._heard_history()
+        for t, masks in enumerate(history):
+            common = full_mask(self.n)
+            for mask in masks:
+                common &= mask
+            if common:
+                return t
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Dunder protocol
+    # ------------------------------------------------------------------ #
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GraphWord):
+            return NotImplemented
+        return self.n == other.n and self._graphs == other._graphs
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        if self.n == 2:
+            return f"GraphWord[{' '.join(g.name for g in self._graphs)}]"
+        return f"GraphWord(n={self.n}, t={len(self)})"
+
+    def __setattr__(self, key: str, value: object) -> None:
+        raise AttributeError("GraphWord is immutable")

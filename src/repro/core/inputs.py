@@ -1,0 +1,69 @@
+"""Input assignments and input domains.
+
+Consensus (Definition 5.1) starts from an *input assignment*
+``x = (x_0, ..., x_{n-1})`` drawn from a finite input domain ``V_I``.  The
+paper's spaces of process-time graphs are indexed by both the graph sequence
+and the input assignment, so the library treats assignments as first-class
+(hashable tuples) and provides the enumeration helpers the prefix-space
+machinery needs.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterable, Sequence
+
+from repro.errors import InvalidInputError
+
+__all__ = [
+    "InputAssignment",
+    "all_assignments",
+    "unanimous",
+    "unanimity_value",
+    "binary_domain",
+    "validate_assignment",
+]
+
+#: An input assignment is simply a tuple of input values, one per process.
+InputAssignment = tuple
+
+#: The default binary input domain used throughout the paper's examples.
+binary_domain: tuple[int, ...] = (0, 1)
+
+
+def validate_assignment(x: Sequence, n: int, domain: Iterable) -> tuple:
+    """Return ``x`` as a tuple, checking size and domain membership."""
+    xs = tuple(x)
+    if len(xs) != n:
+        raise InvalidInputError(f"assignment {xs!r} has length {len(xs)}, expected {n}")
+    domain_set = set(domain)
+    for value in xs:
+        if value not in domain_set:
+            raise InvalidInputError(f"input value {value!r} outside domain {sorted(map(repr, domain_set))}")
+    return xs
+
+
+def all_assignments(n: int, domain: Iterable = binary_domain) -> tuple[tuple, ...]:
+    """All ``|domain|^n`` input assignments, in deterministic order."""
+    values = tuple(domain)
+    if not values:
+        raise InvalidInputError("input domain must be nonempty")
+    return tuple(product(values, repeat=n))
+
+
+def unanimous(n: int, value) -> tuple:
+    """The assignment where every process starts with ``value``."""
+    return (value,) * n
+
+
+def unanimity_value(x: Sequence):
+    """The common value of a unanimous assignment, or ``None`` if mixed.
+
+    Unanimous assignments are exactly the ``v``-valent starting points
+    ``z_v`` of Section 5.1.
+    """
+    xs = tuple(x)
+    if not xs:
+        raise InvalidInputError("empty assignment has no unanimity value")
+    first = xs[0]
+    return first if all(v == first for v in xs) else None

@@ -1,0 +1,245 @@
+"""Interned full-information views (local causal pasts).
+
+The paper reasons about the *view* ``V_{p}(PT^t)`` of a process ``p`` in a
+process-time graph: the causal past of the node ``(p, t)``, i.e. the subgraph
+of all process-time nodes with a path to ``(p, t)`` (Section 4, Figure 2).
+
+For full-information protocols the causal past admits an equivalent recursive
+representation, which is what this module implements:
+
+* at time 0, the view of ``p`` is the leaf ``(p, x_p)``;
+* at time ``t >= 1``, the view of ``p`` is ``(p, {view(q, t-1) : q ∈
+  In_{G_t}(p)})`` where the in-neighborhood includes ``p`` itself.
+
+Because every sub-view records its owner, the recursive representation and
+the causal-past subgraph determine each other (a fact the test suite checks
+by brute force).  Views are *hash-consed* through :class:`ViewInterner`:
+structurally equal views receive the same integer id, so the view-equality
+tests that underlie every distance function in the paper become integer
+comparisons.
+
+The interner also maintains, per view, the bitmask of processes whose
+*initial* node ``(q, 0, x_q)`` occurs in the causal past, together with the
+observed input values.  This is precisely the information needed to decide
+broadcastability (Definition 5.8): ``p`` has broadcast in a prefix iff the
+bit of ``p`` is set in every process's view mask.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import AnalysisError
+
+__all__ = ["ViewInterner", "ViewStats"]
+
+
+class ViewStats:
+    """A small report on the contents of a :class:`ViewInterner`."""
+
+    __slots__ = ("total", "leaves", "max_depth")
+
+    def __init__(self, total: int, leaves: int, max_depth: int) -> None:
+        self.total = total
+        self.leaves = leaves
+        self.max_depth = max_depth
+
+    def __repr__(self) -> str:
+        return (
+            f"ViewStats(total={self.total}, leaves={self.leaves}, "
+            f"max_depth={self.max_depth})"
+        )
+
+
+class ViewInterner:
+    """Hash-consing store for full-information views of an ``n``-process system.
+
+    All prefixes participating in one analysis must share one interner; view
+    ids are only comparable within the interner that produced them.
+
+    Examples
+    --------
+    >>> interner = ViewInterner(2)
+    >>> a = interner.leaf(0, 1)
+    >>> b = interner.leaf(0, 1)
+    >>> a == b
+    True
+    """
+
+    __slots__ = (
+        "n",
+        "_table",
+        "_pid",
+        "_depth",
+        "_payload",
+        "_origin_mask",
+        "_origin_values",
+        "_leaf_count",
+    )
+
+    def __init__(self, n: int) -> None:
+        if n <= 0:
+            raise AnalysisError("a view interner needs n >= 1 processes")
+        self.n = n
+        self._table: dict = {}
+        self._pid: list[int] = []
+        self._depth: list[int] = []
+        self._payload: list = []
+        self._origin_mask: list[int] = []
+        self._origin_values: list[tuple] = []
+        self._leaf_count = 0
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    def leaf(self, p: int, value) -> int:
+        """Intern the time-0 view ``(p, value)`` and return its id."""
+        self._check_pid(p)
+        key = (p, value)
+        vid = self._table.get(key)
+        if vid is None:
+            vid = self._store(
+                key,
+                pid=p,
+                depth=0,
+                payload=value,
+                origin_mask=1 << p,
+                origin_values=((p, value),),
+            )
+            self._leaf_count += 1
+        return vid
+
+    def node(self, p: int, children: Iterable[int]) -> int:
+        """Intern the view of ``p`` whose in-neighborhood saw ``children``.
+
+        ``children`` are the ids of the previous-round views of ``p``'s
+        in-neighbors (including ``p`` itself); they must all have the same
+        depth.
+        """
+        self._check_pid(p)
+        kids = frozenset(children)
+        if not kids:
+            raise AnalysisError("a non-leaf view needs at least its own previous view")
+        key = (p, kids)
+        vid = self._table.get(key)
+        if vid is not None:
+            return vid
+        depths = {self._depth[c] for c in kids}
+        if len(depths) != 1:
+            raise AnalysisError(f"children of a view must share a depth, got {sorted(depths)}")
+        mask = 0
+        values: dict[int, object] = {}
+        for c in kids:
+            mask |= self._origin_mask[c]
+            for q, value in self._origin_values[c]:
+                previous = values.setdefault(q, value)
+                if previous != value:
+                    raise AnalysisError(
+                        f"inconsistent input values for process {q}: {previous!r} vs {value!r}"
+                    )
+        return self._store(
+            key,
+            pid=p,
+            depth=depths.pop() + 1,
+            payload=kids,
+            origin_mask=mask,
+            origin_values=tuple(sorted(values.items(), key=lambda kv: kv[0])),
+        )
+
+    def _store(self, key, *, pid, depth, payload, origin_mask, origin_values) -> int:
+        vid = len(self._pid)
+        self._table[key] = vid
+        self._pid.append(pid)
+        self._depth.append(depth)
+        self._payload.append(payload)
+        self._origin_mask.append(origin_mask)
+        self._origin_values.append(origin_values)
+        return vid
+
+    def _check_pid(self, p: int) -> None:
+        if not 0 <= p < self.n:
+            raise AnalysisError(f"process id {p} outside 0..{self.n - 1}")
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+
+    def pid(self, vid: int) -> int:
+        """The process that owns view ``vid``."""
+        return self._pid[vid]
+
+    def depth(self, vid: int) -> int:
+        """The time (round number) at which view ``vid`` is taken."""
+        return self._depth[vid]
+
+    def is_leaf(self, vid: int) -> bool:
+        """Whether ``vid`` is a time-0 view."""
+        return self._depth[vid] == 0
+
+    def leaf_value(self, vid: int):
+        """The input value of a time-0 view."""
+        if not self.is_leaf(vid):
+            raise AnalysisError(f"view {vid} is not a leaf")
+        return self._payload[vid]
+
+    def children(self, vid: int) -> frozenset[int]:
+        """The previous-round views visible in ``vid`` (empty for leaves)."""
+        if self.is_leaf(vid):
+            return frozenset()
+        return self._payload[vid]
+
+    def origin_mask(self, vid: int) -> int:
+        """Bitmask of processes whose initial node lies in the causal past."""
+        return self._origin_mask[vid]
+
+    def origins(self, vid: int) -> tuple:
+        """Sorted tuple of ``(q, x_q)`` pairs visible in the causal past."""
+        return self._origin_values[vid]
+
+    def knows_input_of(self, vid: int, q: int) -> bool:
+        """Whether the causal past of ``vid`` contains ``(q, 0, x_q)``."""
+        return bool(self._origin_mask[vid] >> q & 1)
+
+    def input_of(self, vid: int, q: int):
+        """The input value of ``q`` as recorded in the causal past of ``vid``."""
+        for owner, value in self._origin_values[vid]:
+            if owner == q:
+                return value
+        raise AnalysisError(f"view {vid} has not heard of process {q}")
+
+    def stats(self) -> ViewStats:
+        """Summary statistics of the interner's contents."""
+        max_depth = max(self._depth, default=0)
+        return ViewStats(len(self._pid), self._leaf_count, max_depth)
+
+    def __len__(self) -> int:
+        return len(self._pid)
+
+    # ------------------------------------------------------------------ #
+    # Causal-cone reconstruction (used by viz and by the test suite)
+    # ------------------------------------------------------------------ #
+
+    def cone(self, vid: int) -> tuple[set, set]:
+        """The causal past of ``vid`` as explicit process-time nodes/edges.
+
+        Returns ``(nodes, edges)`` where nodes are ``(q, s)`` pairs (``s`` the
+        time coordinate, with ``s = 0`` nodes standing for ``(q, 0, x_q)``)
+        and edges are ``((q, s), (r, s + 1))`` pairs.  The apex is
+        ``(pid(vid), depth(vid))``.
+        """
+        nodes: set = set()
+        edges: set = set()
+        seen: set[int] = set()
+        stack = [vid]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            p, d = self._pid[current], self._depth[current]
+            nodes.add((p, d))
+            for child in self.children(current):
+                edges.add(((self._pid[child], d - 1), (p, d)))
+                stack.append(child)
+        return nodes, edges

@@ -1,0 +1,57 @@
+"""Lock-step simulation of consensus algorithms under message adversaries.
+
+Implements the round structure of Section 2 (send–receive–compute,
+delivery along the round's communication graph, implicit self-loops) and
+the algorithms derived from the paper's characterizations.
+"""
+
+from repro.simulation.algorithms import (
+    BroadcastValueAlgorithm,
+    ConsensusAlgorithm,
+    FullInformationAlgorithm,
+    MinOfHeardAlgorithm,
+    UniversalAlgorithm,
+)
+from repro.simulation.drivers import (
+    AdversaryDriver,
+    DelayBroadcastDriver,
+    RandomDriver,
+)
+from repro.simulation.runner import (
+    ProcessOutcome,
+    RunResult,
+    RunStatistics,
+    run_many,
+    run_word,
+)
+from repro.simulation.traces import (
+    StateTrace,
+    d_min_trace,
+    d_view_trace,
+    trace_divergence_time,
+    trace_of,
+)
+from repro.simulation.twoprocess import AlternationConsensus, ReceiverConsensus
+
+__all__ = [
+    "AdversaryDriver",
+    "AlternationConsensus",
+    "BroadcastValueAlgorithm",
+    "ConsensusAlgorithm",
+    "DelayBroadcastDriver",
+    "FullInformationAlgorithm",
+    "MinOfHeardAlgorithm",
+    "ProcessOutcome",
+    "RandomDriver",
+    "ReceiverConsensus",
+    "RunResult",
+    "RunStatistics",
+    "StateTrace",
+    "UniversalAlgorithm",
+    "d_min_trace",
+    "d_view_trace",
+    "run_many",
+    "run_word",
+    "trace_divergence_time",
+    "trace_of",
+]

@@ -1,0 +1,186 @@
+"""Consensus algorithms for the lock-step simulator.
+
+The paper's system model (Section 2): deterministic processes advance in
+communication-closed rounds with a send–receive–compute order; messages of
+round ``t`` are delivered along the round's communication graph.  An
+algorithm supplies the initial state, the (full-information or digested)
+message to send, the state transition, and the decision predicate.
+
+Provided algorithms:
+
+* :class:`FullInformationAlgorithm` — the generic full-information protocol:
+  the state is the interned view (Sections 3-4); subclasses add decisions.
+* :class:`UniversalAlgorithm` — Theorem 5.5's universal algorithm, driven
+  by a :class:`~repro.consensus.decision.DecisionTable`: decide as soon as
+  the ε-ball around the sequences compatible with the view lies inside one
+  decision set (the table's early map).
+* :class:`BroadcastValueAlgorithm` — "decide ``x_p`` upon hearing ``p``"
+  for a guaranteed broadcaster ``p`` (the non-compact certificate of
+  Theorem 5.11/6.7).
+* :class:`MinOfHeardAlgorithm` — a deliberately naive baseline ("after R
+  rounds decide the minimum input heard") that violates agreement on
+  solvable adversaries like {←, →}; the simulator exposes the violation,
+  demonstrating why the universal construction is needed.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Mapping
+
+from repro.consensus.decision import DecisionTable
+from repro.core.views import ViewInterner
+from repro.errors import SimulationError
+
+__all__ = [
+    "ConsensusAlgorithm",
+    "FullInformationAlgorithm",
+    "UniversalAlgorithm",
+    "BroadcastValueAlgorithm",
+    "MinOfHeardAlgorithm",
+]
+
+
+class ConsensusAlgorithm(ABC):
+    """Deterministic per-process algorithm in the round model of Section 2."""
+
+    name = "abstract"
+
+    @abstractmethod
+    def initial_state(self, p: int, n: int, x_p):
+        """The initial local state of process ``p`` with input ``x_p``."""
+
+    @abstractmethod
+    def message(self, p: int, state):
+        """The (broadcast) message ``p`` sends this round."""
+
+    @abstractmethod
+    def transition(self, p: int, state, received: Mapping[int, object]):
+        """The new state after receiving ``received`` (sender -> message).
+
+        ``received`` always contains ``p``'s own message (self-loops are
+        implicit in the delivery semantics).
+        """
+
+    @abstractmethod
+    def decision(self, p: int, state):
+        """The decided value, or None while undecided.
+
+        Decisions must be stable: once non-None, subsequent states must
+        yield the same value (the runner enforces this).
+        """
+
+
+class FullInformationAlgorithm(ConsensusAlgorithm):
+    """The full-information protocol: state = interned causal past.
+
+    Every process relays everything it knows each round; the state after
+    round ``t`` is the view ``V_p(PT^t)`` interned in the shared
+    :class:`~repro.core.views.ViewInterner`.  This makes simulation states
+    directly comparable with the checker's prefix-space views.
+    """
+
+    name = "full-information"
+
+    def __init__(self, interner: ViewInterner) -> None:
+        self.interner = interner
+
+    def initial_state(self, p: int, n: int, x_p) -> int:
+        if n != self.interner.n:
+            raise SimulationError("interner size does not match the run")
+        return self.interner.leaf(p, x_p)
+
+    def message(self, p: int, state: int) -> int:
+        return state
+
+    def transition(self, p: int, state: int, received: Mapping[int, int]) -> int:
+        return self.interner.node(p, received.values())
+
+    def decision(self, p: int, state: int):
+        return None
+
+
+class UniversalAlgorithm(FullInformationAlgorithm):
+    """Theorem 5.5's universal consensus algorithm as an executable object.
+
+    Decisions are looked up in the certified
+    :class:`~repro.consensus.decision.DecisionTable`: a view decides as
+    soon as every admissible continuation compatible with it carries the
+    same value.  All processes decide at latest in round
+    ``table.depth``.
+    """
+
+    name = "universal"
+
+    def __init__(self, table: DecisionTable) -> None:
+        super().__init__(table.space.interner)
+        self.table = table
+
+    def decision(self, p: int, state: int):
+        return self.table.decision_for_view(state)
+
+
+class BroadcastValueAlgorithm(FullInformationAlgorithm):
+    """Decide the broadcaster's input upon hearing it (Theorem 5.11/6.7).
+
+    Correct whenever ``broadcaster`` is a guaranteed broadcaster of the
+    adversary: every process eventually receives ``(p, 0, x_p)`` in its
+    causal past and decides ``x_p``; agreement and validity are immediate.
+    Decision times are unbounded — the hallmark of the non-compact setting
+    (Section 6.3).
+    """
+
+    name = "broadcast-value"
+
+    def __init__(self, interner: ViewInterner, broadcaster: int) -> None:
+        super().__init__(interner)
+        if not 0 <= broadcaster < interner.n:
+            raise SimulationError("broadcaster out of range")
+        self.broadcaster = broadcaster
+
+    def decision(self, p: int, state: int):
+        if self.interner.knows_input_of(state, self.broadcaster):
+            return self.interner.input_of(state, self.broadcaster)
+        return None
+
+
+class MinOfHeardAlgorithm(ConsensusAlgorithm):
+    """Naive baseline: flood inputs, decide the minimum heard at round R.
+
+    This is *not* a correct consensus algorithm for general message
+    adversaries — under {←, →} the two processes can hear different input
+    sets forever.  It exists so the simulator (and the examples) can
+    exhibit a concrete agreement violation that the universal algorithm
+    avoids.
+    """
+
+    name = "min-of-heard"
+
+    def __init__(self, decide_round: int) -> None:
+        if decide_round < 0:
+            raise SimulationError("decide_round must be nonnegative")
+        self.decide_round = decide_round
+
+    def initial_state(self, p: int, n: int, x_p):
+        decided = min((x_p,)) if self.decide_round == 0 else None
+        return (0, frozenset({(p, x_p)}), decided)
+
+    def message(self, p: int, state):
+        _, known, _ = state
+        return known
+
+    def transition(self, p: int, state, received: Mapping[int, frozenset]):
+        rounds, known, decided = state
+        merged = set(known)
+        for content in received.values():
+            merged |= content
+        rounds += 1
+        if decided is None and rounds >= self.decide_round:
+            # Freeze the decision: the output register is write-once, so the
+            # (incorrect) choice must not drift when smaller values arrive
+            # later — the resulting disagreements are the point.
+            decided = min(value for _, value in merged)
+        return (rounds, frozenset(merged), decided)
+
+    def decision(self, p: int, state):
+        return state[2]

@@ -1,0 +1,235 @@
+"""The synchronous lock-step round simulator (Section 2 semantics).
+
+Rounds advance in send–receive–compute order; round-``t`` messages are
+delivered along the round's communication graph (self-loops implicit).  The
+runner executes a :class:`~repro.simulation.algorithms.ConsensusAlgorithm`
+against an explicit graph word and records, per process, the decision value
+and round; it enforces the consensus contract as it goes:
+
+* decisions are irrevocable (a changed decision raises);
+* agreement and (weak or strong) validity violations are recorded in the
+  result — deliberately *recorded*, not raised, so that incorrect baseline
+  algorithms can be studied;
+* termination is judged against the word length.
+
+:func:`run_word` is the single-execution entry point;
+:func:`run_many` samples admissible words from an adversary and aggregates
+statistics (used by the examples and benchmarks).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.adversaries.base import MessageAdversary
+from repro.core.graphword import GraphWord
+from repro.errors import SimulationError
+from repro.simulation.algorithms import ConsensusAlgorithm
+
+__all__ = ["ProcessOutcome", "RunResult", "run_word", "run_many", "RunStatistics"]
+
+
+class ProcessOutcome:
+    """Decision value and round of one process (value None = undecided)."""
+
+    __slots__ = ("process", "value", "round")
+
+    def __init__(self, process: int, value, decided_round: int | None) -> None:
+        self.process = process
+        self.value = value
+        self.round = decided_round
+
+    @property
+    def decided(self) -> bool:
+        return self.value is not None
+
+    def __repr__(self) -> str:
+        return f"ProcessOutcome(p={self.process}, value={self.value!r}, round={self.round})"
+
+
+class RunResult:
+    """Outcome of one simulated execution."""
+
+    __slots__ = ("inputs", "word", "outcomes", "violations", "states")
+
+    def __init__(self, inputs, word, outcomes, violations, states) -> None:
+        self.inputs = inputs
+        self.word = word
+        self.outcomes = outcomes
+        self.violations = violations
+        self.states = states
+
+    @property
+    def all_decided(self) -> bool:
+        """Whether every process decided within the word."""
+        return all(outcome.decided for outcome in self.outcomes)
+
+    @property
+    def agreement_holds(self) -> bool:
+        """Whether all decided values coincide."""
+        values = {o.value for o in self.outcomes if o.decided}
+        return len(values) <= 1
+
+    @property
+    def decision_value(self):
+        """The common decided value (None when nobody decided)."""
+        values = {o.value for o in self.outcomes if o.decided}
+        if len(values) > 1:
+            raise SimulationError(f"no common decision: {values}")
+        return next(iter(values)) if values else None
+
+    @property
+    def max_decision_round(self) -> int | None:
+        """Latest decision round (None if someone is undecided)."""
+        if not self.all_decided:
+            return None
+        return max(o.round for o in self.outcomes)
+
+    @property
+    def correct(self) -> bool:
+        """Terminated, agreed, and no recorded violation."""
+        return self.all_decided and not self.violations
+
+    def __repr__(self) -> str:
+        return (
+            f"RunResult(inputs={self.inputs!r}, rounds={len(self.word)}, "
+            f"decided={self.all_decided}, violations={self.violations})"
+        )
+
+
+def run_word(
+    algorithm: ConsensusAlgorithm,
+    inputs: Sequence,
+    word: GraphWord,
+    record_states: bool = False,
+    strong_validity: bool = False,
+) -> RunResult:
+    """Execute one round-by-round run of ``algorithm`` on ``word``.
+
+    The consensus contract is checked against the run: irrevocability
+    violations raise :class:`~repro.errors.SimulationError` (they indicate
+    a broken algorithm object); agreement/validity violations are recorded
+    in ``result.violations``.
+    """
+    n = word.n
+    inputs = tuple(inputs)
+    if len(inputs) != n:
+        raise SimulationError(f"inputs {inputs!r} do not match n={n}")
+
+    states = [algorithm.initial_state(p, n, inputs[p]) for p in range(n)]
+    history = [tuple(states)] if record_states else None
+    decisions: list = [None] * n
+    decision_rounds: list = [None] * n
+
+    def note_decisions(round_index: int) -> None:
+        # The output register y_p is write-once: the first non-None value
+        # sticks.  A *different* non-None value later is an irrevocability
+        # violation; None later is fine (e.g. the universal algorithm's
+        # lookup is only defined up to its certification depth).
+        for p in range(n):
+            value = algorithm.decision(p, states[p])
+            if decisions[p] is None:
+                if value is not None:
+                    decisions[p] = value
+                    decision_rounds[p] = round_index
+            elif value is not None and value != decisions[p]:
+                raise SimulationError(
+                    f"irrevocability violation: process {p} changed "
+                    f"{decisions[p]!r} -> {value!r} in round {round_index}"
+                )
+
+    note_decisions(0)
+    for t in range(1, len(word) + 1):
+        graph = word.round_graph(t)
+        messages = [algorithm.message(p, states[p]) for p in range(n)]
+        states = [
+            algorithm.transition(
+                p,
+                states[p],
+                {q: messages[q] for q in graph.in_neighbors(p)},
+            )
+            for p in range(n)
+        ]
+        if record_states:
+            history.append(tuple(states))
+        note_decisions(t)
+
+    outcomes = [
+        ProcessOutcome(p, decisions[p], decision_rounds[p]) for p in range(n)
+    ]
+    violations = []
+    decided_values = {v for v in decisions if v is not None}
+    if len(decided_values) > 1:
+        violations.append(f"agreement: {decided_values}")
+    unanimous = inputs[0] if all(x == inputs[0] for x in inputs) else None
+    if unanimous is not None and decided_values and decided_values != {unanimous}:
+        violations.append(f"validity: inputs all {unanimous!r}, decided {decided_values}")
+    if strong_validity:
+        foreign = decided_values - set(inputs)
+        if foreign:
+            violations.append(f"strong-validity: decided {foreign} not among inputs")
+    return RunResult(inputs, word, outcomes, violations, history)
+
+
+class RunStatistics:
+    """Aggregate over many sampled runs."""
+
+    __slots__ = ("runs", "decided", "agreement_failures", "validity_failures", "rounds")
+
+    def __init__(self) -> None:
+        self.runs = 0
+        self.decided = 0
+        self.agreement_failures = 0
+        self.validity_failures = 0
+        self.rounds: list[int] = []
+
+    def record(self, result: RunResult) -> None:
+        self.runs += 1
+        if result.all_decided:
+            self.decided += 1
+            self.rounds.append(result.max_decision_round)
+        for violation in result.violations:
+            if violation.startswith("agreement"):
+                self.agreement_failures += 1
+            elif violation.startswith("validity"):
+                self.validity_failures += 1
+
+    @property
+    def max_round(self) -> int | None:
+        return max(self.rounds) if self.rounds else None
+
+    @property
+    def mean_round(self) -> float | None:
+        return sum(self.rounds) / len(self.rounds) if self.rounds else None
+
+    def __repr__(self) -> str:
+        return (
+            f"RunStatistics(runs={self.runs}, decided={self.decided}, "
+            f"agreement_failures={self.agreement_failures}, "
+            f"max_round={self.max_round})"
+        )
+
+
+def run_many(
+    algorithm: ConsensusAlgorithm,
+    adversary: MessageAdversary,
+    rng: random.Random,
+    trials: int = 100,
+    rounds: int = 8,
+    input_vectors: Sequence | None = None,
+) -> RunStatistics:
+    """Sample admissible words and inputs; aggregate run statistics."""
+    from repro.core.inputs import all_assignments
+
+    vectors = (
+        tuple(tuple(v) for v in input_vectors)
+        if input_vectors is not None
+        else all_assignments(adversary.n)
+    )
+    stats = RunStatistics()
+    for _ in range(trials):
+        inputs = rng.choice(vectors)
+        word = adversary.sample_word(rng, rounds)
+        stats.record(run_word(algorithm, inputs, word))
+    return stats

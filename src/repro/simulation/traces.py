@@ -1,0 +1,101 @@
+"""State traces and distances on algorithm executions.
+
+The paper's topologies are defined on *configuration sequences* ``C^ω``
+(executions of a fixed algorithm), while most of this library works on the
+process-time-graph side ``PT^ω`` — justified by the continuity of the
+transition function ``τ : PT^ω → C^ω`` (Lemmas 4.5 and 4.9).  This module
+supplies the configuration side so that continuity becomes checkable:
+
+* :class:`StateTrace` — the per-round tuple of local states of a run;
+* :func:`trace_divergence_time` / :func:`d_view_trace` /
+  :func:`d_min_trace` — the distances of Section 4 evaluated on traces
+  (two states are "equal for p" when they compare equal);
+* :func:`trace_of` — run an algorithm on (inputs, word) and record states.
+
+Continuity of ``τ`` with modulus 1 then reads: the state divergence time of
+two runs is at least their view divergence time — checked for arbitrary
+deterministic algorithms in :mod:`repro.theorems`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.graphword import GraphWord
+from repro.errors import SimulationError
+from repro.simulation.algorithms import ConsensusAlgorithm
+from repro.simulation.runner import run_word
+
+__all__ = [
+    "StateTrace",
+    "trace_of",
+    "trace_divergence_time",
+    "d_view_trace",
+    "d_min_trace",
+]
+
+
+class StateTrace:
+    """The configuration sequence (prefix) of one run."""
+
+    __slots__ = ("inputs", "word", "states")
+
+    def __init__(self, inputs: tuple, word: GraphWord, states: Sequence[tuple]) -> None:
+        self.inputs = inputs
+        self.word = word
+        self.states = tuple(states)
+
+    @property
+    def n(self) -> int:
+        """Number of processes."""
+        return self.word.n
+
+    @property
+    def depth(self) -> int:
+        """Number of completed rounds."""
+        return len(self.states) - 1
+
+    def state(self, p: int, t: int):
+        """The local state of ``p`` at the end of round ``t``."""
+        return self.states[t][p]
+
+    def __repr__(self) -> str:
+        return f"StateTrace(inputs={self.inputs!r}, depth={self.depth})"
+
+
+def trace_of(
+    algorithm: ConsensusAlgorithm, inputs: Sequence, word: GraphWord
+) -> StateTrace:
+    """Execute ``algorithm`` and return its configuration-sequence prefix."""
+    result = run_word(algorithm, inputs, word, record_states=True)
+    return StateTrace(tuple(inputs), word, result.states)
+
+
+def trace_divergence_time(
+    a: StateTrace, b: StateTrace, processes: Iterable[int] | None = None
+) -> int | None:
+    """First round where some process in ``P`` has different local states."""
+    if a.n != b.n:
+        raise SimulationError("traces have different n")
+    subset = tuple(range(a.n)) if processes is None else tuple(processes)
+    if not subset:
+        raise SimulationError("P must be nonempty")
+    horizon = min(a.depth, b.depth)
+    for t in range(horizon + 1):
+        if any(a.state(p, t) != b.state(p, t) for p in subset):
+            return t
+    return None
+
+
+def d_view_trace(
+    a: StateTrace, b: StateTrace, processes: Iterable[int] | None = None
+) -> float:
+    """The pseudo-metric ``d_P`` on configuration sequences."""
+    from repro.core.distances import distance_value
+
+    return distance_value(trace_divergence_time(a, b, processes))
+
+
+def d_min_trace(a: StateTrace, b: StateTrace) -> float:
+    """The minimum pseudo-semi-metric on configuration sequences."""
+    return min(d_view_trace(a, b, (p,)) for p in range(a.n))

@@ -1,0 +1,93 @@
+"""Hand-derived two-process consensus algorithms from the literature.
+
+The universal algorithm of Theorem 5.5 is extracted mechanically from the
+component structure; for the classic two-process adversaries the literature
+gives direct, human-readable algorithms.  Implementing them side by side
+lets the test suite confirm that the mechanical construction reproduces the
+known algorithms *decision for decision*:
+
+* :class:`AlternationConsensus` — for the solvable lossy link
+  D = {←, →} ([8]'s universal algorithm specialized to two processes):
+  after round 1, exactly one process has received the other's input;
+  the rule **"decide the other's input if you heard it, else your own"**
+  achieves agreement because the sender's value is what both see.
+* :class:`ReceiverConsensus` — for D = {→, ↔} (and mirrored): process 1
+  hears process 0 every round, so everyone decides ``x_0`` at round 1.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import SimulationError
+from repro.simulation.algorithms import ConsensusAlgorithm
+
+__all__ = ["AlternationConsensus", "ReceiverConsensus"]
+
+
+class AlternationConsensus(ConsensusAlgorithm):
+    """Consensus under D = {←, →}: decide what you heard, else your own.
+
+    State: ``(round, own input, heard input or None, decision)``.
+    Correct because in every round-1 graph of D exactly one process
+    receives; both processes then know the round-1 sender's input — the
+    receiver directly, the sender because it *is* the sender — and the
+    rule makes both decide exactly that value.
+    """
+
+    name = "alternation-two-process"
+
+    def initial_state(self, p: int, n: int, x_p):
+        if n != 2:
+            raise SimulationError("this algorithm is specific to n = 2")
+        return (0, x_p, None, None)
+
+    def message(self, p: int, state):
+        _, own, _, _ = state
+        return own
+
+    def transition(self, p: int, state, received: Mapping[int, object]):
+        rounds, own, heard, decided = state
+        other = 1 - p
+        if other in received:
+            heard = received[other]
+        rounds += 1
+        if rounds == 1 and decided is None:
+            decided = heard if heard is not None else own
+        return (rounds, own, heard, decided)
+
+    def decision(self, p: int, state):
+        return state[3]
+
+
+class ReceiverConsensus(ConsensusAlgorithm):
+    """Consensus under D = {→, ↔} (``sender = 0``): decide ``x_sender``.
+
+    The sender's edge is present in every graph of D, so its input reaches
+    the other process in round 1; both decide it.
+    """
+
+    name = "receiver-two-process"
+
+    def __init__(self, sender: int = 0) -> None:
+        if sender not in (0, 1):
+            raise SimulationError("sender must be process 0 or 1")
+        self.sender = sender
+
+    def initial_state(self, p: int, n: int, x_p):
+        if n != 2:
+            raise SimulationError("this algorithm is specific to n = 2")
+        decided = x_p if p == self.sender else None
+        return (x_p, decided)
+
+    def message(self, p: int, state):
+        return state[0]
+
+    def transition(self, p: int, state, received: Mapping[int, object]):
+        own, decided = state
+        if decided is None and self.sender in received:
+            decided = received[self.sender]
+        return (own, decided)
+
+    def decision(self, p: int, state):
+        return state[1]

@@ -1,0 +1,57 @@
+"""Topological structure of the admissible prefix space.
+
+Implements the paper's Section 4-6 machinery on finite objects: layered
+prefix spaces, indistinguishability components in the minimum topology,
+ε-approximations (Definition 6.2), set distances/separation, and exact
+distance computations on ultimately periodic sequences for the fair/unfair
+limit analysis (Definition 5.16).
+"""
+
+from repro.topology.approximation import (
+    EpsApproximation,
+    eps_approximation_of_value,
+    eps_ball,
+)
+from repro.topology.components import Component, ComponentAnalysis, UnionFind
+from repro.topology.limits import (
+    EqEvolution,
+    UltimatelyPeriodic,
+    UnfairPairReport,
+    check_unfair_pair,
+    d_min_periodic,
+    d_p_periodic,
+    eq_evolution,
+    is_excluded_limit,
+    views_equal_forever,
+)
+from repro.topology.prefixspace import PrefixNode, PrefixSpace
+from repro.topology.separation import (
+    are_separated,
+    distance_matrix,
+    node_set_diameter,
+    node_set_distance,
+)
+
+__all__ = [
+    "Component",
+    "ComponentAnalysis",
+    "EpsApproximation",
+    "EqEvolution",
+    "PrefixNode",
+    "PrefixSpace",
+    "UltimatelyPeriodic",
+    "UnfairPairReport",
+    "UnionFind",
+    "are_separated",
+    "check_unfair_pair",
+    "d_min_periodic",
+    "d_p_periodic",
+    "distance_matrix",
+    "eps_approximation_of_value",
+    "eps_ball",
+    "eq_evolution",
+    "is_excluded_limit",
+    "node_set_diameter",
+    "node_set_distance",
+    "views_equal_forever",
+]

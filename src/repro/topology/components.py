@@ -1,0 +1,252 @@
+"""Connected components of the depth-``t`` prefix space in the minimum topology.
+
+Two depth-``t`` prefixes are *indistinguishable* when some process has the
+same view in both through round ``t`` — equivalently, their ``d_min``
+distance is below ``2^{-t}``, i.e. each lies in the other's ``2^{-t}``-ball.
+The transitive closure of indistinguishability partitions the layer into
+components; these are exactly the ``ε = 2^{-t}`` approximations of
+Definition 6.2 (a fact checked against the literal iterative construction in
+:mod:`repro.topology.approximation` and its tests).
+
+For each component the analysis records the data the consensus
+characterizations need:
+
+* the *valences*: which unanimous input values ``v`` occur among members
+  (a component containing two different valences is "bivalent" — by
+  Corollary 5.6 its persistence at every depth is exactly consensus
+  impossibility);
+* the *broadcasters*: processes heard by every process in every member
+  (Definition 5.8 / Theorem 5.11 / Theorem 6.6);
+* the broadcaster input values (Theorem 5.9 predicts they are constant per
+  component — asserted here, making the theorem an executable invariant).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.graphword import full_mask
+from repro.errors import AnalysisError
+from repro.topology.prefixspace import PrefixNode, PrefixSpace
+
+__all__ = ["Component", "ComponentAnalysis", "UnionFind"]
+
+
+class UnionFind:
+    """Array-based union-find with path halving and union by size."""
+
+    __slots__ = ("parent", "size")
+
+    def __init__(self, count: int) -> None:
+        self.parent = list(range(count))
+        self.size = [1] * count
+
+    def find(self, x: int) -> int:
+        parent = self.parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+
+
+class Component:
+    """One connected component of a depth-``t`` layer."""
+
+    __slots__ = (
+        "id",
+        "depth",
+        "member_indices",
+        "valences",
+        "broadcast_mask",
+        "_space",
+    )
+
+    def __init__(
+        self,
+        component_id: int,
+        depth: int,
+        member_indices: list[int],
+        valences: frozenset,
+        broadcast_mask: int,
+        space: PrefixSpace,
+    ) -> None:
+        self.id = component_id
+        self.depth = depth
+        self.member_indices = member_indices
+        self.valences = valences
+        self.broadcast_mask = broadcast_mask
+        self._space = space
+
+    # -- membership -----------------------------------------------------
+
+    def members(self) -> Iterator[PrefixNode]:
+        """Iterate over the member prefix nodes."""
+        layer = self._space.layer(self.depth)
+        return (layer[i] for i in self.member_indices)
+
+    def __len__(self) -> int:
+        return len(self.member_indices)
+
+    @property
+    def representative(self) -> PrefixNode:
+        """An arbitrary (first-indexed) member."""
+        return self._space.layer(self.depth)[self.member_indices[0]]
+
+    # -- consensus-relevant structure ------------------------------------
+
+    @property
+    def is_bivalent(self) -> bool:
+        """Whether members include two differently-valent prefixes."""
+        return len(self.valences) >= 2
+
+    @property
+    def broadcasters(self) -> frozenset[int]:
+        """Processes that have broadcast by depth ``t`` in *every* member."""
+        n = self._space.adversary.n
+        return frozenset(p for p in range(n) if self.broadcast_mask >> p & 1)
+
+    @property
+    def is_broadcastable(self) -> bool:
+        """Whether some process has broadcast in every member (Thm 6.6 test)."""
+        return self.broadcast_mask != 0
+
+    def broadcaster_value(self, p: int):
+        """The input value of broadcaster ``p`` (constant by Theorem 5.9)."""
+        values = {node.inputs[p] for node in self.members()}
+        if len(values) != 1:
+            raise AnalysisError(
+                f"Theorem 5.9 violation: broadcaster {p} has values {values} "
+                f"within one connected component"
+            )
+        return next(iter(values))
+
+    def __repr__(self) -> str:
+        return (
+            f"Component(#{self.id}, depth={self.depth}, "
+            f"size={len(self.member_indices)}, valences={set(self.valences)}, "
+            f"broadcasters={set(self.broadcasters)})"
+        )
+
+
+class ComponentAnalysis:
+    """Components of one layer of a :class:`PrefixSpace`.
+
+    Examples
+    --------
+    >>> from repro.adversaries.lossylink import lossy_link_no_hub
+    >>> analysis = ComponentAnalysis(PrefixSpace(lossy_link_no_hub()), 1)
+    >>> analysis.bivalent_components() == []
+    True
+    """
+
+    def __init__(self, space: PrefixSpace, depth: int) -> None:
+        self.space = space
+        self.depth = depth
+        layer = space.layer(depth)
+        interner = space.interner
+        n = space.adversary.n
+
+        union_find = UnionFind(len(layer))
+        buckets: dict[tuple[int, int], int] = {}
+        for node in layer:
+            views = node.prefix.views(depth)
+            for p in range(n):
+                key = (p, views[p])
+                first = buckets.setdefault(key, node.index)
+                if first != node.index:
+                    union_find.union(first, node.index)
+        self._union_find = union_find
+
+        # Gather per-root data.
+        roots: dict[int, dict] = {}
+        everyone = full_mask(n)
+        for node in layer:
+            root = union_find.find(node.index)
+            data = roots.setdefault(
+                root,
+                {"members": [], "valences": set(), "mask": everyone},
+            )
+            data["members"].append(node.index)
+            value = node.unanimous_value
+            if value is not None:
+                data["valences"].add(value)
+            data["mask"] &= node.prefix.heard_by_all_mask(depth)
+
+        self.components: list[Component] = []
+        self._component_of_root: dict[int, int] = {}
+        for root in sorted(roots, key=lambda r: roots[r]["members"][0]):
+            data = roots[root]
+            component = Component(
+                component_id=len(self.components),
+                depth=depth,
+                member_indices=data["members"],
+                valences=frozenset(data["valences"]),
+                broadcast_mask=data["mask"],
+                space=space,
+            )
+            self.components.append(component)
+            self._component_of_root[root] = component.id
+
+        # view bucket -> component id (the universal algorithm's lookup).
+        self._view_to_component: dict[tuple[int, int], int] = {
+            key: self._component_of_root[union_find.find(first)]
+            for key, first in buckets.items()
+        }
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+
+    def component_of(self, node: PrefixNode) -> Component:
+        """The component containing a node of this layer."""
+        root = self._union_find.find(node.index)
+        return self.components[self._component_of_root[root]]
+
+    def component_of_view(self, p: int, view_id: int) -> Component | None:
+        """The component determined by process ``p`` holding ``view_id``.
+
+        Every admissible prefix in which ``p`` has this view lies in the
+        returned component (that is what indistinguishability means); `None`
+        if the view does not occur at this depth.
+        """
+        cid = self._view_to_component.get((p, view_id))
+        return None if cid is None else self.components[cid]
+
+    def bivalent_components(self) -> list[Component]:
+        """Components whose members include at least two valences."""
+        return [c for c in self.components if c.is_bivalent]
+
+    def non_broadcastable_components(self) -> list[Component]:
+        """Components with no common broadcaster."""
+        return [c for c in self.components if not c.is_broadcastable]
+
+    def valent_components(self) -> list[Component]:
+        """Components containing at least one unanimous prefix."""
+        return [c for c in self.components if c.valences]
+
+    def summary(self) -> dict:
+        """Aggregate statistics for reports and benchmarks."""
+        return {
+            "depth": self.depth,
+            "prefixes": len(self.space.layer(self.depth)),
+            "components": len(self.components),
+            "bivalent": len(self.bivalent_components()),
+            "non_broadcastable": len(self.non_broadcastable_components()),
+            "largest": max((len(c) for c in self.components), default=0),
+        }
+
+    def __repr__(self) -> str:
+        info = self.summary()
+        return (
+            f"ComponentAnalysis(depth={info['depth']}, "
+            f"components={info['components']}, bivalent={info['bivalent']})"
+        )

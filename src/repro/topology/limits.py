@@ -1,0 +1,313 @@
+"""Exact distances between ultimately periodic sequences; fair/unfair limits.
+
+The non-compact side of the paper (Definition 5.16, Corollary 5.19,
+Section 6.3) is about *limits*: infinite sequences approached by runs from
+two different decision sets.  Ultimately periodic ("lasso") sequences
+``x · stem · cycle^ω`` make these limits computable:
+
+* the set ``Eq_t = {p : V_p(α^t) = V_p(β^t)}`` of processes that cannot yet
+  distinguish two sequences evolves *deterministically*:
+  ``Eq_{t+1} = {p : In_{G^α_{t+1}}(p) = In_{G^β_{t+1}}(p) ⊆ Eq_t}``,
+  and is monotonically decreasing (views are nested);
+* on a pair of lassos the joint state (position in α, position in β, Eq)
+  lives in a finite space, so the evolution reaches a cycle after finitely
+  many rounds, at which point every surviving process keeps its view
+  equality *forever*.
+
+This yields exact values of ``d_p`` and ``d_min`` on lasso pairs — including
+the exact statement "distance zero", which no finite-prefix computation
+could certify — and hence an effective test for the paper's *unfair pairs*
+(two limits at ``d_min`` distance 0 approached from different decision sets)
+and *fair sequences* (a common limit).
+"""
+
+from __future__ import annotations
+
+from math import ldexp
+from typing import Sequence
+
+from repro.adversaries.base import MessageAdversary
+from repro.adversaries.compactness import limit_closure
+from repro.core.digraph import Digraph
+from repro.core.graphword import GraphWord
+from repro.core.inputs import unanimity_value
+from repro.core.ptg import PTGPrefix
+from repro.core.views import ViewInterner
+from repro.errors import AnalysisError
+
+__all__ = [
+    "UltimatelyPeriodic",
+    "EqEvolution",
+    "eq_evolution",
+    "d_p_periodic",
+    "d_min_periodic",
+    "views_equal_forever",
+    "is_excluded_limit",
+    "UnfairPairReport",
+    "check_unfair_pair",
+]
+
+
+class UltimatelyPeriodic:
+    """An ultimately periodic sequence ``(inputs, stem · cycle^ω)``.
+
+    Examples
+    --------
+    >>> from repro.core.digraph import arrow
+    >>> up = UltimatelyPeriodic((0, 1), [arrow("<-")], [arrow("->")])
+    >>> up.graph_at(1).name
+    '<-'
+    >>> up.graph_at(5).name
+    '->'
+    """
+
+    __slots__ = ("inputs", "stem", "cycle")
+
+    def __init__(
+        self,
+        inputs: Sequence,
+        stem: Sequence[Digraph] | GraphWord,
+        cycle: Sequence[Digraph] | GraphWord,
+    ) -> None:
+        cycle_graphs = tuple(cycle)
+        if not cycle_graphs:
+            raise AnalysisError("an ultimately periodic sequence needs a cycle")
+        stem_graphs = tuple(stem)
+        n = cycle_graphs[0].n
+        for g in stem_graphs + cycle_graphs:
+            if g.n != n:
+                raise AnalysisError("all graphs must share n")
+        self.inputs = tuple(inputs)
+        if len(self.inputs) != n:
+            raise AnalysisError("inputs length must equal n")
+        self.stem = GraphWord(stem_graphs, n=n)
+        self.cycle = GraphWord(cycle_graphs, n=n)
+
+    @property
+    def n(self) -> int:
+        """Number of processes."""
+        return self.cycle.n
+
+    @property
+    def unanimous_value(self):
+        """The common input value, or ``None`` for mixed assignments."""
+        return unanimity_value(self.inputs)
+
+    def graph_at(self, t: int) -> Digraph:
+        """The communication graph of round ``t`` (1-based)."""
+        if t < 1:
+            raise AnalysisError("rounds are 1-based")
+        if t <= len(self.stem):
+            return self.stem[t - 1]
+        return self.cycle[(t - len(self.stem) - 1) % len(self.cycle)]
+
+    def word_prefix(self, t: int) -> GraphWord:
+        """The first ``t`` graphs as a word."""
+        return GraphWord([self.graph_at(s) for s in range(1, t + 1)], n=self.n)
+
+    def ptg_prefix(self, interner: ViewInterner, t: int) -> PTGPrefix:
+        """The depth-``t`` process-time graph prefix of this sequence."""
+        return PTGPrefix(interner, self.inputs, self.word_prefix(t).graphs)
+
+    def pumped(self, k: int, new_cycle: Sequence[Digraph] | GraphWord) -> "UltimatelyPeriodic":
+        """Unroll ``k`` cycle repetitions into the stem, then follow ``new_cycle``.
+
+        ``up.pumped(k, w)`` is the approaching sequence that agrees with
+        ``up`` for ``len(stem) + k * len(cycle)`` rounds and then behaves as
+        ``w^ω`` — exactly the construction of Figure 5's approaching runs.
+        """
+        if k < 0:
+            raise AnalysisError("pump count must be nonnegative")
+        stem = self.stem.graphs + self.cycle.graphs * k
+        return UltimatelyPeriodic(self.inputs, stem, tuple(new_cycle))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, UltimatelyPeriodic):
+            return NotImplemented
+        return (
+            self.inputs == other.inputs
+            and self.stem == other.stem
+            and self.cycle == other.cycle
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.inputs, self.stem, self.cycle))
+
+    def __repr__(self) -> str:
+        return (
+            f"UltimatelyPeriodic(inputs={self.inputs!r}, stem={self.stem!r}, "
+            f"cycle={self.cycle!r})"
+        )
+
+
+class EqEvolution:
+    """Result of running the Eq-set automaton on a lasso pair.
+
+    Attributes
+    ----------
+    divergence:
+        ``{p: t}`` — the first round at which ``p``'s views differ; processes
+        absent from the mapping never distinguish the sequences.
+    survivors:
+        The processes whose views agree *forever* (exact statement).
+    profile:
+        The Eq-set trajectory until the joint state first repeats.
+    """
+
+    __slots__ = ("divergence", "survivors", "profile")
+
+    def __init__(
+        self,
+        divergence: dict[int, int],
+        survivors: frozenset[int],
+        profile: list[frozenset[int]],
+    ) -> None:
+        self.divergence = divergence
+        self.survivors = survivors
+        self.profile = profile
+
+    def __repr__(self) -> str:
+        return (
+            f"EqEvolution(survivors={set(self.survivors)}, "
+            f"divergence={self.divergence})"
+        )
+
+
+def eq_evolution(a: UltimatelyPeriodic, b: UltimatelyPeriodic) -> EqEvolution:
+    """Run the deterministic Eq-set evolution to its (finite) cycle.
+
+    The joint state is (position of α in its lasso, position of β, Eq-set);
+    once it repeats, the Eq-set is constant forever because it is
+    monotonically decreasing.
+    """
+    if a.n != b.n:
+        raise AnalysisError("sequences must share n")
+    n = a.n
+    alive = frozenset(p for p in range(n) if a.inputs[p] == b.inputs[p])
+    divergence = {p: 0 for p in range(n) if p not in alive}
+    profile = [alive]
+
+    def position(up: UltimatelyPeriodic, t: int) -> int:
+        # Position descriptor of round t+1 within the lasso of `up`.
+        if t < len(up.stem):
+            return t
+        return len(up.stem) + (t - len(up.stem)) % len(up.cycle)
+
+    seen: set[tuple[int, int, frozenset]] = set()
+    t = 0
+    while True:
+        state = (position(a, t), position(b, t), alive)
+        if state in seen:
+            break
+        seen.add(state)
+        ga = a.graph_at(t + 1)
+        gb = b.graph_at(t + 1)
+        nxt = frozenset(
+            p
+            for p in alive
+            if ga.in_neighbors(p) == gb.in_neighbors(p)
+            and ga.in_neighbors(p) <= alive
+        )
+        t += 1
+        for p in alive - nxt:
+            divergence[p] = t
+        alive = nxt
+        profile.append(alive)
+    return EqEvolution(divergence, alive, profile)
+
+
+def d_p_periodic(a: UltimatelyPeriodic, b: UltimatelyPeriodic, p: int) -> float:
+    """Exact ``d_p`` between two ultimately periodic sequences."""
+    evolution = eq_evolution(a, b)
+    if p in evolution.survivors:
+        return 0.0
+    return ldexp(1.0, -evolution.divergence[p])
+
+
+def d_min_periodic(a: UltimatelyPeriodic, b: UltimatelyPeriodic) -> float:
+    """Exact ``d_min`` between two ultimately periodic sequences.
+
+    ``0.0`` here is an *exact* statement: some process's views agree at
+    every finite time.
+    """
+    evolution = eq_evolution(a, b)
+    if evolution.survivors:
+        return 0.0
+    return ldexp(1.0, -max(evolution.divergence.values()))
+
+
+def views_equal_forever(
+    a: UltimatelyPeriodic, b: UltimatelyPeriodic
+) -> frozenset[int]:
+    """The processes whose views agree at every time (may be empty)."""
+    return eq_evolution(a, b).survivors
+
+
+def is_excluded_limit(adversary: MessageAdversary, up: UltimatelyPeriodic) -> bool:
+    """Whether ``up`` is a limit of admissible prefixes yet not admissible.
+
+    These are exactly the points the message adversary must exclude for
+    consensus to become solvable in the non-compact setting
+    (Corollary 5.19, Section 6.3): every finite prefix of ``up`` is an
+    admissible prefix, but the infinite sequence violates the liveness
+    condition.
+    """
+    closure = limit_closure(adversary)
+    return closure.admits_lasso(up.stem, up.cycle) and not adversary.admits_lasso(
+        up.stem, up.cycle
+    )
+
+
+class UnfairPairReport:
+    """Diagnosis of a candidate fair sequence / unfair pair (Def. 5.16)."""
+
+    __slots__ = (
+        "distance",
+        "survivors",
+        "left_admissible",
+        "right_admissible",
+        "left_excluded_limit",
+        "right_excluded_limit",
+    )
+
+    def __init__(self, **kwargs) -> None:
+        for key in self.__slots__:
+            setattr(self, key, kwargs[key])
+
+    @property
+    def is_unfair_pair(self) -> bool:
+        """Distance-zero pair of limits (a fair sequence when they coincide)."""
+        return self.distance == 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"UnfairPairReport(distance={self.distance}, "
+            f"survivors={set(self.survivors)}, "
+            f"left_admissible={self.left_admissible}, "
+            f"right_admissible={self.right_admissible})"
+        )
+
+
+def check_unfair_pair(
+    adversary: MessageAdversary,
+    left: UltimatelyPeriodic,
+    right: UltimatelyPeriodic,
+) -> UnfairPairReport:
+    """Measure a candidate unfair pair against an adversary.
+
+    For a solvable non-compact adversary the paper predicts: the pair has
+    ``d_min`` distance 0 and at least the valence-crossing limits are
+    excluded (not admissible) — Corollary 5.19.
+    """
+    evolution = eq_evolution(left, right)
+    distance = 0.0 if evolution.survivors else ldexp(
+        1.0, -max(evolution.divergence.values())
+    )
+    return UnfairPairReport(
+        distance=distance,
+        survivors=evolution.survivors,
+        left_admissible=adversary.admits_lasso(left.stem, left.cycle),
+        right_admissible=adversary.admits_lasso(right.stem, right.cycle),
+        left_excluded_limit=is_excluded_limit(adversary, left),
+        right_excluded_limit=is_excluded_limit(adversary, right),
+    )

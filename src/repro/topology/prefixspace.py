@@ -1,0 +1,229 @@
+"""Layered enumeration of the admissible prefix space of ``PS``.
+
+The paper's characterizations reduce to questions about finite prefixes: the
+ball ``B_{2^{-t}}(a)`` in the minimum topology is determined by the depth-t
+views, and for compact adversaries Theorem 6.6 explicitly reduces consensus
+solvability to ``t``-prefixes.  :class:`PrefixSpace` materializes, layer by
+layer, every admissible pair (input assignment, graph word of length ``t``)
+together with its interned views — the depth-``t`` skeleton of the space
+``PS`` of admissible process-time graph sequences.
+
+Each node keeps the adversary's reachable state set, so extension by one
+round enumerates exactly the admissible continuations (including the
+liveness pruning for non-compact adversaries: prefixes that could never be
+completed to an admissible infinite sequence are not generated — they are
+not prefixes of points of ``PS`` at all).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.adversaries.base import MessageAdversary
+from repro.core.inputs import all_assignments, binary_domain, validate_assignment
+from repro.core.ptg import PTGPrefix
+from repro.core.views import ViewInterner
+from repro.errors import AnalysisError
+
+__all__ = ["PrefixNode", "PrefixSpace"]
+
+
+class PrefixNode:
+    """One admissible prefix: input assignment + graph word + views + states."""
+
+    __slots__ = ("index", "parent", "input_index", "prefix", "states")
+
+    def __init__(
+        self,
+        index: int,
+        parent: int | None,
+        input_index: int,
+        prefix: PTGPrefix,
+        states: frozenset,
+    ) -> None:
+        self.index = index
+        self.parent = parent
+        self.input_index = input_index
+        self.prefix = prefix
+        self.states = states
+
+    @property
+    def inputs(self) -> tuple:
+        """The input assignment of this prefix."""
+        return self.prefix.inputs
+
+    @property
+    def depth(self) -> int:
+        """The number of completed rounds."""
+        return self.prefix.depth
+
+    @property
+    def unanimous_value(self):
+        """The common input value, or ``None`` for mixed assignments."""
+        return self.prefix.unanimous_value
+
+    def __repr__(self) -> str:
+        return (
+            f"PrefixNode(#{self.index}, inputs={self.inputs!r}, "
+            f"depth={self.depth})"
+        )
+
+
+class PrefixSpace:
+    """The admissible prefixes of ``PS`` up to a growing depth.
+
+    Parameters
+    ----------
+    adversary:
+        The message adversary generating the space.
+    input_vectors:
+        The input assignments to consider; defaults to all assignments over
+        the binary domain ``{0, 1}``.  (The paper's ``PS`` ranges over all
+        assignments of the input domain.)
+    interner:
+        Optionally share a view interner with other analyses.
+    max_nodes:
+        Safety valve: :meth:`extend` raises once a layer would exceed this
+        many prefixes.
+
+    Examples
+    --------
+    >>> from repro.adversaries.lossylink import lossy_link_no_hub
+    >>> space = PrefixSpace(lossy_link_no_hub())
+    >>> space.ensure_depth(2)
+    >>> len(space.layer(2))
+    16
+    """
+
+    def __init__(
+        self,
+        adversary: MessageAdversary,
+        input_vectors: Iterable[Sequence] | None = None,
+        interner: ViewInterner | None = None,
+        max_nodes: int = 2_000_000,
+    ) -> None:
+        self.adversary = adversary
+        self.interner = interner or ViewInterner(adversary.n)
+        if self.interner.n != adversary.n:
+            raise AnalysisError("interner and adversary disagree on n")
+        if input_vectors is None:
+            vectors = all_assignments(adversary.n, binary_domain)
+        else:
+            domain = {v for vec in input_vectors for v in vec}
+            vectors = tuple(
+                validate_assignment(vec, adversary.n, domain)
+                for vec in input_vectors
+            )
+        if not vectors:
+            raise AnalysisError("a prefix space needs at least one assignment")
+        if len(set(vectors)) != len(vectors):
+            raise AnalysisError("duplicate input assignments")
+        self.input_vectors = vectors
+        self.max_nodes = max_nodes
+        initial_states = frozenset(
+            adversary.initial_states() & adversary.live_states()
+        )
+        if not initial_states:
+            raise AnalysisError(
+                f"adversary {adversary.name} admits no infinite sequences"
+            )
+        layer0 = [
+            PrefixNode(
+                index=i,
+                parent=None,
+                input_index=i,
+                prefix=PTGPrefix(self.interner, vec),
+                states=initial_states,
+            )
+            for i, vec in enumerate(vectors)
+        ]
+        self._layers: list[list[PrefixNode]] = [layer0]
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @property
+    def depth(self) -> int:
+        """The deepest fully constructed layer."""
+        return len(self._layers) - 1
+
+    def extend(self) -> None:
+        """Construct the next layer (depth + 1)."""
+        current = self._layers[-1]
+        nxt: list[PrefixNode] = []
+        adversary = self.adversary
+        for node in current:
+            for graph, states in adversary.admissible_extensions(node.states):
+                if len(nxt) >= self.max_nodes:
+                    raise AnalysisError(
+                        f"prefix space exceeds max_nodes={self.max_nodes} at "
+                        f"depth {self.depth + 1}; reduce depth or inputs"
+                    )
+                nxt.append(
+                    PrefixNode(
+                        index=len(nxt),
+                        parent=node.index,
+                        input_index=node.input_index,
+                        prefix=node.prefix.extended(graph),
+                        states=states,
+                    )
+                )
+        if not nxt:
+            raise AnalysisError(
+                f"{adversary.name}: no admissible extension at depth {self.depth}"
+            )
+        self._layers.append(nxt)
+
+    def ensure_depth(self, t: int) -> None:
+        """Construct layers up to depth ``t``."""
+        while self.depth < t:
+            self.extend()
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+
+    def layer(self, t: int) -> list[PrefixNode]:
+        """All admissible prefixes of depth ``t`` (constructing if needed)."""
+        self.ensure_depth(t)
+        return self._layers[t]
+
+    def node(self, t: int, index: int) -> PrefixNode:
+        """The ``index``-th node of layer ``t``."""
+        return self.layer(t)[index]
+
+    def parent_of(self, t: int, index: int) -> PrefixNode | None:
+        """The depth ``t - 1`` truncation of a node (None at the root)."""
+        node = self.layer(t)[index]
+        if node.parent is None:
+            return None
+        return self._layers[t - 1][node.parent]
+
+    def unanimous_nodes(self, t: int) -> dict:
+        """Map value -> list of unanimous (``v``-valent) nodes at depth ``t``."""
+        result: dict = {}
+        for node in self.layer(t):
+            value = node.unanimous_value
+            if value is not None:
+                result.setdefault(value, []).append(node)
+        return result
+
+    def layer_sizes(self) -> list[int]:
+        """Sizes of all constructed layers."""
+        return [len(layer) for layer in self._layers]
+
+    def find_node(self, t: int, inputs: Sequence, word) -> PrefixNode:
+        """The node with the given inputs and graph word at depth ``t``."""
+        inputs = tuple(inputs)
+        graphs = tuple(word)
+        for node in self.layer(t):
+            if node.inputs == inputs and node.prefix.graphs == graphs:
+                return node
+        raise AnalysisError("no such admissible prefix")
+
+    def __repr__(self) -> str:
+        return (
+            f"PrefixSpace({self.adversary.name}, depth={self.depth}, "
+            f"sizes={self.layer_sizes()})"
+        )

@@ -1,0 +1,88 @@
+"""Set distances and separation of decision sets (Theorems 5.13/5.14, Fig. 4/5).
+
+For compact adversaries the decision sets of a correct algorithm are compact
+and at positive ``d_min`` distance (Corollary 6.1); for non-compact
+adversaries they may approach each other with distance 0 (Figure 5).  These
+helpers measure such distances on depth-``t`` layers, where ``0.0`` means
+"indistinguishable through depth ``t``" — by compactness (Theorem 5.13) a
+distance that stays positive as ``t`` grows witnesses genuine separation,
+while a distance decaying like ``2^{-Θ(t)}`` reproduces the Figure 5
+phenomenon.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.core.distances import d_min
+from repro.errors import AnalysisError
+from repro.topology.prefixspace import PrefixNode
+
+__all__ = [
+    "node_set_distance",
+    "node_set_diameter",
+    "are_separated",
+    "distance_matrix",
+]
+
+
+def node_set_distance(
+    left: Sequence[PrefixNode],
+    right: Sequence[PrefixNode],
+    dist: Callable = d_min,
+) -> float:
+    """``inf { dist(a, b) }`` over the two node sets (Definition 5.12)."""
+    if not left or not right:
+        raise AnalysisError("set distance needs nonempty node sets")
+    best = float("inf")
+    for a in left:
+        for b in right:
+            value = dist(a.prefix, b.prefix)
+            if value < best:
+                best = value
+                if best == 0.0:
+                    return 0.0
+    return best
+
+
+def node_set_diameter(
+    members: Sequence[PrefixNode], dist: Callable = d_min
+) -> float:
+    """``sup { dist(a, b) }`` over the node set (Definition 5.7)."""
+    if not members:
+        raise AnalysisError("diameter needs a nonempty node set")
+    worst = 0.0
+    for i, a in enumerate(members):
+        for b in members[i + 1 :]:
+            value = dist(a.prefix, b.prefix)
+            if value > worst:
+                worst = value
+                if worst >= 1.0:
+                    return worst
+    return worst
+
+
+def are_separated(
+    left: Sequence[PrefixNode],
+    right: Sequence[PrefixNode],
+    dist: Callable = d_min,
+) -> bool:
+    """Whether the sets have positive distance at this depth."""
+    return node_set_distance(left, right, dist) > 0.0
+
+
+def distance_matrix(
+    groups: dict, dist: Callable = d_min
+) -> dict[tuple, float]:
+    """Pairwise set distances between named node groups.
+
+    ``groups`` maps labels to node lists; the result maps unordered label
+    pairs to distances.  Used by the Figure 4/5 benchmarks to print the
+    decision-set distance tables.
+    """
+    labels = sorted(groups, key=repr)
+    result: dict[tuple, float] = {}
+    for i, a in enumerate(labels):
+        for b in labels[i + 1 :]:
+            result[(a, b)] = node_set_distance(groups[a], groups[b], dist)
+    return result

@@ -1,0 +1,21 @@
+"""ASCII rendering of graphs, process-time graphs, and analyses."""
+
+from repro.viz.ascii import (
+    render_bivalence_sparkline,
+    render_census,
+    render_component_table,
+    render_digraph,
+    render_distance_matrix,
+    render_ptg,
+    render_word,
+)
+
+__all__ = [
+    "render_bivalence_sparkline",
+    "render_census",
+    "render_component_table",
+    "render_digraph",
+    "render_distance_matrix",
+    "render_ptg",
+    "render_word",
+]

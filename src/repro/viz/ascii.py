@@ -1,0 +1,129 @@
+"""ASCII renderers for terminal-friendly figures.
+
+These produce the text versions of the paper's figures: process-time graphs
+with highlighted views (Figure 2), component/decision-set tables
+(Figures 4/5), and distance matrices (Figure 3).
+"""
+
+from __future__ import annotations
+
+from repro.core.digraph import Digraph
+from repro.core.graphword import GraphWord
+from repro.core.ptg import PTGPrefix
+from repro.topology.components import ComponentAnalysis
+
+__all__ = [
+    "render_digraph",
+    "render_word",
+    "render_ptg",
+    "render_component_table",
+    "render_distance_matrix",
+]
+
+
+def render_digraph(graph: Digraph) -> str:
+    """One-line description of a communication graph."""
+    if graph.n == 2:
+        return graph.name
+    edges = ", ".join(f"{u}->{v}" for u, v in sorted(graph.edges))
+    return f"[{edges}]" if edges else "[no edges]"
+
+
+def render_word(word: GraphWord) -> str:
+    """Space-separated round graphs of a word."""
+    return " ".join(render_digraph(g) for g in word) if len(word) else "(empty)"
+
+
+def render_ptg(prefix: PTGPrefix, highlight_process: int | None = None) -> str:
+    """A layered drawing of a process-time graph (Figure 2 style).
+
+    Each line is one time level; nodes in the highlighted process's causal
+    past are marked with ``*``.
+    """
+    highlight_nodes: set = set()
+    if highlight_process is not None:
+        nodes, _ = prefix.cone(highlight_process)
+        highlight_nodes = nodes
+
+    width = 14
+    lines = []
+    level0 = []
+    for p in range(prefix.n):
+        marker = "*" if (p, 0) in highlight_nodes else " "
+        level0.append(f"({p},0,x={prefix.inputs[p]!r}){marker}".ljust(width))
+    lines.append("t=0  " + "".join(level0))
+    for t in range(1, prefix.depth + 1):
+        level = []
+        for p in range(prefix.n):
+            marker = "*" if (p, t) in highlight_nodes else " "
+            level.append(f"({p},{t}){marker}".ljust(width))
+        edges = sorted(
+            (u, v) for (u, v) in prefix.graphs[t - 1].edges
+        )
+        edge_text = ", ".join(f"{u}->{v}" for u, v in edges) or "no edges"
+        lines.append(f"t={t}  " + "".join(level) + f"   round graph: {edge_text}")
+    if highlight_process is not None:
+        lines.append(
+            f"(* = causal past of process {highlight_process} at time {prefix.depth})"
+        )
+    return "\n".join(lines)
+
+
+def render_component_table(analysis: ComponentAnalysis) -> str:
+    """A table of the layer's components and their consensus data."""
+    header = (
+        f"{'comp':>4}  {'size':>5}  {'valences':>10}  {'broadcasters':>13}  example"
+    )
+    lines = [f"depth {analysis.depth}: {len(analysis.components)} component(s)", header]
+    for component in analysis.components:
+        example = component.representative
+        word = render_word(example.prefix.word)
+        lines.append(
+            f"{component.id:>4}  {len(component):>5}  "
+            f"{str(sorted(component.valences, key=repr)):>10}  "
+            f"{str(sorted(component.broadcasters)):>13}  "
+            f"x={example.inputs!r} [{word}]"
+        )
+    return "\n".join(lines)
+
+
+def render_distance_matrix(matrix: dict, title: str = "set distances") -> str:
+    """A labelled list of pairwise set distances."""
+    lines = [title]
+    for (a, b), value in sorted(matrix.items(), key=lambda kv: repr(kv[0])):
+        lines.append(f"  d({a}, {b}) = {value}")
+    return "\n".join(lines)
+
+
+def render_bivalence_sparkline(history: list[int]) -> str:
+    """A one-line sparkline of bivalent-component counts per depth.
+
+    ``#`` marks depths with surviving bivalent components, ``.`` marks
+    separated depths — e.g. ``#####`` for the impossible lossy link and
+    ``#....`` for the solvable one.
+    """
+    cells = "".join("#" if count else "." for count in history)
+    return f"bivalence by depth [0..{len(history) - 1}]: {cells}  {history}"
+
+
+def render_census(rows) -> str:
+    """A table of :class:`~repro.consensus.census.CensusRow` results."""
+    header = (
+        f"{'adversary':32s} {'checker':11s} {'certificate':28s} "
+        f"{'oracle':8s} {'CGP':8s}"
+    )
+    lines = [header, "-" * len(header)]
+
+    def verdict(value) -> str:
+        if value is None:
+            return "-"
+        return "SOLV" if value else "IMP"
+
+    for row in rows:
+        lines.append(
+            f"{row.adversary.name:32s} {row.result.status.name:11s} "
+            f"{row.certificate:28s} {verdict(row.oracle):8s} "
+            f"{verdict(row.cgp):8s}"
+            + ("" if row.cgp_agrees in (True, None) else "  <-- CGP disagrees")
+        )
+    return "\n".join(lines)

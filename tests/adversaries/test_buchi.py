@@ -1,0 +1,120 @@
+"""Tests for user-defined Büchi adversaries, including consensus verdicts."""
+
+import pytest
+
+from repro.adversaries.buchi import BuchiAdversary
+from repro.adversaries.compactness import find_limit_violation
+from repro.consensus.solvability import SolvabilityStatus, check_consensus
+from repro.core.digraph import arrow
+from repro.core.graphword import GraphWord
+from repro.errors import AdversaryError
+
+TO, FRO, BOTH = arrow("->"), arrow("<-"), arrow("<->")
+
+
+def infinitely_many_both() -> BuchiAdversary:
+    """Sequences over {←, ↔, →} with infinitely many ↔ rounds."""
+    table = {
+        "idle": {TO: ["idle"], FRO: ["idle"], BOTH: ["seen"]},
+        "seen": {TO: ["idle"], FRO: ["idle"], BOTH: ["seen"]},
+    }
+    return BuchiAdversary(
+        2, ["idle"], table, accepting=["seen"], name="InfinitelyMany{<->}"
+    )
+
+
+def infinitely_many_direction_switches() -> BuchiAdversary:
+    """Sequences over {←, →} where both directions recur forever.
+
+    The accepting state must be entered only when a full →-then-← cycle
+    completes (a self-looping accepting state would wrongly accept ←^ω):
+    A waits for →, B waits for ←, C marks "cycle just completed".
+    """
+    table = {
+        "A": {TO: ["B"], FRO: ["A"]},
+        "B": {TO: ["B"], FRO: ["C"]},
+        "C": {TO: ["B"], FRO: ["A"]},
+    }
+    return BuchiAdversary(
+        2, ["A"], table, accepting=["C"], name="BothDirectionsRecur"
+    )
+
+
+class TestConstruction:
+    def test_requires_initial(self):
+        with pytest.raises(AdversaryError):
+            BuchiAdversary(2, [], {}, accepting=[])
+
+    def test_accepting_states_must_exist(self):
+        with pytest.raises(AdversaryError):
+            BuchiAdversary(2, ["a"], {"a": {TO: ["a"]}}, accepting=["ghost"])
+
+    def test_wrong_graph_size(self):
+        from repro.core.digraph import Digraph
+
+        with pytest.raises(AdversaryError):
+            BuchiAdversary(
+                2, ["a"], {"a": {Digraph.empty(3): ["a"]}}, accepting=["a"]
+            )
+
+
+class TestInfinitelyManyBoth:
+    @pytest.fixture
+    def adversary(self):
+        return infinitely_many_both()
+
+    def test_not_limit_closed(self, adversary):
+        assert not adversary.is_limit_closed()
+        violation = find_limit_violation(adversary)
+        assert violation is not None
+        assert BOTH not in set(violation.cycle.graphs)
+
+    def test_lasso_semantics(self, adversary):
+        empty = GraphWord([], n=2)
+        assert adversary.admits_lasso(empty, GraphWord([BOTH]))
+        assert adversary.admits_lasso(empty, GraphWord([TO, BOTH]))
+        assert not adversary.admits_lasso(empty, GraphWord([TO]))
+        assert not adversary.admits_lasso(GraphWord([BOTH] * 3), GraphWord([FRO]))
+
+    def test_prefixes_unconstrained(self, adversary):
+        assert adversary.count_words(3) == 27
+
+    def test_consensus_solvable_by_guaranteed_broadcasters(self, adversary):
+        """↔ recurs forever, so *both* processes broadcast eventually."""
+        result = check_consensus(adversary, max_depth=3)
+        assert result.status is SolvabilityStatus.SOLVABLE
+        assert result.broadcaster is not None
+
+    def test_closure_is_the_impossible_lossy_link(self, adversary):
+        from repro.adversaries.compactness import limit_closure
+
+        closure_result = check_consensus(limit_closure(adversary), max_depth=3)
+        assert closure_result.status is SolvabilityStatus.IMPOSSIBLE
+
+
+class TestBothDirectionsRecur:
+    @pytest.fixture
+    def adversary(self):
+        return infinitely_many_direction_switches()
+
+    def test_lasso_semantics(self, adversary):
+        empty = GraphWord([], n=2)
+        assert adversary.admits_lasso(empty, GraphWord([TO, FRO]))
+        assert not adversary.admits_lasso(empty, GraphWord([TO]))
+        assert not adversary.admits_lasso(GraphWord([TO, FRO]), GraphWord([FRO]))
+
+    def test_consensus_solvable(self, adversary):
+        """Solvable already via the safety closure ({<-, ->} separates at
+        depth 1), so the checker certifies with a decision table and never
+        needs the liveness promise."""
+        result = check_consensus(adversary, max_depth=3)
+        assert result.status is SolvabilityStatus.SOLVABLE
+        assert result.decision_table is not None
+        assert result.certified_depth == 1
+
+    def test_guaranteed_broadcasters_exist_too(self, adversary):
+        """Both directions recur, so each process is a guaranteed
+        broadcaster — the liveness certificate is also available."""
+        from repro.consensus.provers import find_guaranteed_broadcaster
+
+        assert find_guaranteed_broadcaster(adversary) == 0

@@ -1,0 +1,196 @@
+"""Tests for adversary combinators, generators and named instances."""
+
+import random
+
+import pytest
+
+from repro.adversaries.combinators import (
+    IntersectionAdversary,
+    PrefixedAdversary,
+    UnionAdversary,
+)
+from repro.adversaries.generators import (
+    all_digraphs,
+    all_possible_edges,
+    all_rooted_digraphs,
+    out_star_set,
+    random_oblivious_adversary,
+    random_rooted_digraph,
+    santoro_widmayer_family,
+)
+from repro.adversaries.lossylink import (
+    directed_only,
+    lossy_link_full,
+    lossy_link_no_hub,
+    lossy_link_with_silence,
+    one_directional_and_both,
+)
+from repro.adversaries.oblivious import ObliviousAdversary
+from repro.adversaries.stabilizing import EventuallyForeverAdversary
+from repro.core.digraph import arrow
+from repro.core.graphword import GraphWord
+from repro.errors import AdversaryError
+
+TO, FRO, BOTH, NONE = arrow("->"), arrow("<-"), arrow("<->"), arrow("none")
+
+
+class TestGenerators:
+    def test_all_possible_edges_count(self):
+        assert len(all_possible_edges(3)) == 6
+
+    def test_all_digraphs_counts(self):
+        assert sum(1 for _ in all_digraphs(2)) == 4
+        assert sum(1 for _ in all_digraphs(3)) == 64
+
+    def test_all_digraphs_refuses_large_n(self):
+        with pytest.raises(AdversaryError):
+            list(all_digraphs(5))
+
+    def test_rooted_digraphs_are_rooted(self):
+        rooted = list(all_rooted_digraphs(3))
+        assert rooted
+        assert all(g.is_rooted for g in rooted)
+        # On 2 nodes exactly three of the four graphs are rooted.
+        assert sum(1 for _ in all_rooted_digraphs(2)) == 3
+
+    def test_santoro_widmayer_small(self):
+        sw = santoro_widmayer_family(2, 1)
+        assert sw.graphs == frozenset({TO, FRO, BOTH})
+        sw0 = santoro_widmayer_family(2, 0)
+        assert sw0.graphs == frozenset({BOTH})
+
+    def test_santoro_widmayer_counts(self):
+        # n=3: 6 edges; losses=1 -> 1 + 6 graphs.
+        sw = santoro_widmayer_family(3, 1)
+        assert len(sw.graphs) == 7
+
+    def test_out_star_set(self):
+        stars = out_star_set(3)
+        assert len(stars) == 3
+        assert all(g.is_rooted for g in stars)
+
+    def test_random_rooted_digraph(self):
+        rng = random.Random(3)
+        for _ in range(10):
+            assert random_rooted_digraph(rng, 3).is_rooted
+
+    def test_random_oblivious_adversary(self):
+        rng = random.Random(4)
+        adversary = random_oblivious_adversary(rng, 3, size=4, rooted_only=True)
+        assert len(adversary.graphs) == 4
+        assert all(g.is_rooted for g in adversary.graphs)
+
+
+class TestNamedInstances:
+    def test_lossy_link_variants(self):
+        assert lossy_link_full().graphs == frozenset({TO, FRO, BOTH})
+        assert lossy_link_no_hub().graphs == frozenset({TO, FRO})
+        assert NONE in lossy_link_with_silence().graphs
+        assert directed_only("->").graphs == frozenset({TO})
+        assert one_directional_and_both("<-").graphs == frozenset({FRO, BOTH})
+
+
+class TestUnion:
+    def test_union_language(self):
+        left = ObliviousAdversary(2, [TO])
+        right = ObliviousAdversary(2, [FRO])
+        union = UnionAdversary(left, right)
+        assert union.admits_prefix([TO, TO])
+        assert union.admits_prefix([FRO])
+        # A union of the two constant languages contains no mixed word.
+        assert not union.admits_prefix([TO, FRO])
+        assert union.count_words(3) == 2
+
+    def test_union_is_limit_closed_if_operands_are(self):
+        union = UnionAdversary(lossy_link_full(), lossy_link_no_hub())
+        assert union.is_limit_closed()
+
+    def test_union_requires_same_n(self):
+        from repro.core.digraph import Digraph
+
+        with pytest.raises(AdversaryError):
+            UnionAdversary(
+                ObliviousAdversary(2, [TO]),
+                ObliviousAdversary(3, [Digraph.empty(3)]),
+            )
+
+
+class TestIntersection:
+    def test_intersection_of_oblivious_sets(self):
+        left = ObliviousAdversary(2, [TO, FRO])
+        right = ObliviousAdversary(2, [FRO, BOTH])
+        inter = IntersectionAdversary(left, right)
+        assert inter.admits_prefix([FRO, FRO])
+        assert not inter.admits_prefix([TO])
+        assert inter.count_words(4) == 1
+
+    def test_buchi_intersection_liveness(self):
+        # "Eventually -> forever" ∩ "eventually <- forever" over base {->,<-}
+        # admits no sequence at all (cannot commit to both).
+        one = EventuallyForeverAdversary(2, [TO, FRO], [TO])
+        other = EventuallyForeverAdversary(2, [TO, FRO], [FRO])
+        inter = IntersectionAdversary(one, other)
+        empty = GraphWord([], n=2)
+        assert not inter.admits_lasso(empty, GraphWord([TO]))
+        assert not inter.admits_lasso(empty, GraphWord([FRO]))
+        assert not inter.admits_lasso(empty, GraphWord([TO, FRO]))
+
+    def test_intersection_with_safety_keeps_liveness(self):
+        live = EventuallyForeverAdversary(2, [TO, FRO], [TO])
+        safe = ObliviousAdversary(2, [TO, FRO])
+        inter = IntersectionAdversary(live, safe)
+        empty = GraphWord([], n=2)
+        assert inter.admits_lasso(empty, GraphWord([TO]))
+        assert not inter.admits_lasso(empty, GraphWord([FRO]))
+        assert not inter.is_limit_closed()
+
+
+class TestUnionWithLiveness:
+    def test_union_of_buchi_operands(self):
+        one = EventuallyForeverAdversary(2, [TO, FRO], [TO])
+        other = EventuallyForeverAdversary(2, [TO, FRO], [FRO])
+        union = UnionAdversary(one, other)
+        empty = GraphWord([], n=2)
+        # Either commitment is acceptable in the union...
+        assert union.admits_lasso(empty, GraphWord([TO]))
+        assert union.admits_lasso(empty, GraphWord([FRO]))
+        # ...but a sequence stabilizing on neither stays excluded.
+        assert not union.admits_lasso(empty, GraphWord([TO, FRO]))
+        assert not union.is_limit_closed()
+
+    def test_union_consensus_verdict(self):
+        """Union of 'eventually ->' and 'eventually <-': no guaranteed
+        broadcaster survives the union, but the safety closure {<-,->}
+        separates at depth 1, so the decision table certifies."""
+        from repro.consensus.solvability import check_consensus
+
+        one = EventuallyForeverAdversary(2, [TO, FRO], [TO])
+        other = EventuallyForeverAdversary(2, [TO, FRO], [FRO])
+        union = UnionAdversary(one, other)
+        result = check_consensus(union, max_depth=3)
+        assert result.solvable
+        assert result.certified_depth == 1
+
+
+class TestPrefixed:
+    def test_prefix_forces_history(self):
+        suffix = ObliviousAdversary(2, [TO, FRO])
+        prefixed = PrefixedAdversary(GraphWord([BOTH, TO]), suffix)
+        assert prefixed.admits_prefix([BOTH])
+        assert prefixed.admits_prefix([BOTH, TO, FRO])
+        assert not prefixed.admits_prefix([TO])
+        assert not prefixed.admits_prefix([BOTH, FRO])
+        assert prefixed.count_words(4) == 4
+
+    def test_empty_prefix_is_identity(self):
+        suffix = ObliviousAdversary(2, [TO, FRO])
+        prefixed = PrefixedAdversary(GraphWord([], n=2), suffix)
+        for t in range(4):
+            assert prefixed.count_words(t) == suffix.count_words(t)
+
+    def test_prefixed_preserves_liveness(self):
+        live = EventuallyForeverAdversary(2, [TO, FRO], [TO])
+        prefixed = PrefixedAdversary(GraphWord([FRO]), live)
+        assert prefixed.admits_lasso(GraphWord([FRO]), GraphWord([TO]))
+        assert not prefixed.admits_lasso(GraphWord([FRO]), GraphWord([FRO]))
+        assert not prefixed.is_limit_closed()

@@ -1,0 +1,100 @@
+"""Tests for the Heard-Of model bridge."""
+
+import pytest
+
+from repro.adversaries.heardof import (
+    graphs_satisfying,
+    has_nonempty_kernel,
+    is_no_split,
+    kernel_of,
+    min_degree_adversary,
+    no_split_adversary,
+    nonempty_kernel_adversary,
+    rooted_adversary,
+)
+from repro.consensus.solvability import SolvabilityStatus, check_consensus
+from repro.core.digraph import Digraph, arrow
+from repro.errors import AdversaryError
+
+TO, FRO, BOTH, NONE = arrow("->"), arrow("<-"), arrow("<->"), arrow("none")
+
+
+class TestKernel:
+    def test_kernel_of_two_process_graphs(self):
+        assert kernel_of(TO) == frozenset({0})
+        assert kernel_of(FRO) == frozenset({1})
+        assert kernel_of(BOTH) == frozenset({0, 1})
+        assert kernel_of(NONE) == frozenset()
+
+    def test_kernel_of_star(self):
+        assert kernel_of(Digraph.star_out(4, 2)) == frozenset({2})
+
+    def test_kernel_members_are_heard_by_all(self):
+        import random
+
+        rng = random.Random(0)
+        for _ in range(40):
+            n = rng.randint(2, 4)
+            edges = [
+                (u, v)
+                for u in range(n)
+                for v in range(n)
+                if u != v and rng.random() < 0.4
+            ]
+            g = Digraph(n, edges)
+            for p in kernel_of(g):
+                assert all(p in g.in_neighbors(q) for q in range(n))
+
+
+class TestPredicates:
+    def test_no_split_two_process(self):
+        assert is_no_split(TO) and is_no_split(FRO) and is_no_split(BOTH)
+        assert not is_no_split(NONE)
+
+    def test_nonempty_kernel_implies_no_split(self):
+        for g in graphs_satisfying(3, has_nonempty_kernel):
+            assert is_no_split(g)
+
+    def test_no_split_does_not_imply_kernel(self):
+        no_split = set(graphs_satisfying(3, is_no_split))
+        kernel = set(graphs_satisfying(3, has_nonempty_kernel))
+        assert kernel < no_split
+
+
+class TestAdversaries:
+    def test_two_process_sets(self):
+        assert nonempty_kernel_adversary(2).graphs == frozenset({TO, FRO, BOTH})
+        assert no_split_adversary(2).graphs == frozenset({TO, FRO, BOTH})
+        assert rooted_adversary(2).graphs == frozenset({TO, FRO, BOTH})
+        assert min_degree_adversary(2, 2).graphs == frozenset({BOTH})
+
+    def test_min_degree_bounds(self):
+        with pytest.raises(AdversaryError):
+            min_degree_adversary(2, 0)
+        with pytest.raises(AdversaryError):
+            min_degree_adversary(2, 3)
+
+    def test_rooted_count_n3(self):
+        # 51 of the 64 digraphs on three nodes have a unique root component.
+        assert len(rooted_adversary(3).graphs) == 51
+
+    @pytest.mark.parametrize(
+        "factory",
+        [nonempty_kernel_adversary, no_split_adversary, rooted_adversary],
+    )
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_per_round_predicates_are_insufficient(self, factory, n):
+        """None of the classic per-round predicates solves consensus.
+
+        The checker certifies each impossibility with the single-component
+        induction — the topological form of the folklore results that
+        nonempty kernels / no-split / rootedness per round do not suffice
+        (stability across rounds is what is missing, cf. [23]).
+        """
+        result = check_consensus(factory(n), max_depth=3)
+        assert result.status is SolvabilityStatus.IMPOSSIBLE
+
+    def test_complete_graph_solvable(self):
+        result = check_consensus(min_degree_adversary(3, 3))
+        assert result.status is SolvabilityStatus.SOLVABLE
+        assert result.certified_depth == 1

@@ -1,0 +1,100 @@
+"""Tests for oblivious adversaries and the shared MessageAdversary machinery."""
+
+import random
+
+import pytest
+
+from repro.adversaries.oblivious import ObliviousAdversary
+from repro.core.digraph import Digraph, arrow
+from repro.core.graphword import GraphWord
+from repro.errors import AdversaryError, InadmissibleWordError
+
+TO, FRO, BOTH, NONE = arrow("->"), arrow("<-"), arrow("<->"), arrow("none")
+
+
+class TestConstruction:
+    def test_empty_graph_set_rejected(self):
+        with pytest.raises(AdversaryError):
+            ObliviousAdversary(2, [])
+
+    def test_wrong_size_graph_rejected(self):
+        with pytest.raises(AdversaryError):
+            ObliviousAdversary(2, [Digraph.empty(3)])
+
+    def test_name_for_two_process_sets(self):
+        adversary = ObliviousAdversary(2, [TO, FRO])
+        assert "->" in adversary.name and "<-" in adversary.name
+
+    def test_contains_and_set_operations(self):
+        adversary = ObliviousAdversary(2, [TO, FRO])
+        assert TO in adversary
+        assert BOTH not in adversary
+        assert adversary.restricted([TO]).graphs == frozenset({TO})
+        assert adversary.extended_with([BOTH]).graphs == frozenset({TO, FRO, BOTH})
+
+    def test_equality_and_hash(self):
+        a = ObliviousAdversary(2, [TO, FRO])
+        b = ObliviousAdversary(2, [FRO, TO])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != ObliviousAdversary(2, [TO])
+
+
+class TestWordQueries:
+    @pytest.fixture
+    def adversary(self):
+        return ObliviousAdversary(2, [TO, FRO])
+
+    def test_alphabet_sorted_deterministically(self, adversary):
+        assert adversary.alphabet() == tuple(sorted([TO, FRO]))
+
+    def test_count_words(self, adversary):
+        assert adversary.count_words(0) == 1
+        assert adversary.count_words(1) == 2
+        assert adversary.count_words(5) == 32
+
+    def test_iter_words_matches_count(self, adversary):
+        words = list(adversary.iter_words(3))
+        assert len(words) == adversary.count_words(3)
+        assert len(set(words)) == len(words)
+        for word in words:
+            assert all(g in adversary.graphs for g in word)
+
+    def test_admits_prefix(self, adversary):
+        assert adversary.admits_prefix([TO, FRO, TO])
+        assert not adversary.admits_prefix([TO, BOTH])
+        assert adversary.admits_prefix([])
+
+    def test_run_prefix_empty_for_inadmissible(self, adversary):
+        assert adversary.run_prefix([BOTH]) == frozenset()
+
+    def test_sample_word_is_admissible(self, adversary):
+        rng = random.Random(1)
+        for _ in range(20):
+            word = adversary.sample_word(rng, 6)
+            assert adversary.admits_prefix(word)
+
+    def test_all_states_single(self, adversary):
+        assert len(adversary.all_states()) == 1
+        assert adversary.live_states() == adversary.all_states()
+
+    def test_is_limit_closed(self, adversary):
+        assert adversary.is_limit_closed()
+
+
+class TestLassoAcceptance:
+    def test_oblivious_accepts_any_lasso_over_alphabet(self):
+        adversary = ObliviousAdversary(2, [TO, FRO])
+        stem = GraphWord([TO], n=2)
+        assert adversary.admits_lasso(stem, GraphWord([FRO]))
+        assert adversary.admits_lasso(GraphWord([], n=2), GraphWord([TO, FRO]))
+
+    def test_oblivious_rejects_lasso_leaving_alphabet(self):
+        adversary = ObliviousAdversary(2, [TO, FRO])
+        assert not adversary.admits_lasso(GraphWord([BOTH]), GraphWord([TO]))
+        assert not adversary.admits_lasso(GraphWord([], n=2), GraphWord([BOTH]))
+
+    def test_empty_cycle_rejected(self):
+        adversary = ObliviousAdversary(2, [TO])
+        with pytest.raises(AdversaryError):
+            adversary.admits_lasso(GraphWord([], n=2), GraphWord([], n=2))

@@ -1,0 +1,131 @@
+"""Tests for the non-compact adversary families and compactness analysis."""
+
+import random
+
+import pytest
+
+from repro.adversaries.compactness import find_limit_violation, limit_closure
+from repro.adversaries.lossylink import eventually_one_direction
+from repro.adversaries.stabilizing import (
+    EventuallyForeverAdversary,
+    StabilizingAdversary,
+)
+from repro.core.digraph import Digraph, arrow
+from repro.core.graphword import GraphWord
+from repro.errors import AdversaryError
+
+TO, FRO, BOTH = arrow("->"), arrow("<-"), arrow("<->")
+
+
+class TestEventuallyForever:
+    @pytest.fixture
+    def adversary(self):
+        return eventually_one_direction("->")
+
+    def test_not_limit_closed(self, adversary):
+        assert not adversary.is_limit_closed()
+
+    def test_degenerate_case_is_limit_closed(self):
+        degenerate = EventuallyForeverAdversary(2, [TO], [TO])
+        assert degenerate.is_limit_closed()
+
+    def test_empty_eventual_set_rejected(self):
+        with pytest.raises(AdversaryError):
+            EventuallyForeverAdversary(2, [TO], [])
+
+    def test_prefixes_are_unconstrained_over_base(self, adversary):
+        assert adversary.admits_prefix([FRO, FRO, FRO])
+        assert adversary.admits_prefix([FRO, TO, FRO])
+        assert not adversary.admits_prefix([BOTH])
+
+    def test_count_words_matches_base_freedom(self, adversary):
+        assert adversary.count_words(4) == 16
+
+    def test_lasso_acceptance_requires_stabilization(self, adversary):
+        empty = GraphWord([], n=2)
+        assert adversary.admits_lasso(empty, GraphWord([TO]))
+        assert adversary.admits_lasso(GraphWord([FRO, FRO]), GraphWord([TO]))
+        assert not adversary.admits_lasso(empty, GraphWord([FRO]))
+        assert not adversary.admits_lasso(empty, GraphWord([TO, FRO]))
+
+    def test_limit_violation_found(self, adversary):
+        violation = find_limit_violation(adversary)
+        assert violation is not None
+        # The witness must keep <- recurring forever.
+        assert FRO in violation.cycle.graphs
+
+    def test_limit_closure_admits_the_violation(self, adversary):
+        violation = find_limit_violation(adversary)
+        closure = limit_closure(adversary)
+        assert closure.admits_lasso(violation.stem, violation.cycle)
+        assert closure.is_limit_closed()
+
+
+class TestStabilizing:
+    def test_rejects_unrooted_graphs_by_default(self):
+        with pytest.raises(AdversaryError):
+            StabilizingAdversary(2, [arrow("none")], window=1)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(AdversaryError):
+            StabilizingAdversary(2, [TO], window=0)
+
+    def test_window_one_rooted_is_compact(self):
+        adversary = StabilizingAdversary(2, [TO, FRO], window=1)
+        assert adversary.is_limit_closed()
+
+    def test_single_root_alphabet_is_compact(self):
+        g1 = Digraph(3, [(0, 1), (1, 2)])
+        g2 = Digraph(3, [(0, 1), (0, 2)])
+        adversary = StabilizingAdversary(3, [g1, g2], window=3)
+        assert adversary.is_limit_closed()
+
+    def test_window_two_over_two_roots_not_compact(self):
+        adversary = StabilizingAdversary(2, [TO, FRO], window=2)
+        assert not adversary.is_limit_closed()
+
+    def test_prefixes_unconstrained(self):
+        adversary = StabilizingAdversary(2, [TO, FRO], window=3)
+        rng = random.Random(0)
+        for _ in range(10):
+            word = adversary.sample_word(rng, 6)
+            assert adversary.admits_prefix(word)
+        assert adversary.count_words(5) == 32
+
+    def test_lasso_needs_stable_window(self):
+        adversary = StabilizingAdversary(2, [TO, FRO], window=2)
+        empty = GraphWord([], n=2)
+        assert adversary.admits_lasso(empty, GraphWord([TO]))
+        assert adversary.admits_lasso(empty, GraphWord([FRO]))
+        # Strict alternation never has two consecutive rounds with the same
+        # root component.
+        assert not adversary.admits_lasso(empty, GraphWord([TO, FRO]))
+        # A stable window anywhere suffices, even in the stem.
+        assert adversary.admits_lasso(GraphWord([TO, TO]), GraphWord([TO, FRO]))
+
+    def test_limit_violation_is_alternation(self):
+        adversary = StabilizingAdversary(2, [TO, FRO], window=2)
+        violation = find_limit_violation(adversary, max_stem=1, max_cycle=2)
+        assert violation is not None
+        names = [g.name for g in violation.cycle.graphs]
+        assert set(names) == {"->", "<-"}
+
+    def test_window_progress_state_space_is_finite(self):
+        adversary = StabilizingAdversary(2, [TO, FRO, BOTH], window=4)
+        # States: searching, satisfied, and (window, root, count) entries.
+        assert len(adversary.all_states()) <= 2 + 3 * 3
+
+
+class TestLimitClosureSemantics:
+    def test_closure_preserves_safety_language(self):
+        adversary = eventually_one_direction("->")
+        closure = limit_closure(adversary)
+        for t in range(4):
+            ours = {w for w in adversary.iter_words(t)}
+            theirs = {w for w in closure.iter_words(t)}
+            assert ours == theirs
+
+    def test_no_violation_for_compact_adversaries(self):
+        from repro.adversaries.lossylink import lossy_link_full
+
+        assert find_limit_violation(lossy_link_full()) is None

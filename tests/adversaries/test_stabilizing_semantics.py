@@ -1,0 +1,145 @@
+"""Brute-force validation of the ω-automaton semantics.
+
+The automata behind the non-compact adversaries encode quantified
+statements over infinite sequences ("eventually only E", "some window of w
+stable-root rounds").  These tests re-derive lasso admissibility with a
+direct, definition-level check on the unrolled sequence and compare it to
+``admits_lasso`` — on randomized lassos via hypothesis and on exhaustive
+small enumerations.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversaries.stabilizing import (
+    EventuallyForeverAdversary,
+    StabilizingAdversary,
+)
+from repro.core.digraph import Digraph, arrow
+from repro.core.graphword import GraphWord
+
+TO, FRO, BOTH = arrow("->"), arrow("<-"), arrow("<->")
+GRAPHS = [TO, FRO, BOTH]
+
+
+def unrolled(stem, cycle, rounds):
+    """The first ``rounds`` graphs of stem · cycle^ω."""
+    out = list(stem)
+    while len(out) < rounds:
+        out.extend(cycle)
+    return out[:rounds]
+
+
+def naive_eventually_forever(stem, cycle, base, eventual) -> bool:
+    """Definition-level admissibility of stem·cycle^ω for base^* eventual^ω."""
+    # Safety: every graph is in base ∪ eventual, with the transient part in
+    # base; the exact statement: there is a position k such that the first
+    # k graphs are in base and all later ones in eventual.  On a lasso,
+    # "all later ones" is decided by the cycle alone.
+    if not all(g in eventual for g in cycle):
+        return False
+    # Find any split point within the stem (including k = len(stem)).
+    for k in range(len(stem) + 1):
+        head = stem[:k]
+        tail = stem[k:]
+        if all(g in base for g in head) and all(g in eventual for g in tail):
+            return True
+    return False
+
+
+def naive_stabilizing(stem, cycle, graphs, window) -> bool:
+    """Definition-level admissibility for the stable-window adversary.
+
+    A window occurring anywhere in the infinite unrolling must occur within
+    ``len(stem) + (window + 1) * len(cycle)`` rounds (the tail is periodic
+    with period ``len(cycle)``).
+    """
+    if not all(g in graphs for g in stem) or not all(g in graphs for g in cycle):
+        return False
+    horizon = len(stem) + (window + 1) * len(cycle) + window
+    rolled = unrolled(stem, cycle, horizon)
+
+    def root(g):
+        return g.root_components[0] if g.is_rooted else None
+
+    for start in range(len(rolled) - window + 1):
+        segment = rolled[start : start + window]
+        roots = {root(g) for g in segment}
+        if len(roots) == 1 and None not in roots:
+            return True
+    return False
+
+
+lasso = st.tuples(
+    st.lists(st.sampled_from(GRAPHS), min_size=0, max_size=3),
+    st.lists(st.sampled_from(GRAPHS), min_size=1, max_size=3),
+)
+
+
+class TestEventuallyForeverSemantics:
+    @given(lasso)
+    @settings(max_examples=150, deadline=None)
+    def test_matches_naive_check(self, pair):
+        stem, cycle = pair
+        adversary = EventuallyForeverAdversary(2, [FRO, TO], [TO, BOTH])
+        expected = naive_eventually_forever(
+            stem, cycle, base={FRO, TO}, eventual={TO, BOTH}
+        )
+        actual = adversary.admits_lasso(
+            GraphWord(stem, n=2), GraphWord(cycle, n=2)
+        )
+        assert actual == expected
+
+    def test_exhaustive_short_lassos(self):
+        adversary = EventuallyForeverAdversary(2, [FRO, TO], [TO])
+        for stem_len in range(3):
+            for cycle_len in range(1, 3):
+                for stem in itertools.product(GRAPHS, repeat=stem_len):
+                    for cycle in itertools.product(GRAPHS, repeat=cycle_len):
+                        expected = naive_eventually_forever(
+                            list(stem), list(cycle), base={FRO, TO}, eventual={TO}
+                        )
+                        actual = adversary.admits_lasso(
+                            GraphWord(stem, n=2), GraphWord(cycle, n=2)
+                        )
+                        assert actual == expected, (stem, cycle)
+
+
+class TestStabilizingSemantics:
+    @given(lasso, st.integers(1, 3))
+    @settings(max_examples=150, deadline=None)
+    def test_matches_naive_check(self, pair, window):
+        stem, cycle = pair
+        adversary = StabilizingAdversary(2, GRAPHS, window=window)
+        expected = naive_stabilizing(stem, cycle, set(GRAPHS), window)
+        actual = adversary.admits_lasso(
+            GraphWord(stem, n=2), GraphWord(cycle, n=2)
+        )
+        assert actual == expected
+
+    def test_exhaustive_window_two(self):
+        adversary = StabilizingAdversary(2, [TO, FRO], window=2)
+        for stem_len in range(3):
+            for cycle_len in range(1, 4):
+                for stem in itertools.product([TO, FRO], repeat=stem_len):
+                    for cycle in itertools.product([TO, FRO], repeat=cycle_len):
+                        expected = naive_stabilizing(
+                            list(stem), list(cycle), {TO, FRO}, 2
+                        )
+                        actual = adversary.admits_lasso(
+                            GraphWord(stem, n=2), GraphWord(cycle, n=2)
+                        )
+                        assert actual == expected, (stem, cycle)
+
+    def test_three_process_stable_roots(self):
+        star0 = Digraph.star_out(3, 0)
+        star1 = Digraph.star_out(3, 1)
+        adversary = StabilizingAdversary(3, [star0, star1], window=2)
+        empty = GraphWord([], n=3)
+        assert adversary.admits_lasso(empty, GraphWord([star0]))
+        assert not adversary.admits_lasso(empty, GraphWord([star0, star1]))
+        assert adversary.admits_lasso(
+            GraphWord([star1, star1]), GraphWord([star0, star1])
+        )

@@ -1,0 +1,303 @@
+"""Tests for decision tables, provers, spec, and broadcastability sweeps."""
+
+import pytest
+
+from repro.adversaries.generators import santoro_widmayer_family
+from repro.adversaries.lossylink import (
+    eventually_one_direction,
+    lossy_link_full,
+    lossy_link_no_hub,
+    one_directional_and_both,
+)
+from repro.adversaries.oblivious import ObliviousAdversary
+from repro.adversaries.stabilizing import EventuallyForeverAdversary
+from repro.consensus.broadcastability import (
+    broadcastability_report,
+    minimal_broadcast_depth,
+    minimal_separation_depth,
+)
+from repro.consensus.decision import build_decision_table
+from repro.consensus.provers import (
+    SingleComponentInduction,
+    find_guaranteed_broadcaster,
+    find_lasso_avoiding_broadcast_by,
+    find_nonbroadcastable_lasso,
+    two_process_oblivious_verdict,
+)
+from repro.consensus.spec import ConsensusSpec
+from repro.core.digraph import Digraph, arrow
+from repro.errors import AnalysisError
+from repro.topology.components import ComponentAnalysis
+from repro.topology.prefixspace import PrefixSpace
+
+TO, FRO, BOTH, NONE = arrow("->"), arrow("<-"), arrow("<->"), arrow("none")
+
+
+class TestSpec:
+    def test_domain_validation(self):
+        with pytest.raises(AnalysisError):
+            ConsensusSpec(domain=(0,))
+        with pytest.raises(AnalysisError):
+            ConsensusSpec(domain=(0, 0, 1))
+        with pytest.raises(AnalysisError):
+            ConsensusSpec(validity="median")
+
+    def test_allowed_values_weak(self):
+        space = PrefixSpace(lossy_link_no_hub())
+        analysis = ComponentAnalysis(space, 1)
+        spec = ConsensusSpec()
+        for component in analysis.components:
+            allowed = spec.allowed_values(component)
+            if component.valences:
+                assert allowed == component.valences
+
+    def test_allowed_values_bivalent_empty(self):
+        space = PrefixSpace(lossy_link_full())
+        analysis = ComponentAnalysis(space, 1)
+        spec = ConsensusSpec()
+        assert spec.allowed_values(analysis.components[0]) == frozenset()
+        with pytest.raises(AnalysisError):
+            spec.pick_value(analysis.components[0])
+
+    def test_strong_validity_restricts_to_member_inputs(self):
+        space = PrefixSpace(lossy_link_no_hub())
+        analysis = ComponentAnalysis(space, 1)
+        spec = ConsensusSpec(validity="strong")
+        for component in analysis.components:
+            allowed = spec.allowed_values(component)
+            for node in component.members():
+                assert allowed <= set(node.inputs)
+
+
+class TestDecisionTable:
+    @pytest.fixture
+    def table(self):
+        space = PrefixSpace(lossy_link_no_hub())
+        analysis = ComponentAnalysis(space, 1)
+        return build_decision_table(analysis, ConsensusSpec())
+
+    def test_validates(self, table):
+        table.validate()
+
+    def test_unanimous_components_get_their_valence(self, table):
+        space = table.space
+        analysis = ComponentAnalysis(space, 1)
+        for node in space.layer(1):
+            value = node.unanimous_value
+            if value is not None:
+                component = analysis.component_of(node)
+                assert table.assignment[component.id] == value
+
+    def test_every_final_view_decides(self, table):
+        space = table.space
+        for node in space.layer(1):
+            for p in range(2):
+                assert table.decision_for_view(node.prefix.view(p, 1)) is not None
+
+    def test_early_decision_at_depth_zero_not_possible_here(self, table):
+        # At depth 0 every process's view is compatible with both valences
+        # under {<-,->}... except none: process views at depth 0 are their
+        # own inputs; input 0 is compatible with deciding 0 (seq ->) and 1
+        # (0,1 with <- decides x_1=1), so no early decision may exist.
+        space = table.space
+        for node in space.layer(0):
+            for p in range(2):
+                assert table.decision_for_view(node.prefix.view(p, 0)) is None
+
+    def test_decision_round(self, table):
+        space = table.space
+        for node in space.layer(1):
+            assert table.decision_round_for(node) == 1
+
+    def test_bivalent_layer_cannot_build(self):
+        space = PrefixSpace(lossy_link_full())
+        analysis = ComponentAnalysis(space, 2)
+        with pytest.raises(AnalysisError):
+            build_decision_table(analysis, ConsensusSpec())
+
+
+class TestProvers:
+    def test_nonbroadcastable_lasso_on_silent_graph(self):
+        adversary = ObliviousAdversary(2, [NONE, TO])
+        lasso = find_nonbroadcastable_lasso(adversary)
+        assert lasso is not None
+        stem, cycle = lasso
+        assert adversary.admits_lasso(stem, cycle)
+
+    def test_no_nonbroadcastable_lasso_for_rooted_families(self):
+        for adversary in (lossy_link_full(), lossy_link_no_hub()):
+            assert find_nonbroadcastable_lasso(adversary) is None
+
+    def test_lasso_avoiding_specific_broadcaster(self):
+        adversary = lossy_link_no_hub()
+        # Process 0 never broadcasts along <-^ω.
+        lasso = find_lasso_avoiding_broadcast_by(adversary, 0)
+        assert lasso is not None
+        _, cycle = lasso
+        assert all(g == FRO for g in cycle)
+
+    def test_guaranteed_broadcaster_for_eventual_direction(self):
+        assert find_guaranteed_broadcaster(eventually_one_direction("->")) == 0
+        assert find_guaranteed_broadcaster(eventually_one_direction("<-")) == 1
+
+    def test_no_guaranteed_broadcaster_for_symmetric_sets(self):
+        assert find_guaranteed_broadcaster(lossy_link_no_hub()) is None
+
+    def test_guaranteed_broadcaster_respects_liveness(self):
+        adversary = EventuallyForeverAdversary(2, [FRO, BOTH, TO], [TO])
+        assert find_guaranteed_broadcaster(adversary) == 0
+
+
+class TestSingleComponentInduction:
+    def test_fires_on_full_lossy_link(self):
+        cert = SingleComponentInduction(lossy_link_full())
+        assert cert.c1_holds and cert.c2_holds and cert.applies
+        assert "impossible" in cert.explain()
+
+    def test_does_not_fire_on_no_hub(self):
+        cert = SingleComponentInduction(lossy_link_no_hub())
+        assert cert.c1_holds
+        assert not cert.c2_holds
+        assert not cert.applies
+
+    def test_fires_on_santoro_widmayer(self):
+        cert = SingleComponentInduction(santoro_widmayer_family(3, 2))
+        assert cert.applies
+
+    def test_does_not_fire_on_fewer_losses(self):
+        cert = SingleComponentInduction(santoro_widmayer_family(3, 1))
+        assert not cert.applies
+
+    def test_never_applies_to_noncompact(self):
+        # Liveness promises could exclude parts of D^ω, so no oblivious
+        # core is sound for a non-limit-closed adversary.
+        cert = SingleComponentInduction(eventually_one_direction("->"))
+        assert cert.core == frozenset()
+        assert not cert.applies
+
+    def test_fires_on_closure_of_noncompact(self):
+        """The compact closure of eventually-> over {<-,<->,->} is the
+        (impossible) lossy link; the induction fires via the oblivious
+        core extracted from the safety automaton."""
+        from repro.adversaries.compactness import limit_closure
+        from repro.adversaries.stabilizing import EventuallyForeverAdversary
+
+        adversary = EventuallyForeverAdversary(2, [FRO, BOTH, TO], [TO])
+        cert = SingleComponentInduction(limit_closure(adversary))
+        assert cert.applies
+        assert cert.core == frozenset({FRO, BOTH, TO})
+
+    def test_soundness_against_layer_connectivity(self):
+        """When the certificate fires, layers must indeed stay connected."""
+        for adversary in (lossy_link_full(), ObliviousAdversary(2, [NONE, TO, FRO])):
+            cert = SingleComponentInduction(adversary)
+            if not cert.applies:
+                continue
+            space = PrefixSpace(adversary)
+            for depth in range(4):
+                assert len(ComponentAnalysis(space, depth).components) == 1
+
+
+class TestTwoProcessOracle:
+    def test_known_cases(self):
+        assert two_process_oblivious_verdict(lossy_link_no_hub())
+        assert not two_process_oblivious_verdict(lossy_link_full())
+        assert not two_process_oblivious_verdict(ObliviousAdversary(2, [NONE]))
+        assert two_process_oblivious_verdict(ObliviousAdversary(2, [BOTH]))
+
+    def test_requires_two_processes(self):
+        with pytest.raises(AnalysisError):
+            two_process_oblivious_verdict(
+                ObliviousAdversary(3, [Digraph.complete(3)])
+            )
+
+
+class TestBroadcastabilitySweeps:
+    def test_minimal_depths_agree_on_solvable_examples(self):
+        """Executable Theorem 6.6: separation depth == broadcast depth."""
+        for adversary in (
+            lossy_link_no_hub(),
+            one_directional_and_both("->"),
+            santoro_widmayer_family(3, 1),
+        ):
+            separation = minimal_separation_depth(adversary, max_depth=4)
+            broadcast = minimal_broadcast_depth(adversary, max_depth=4)
+            assert separation is not None
+            assert separation == broadcast
+
+    def test_no_depth_for_impossible_adversaries(self):
+        assert minimal_broadcast_depth(lossy_link_full(), max_depth=3) is None
+        assert minimal_separation_depth(lossy_link_full(), max_depth=3) is None
+
+    def test_broadcast_report_contents(self):
+        space = PrefixSpace(lossy_link_no_hub())
+        analysis = ComponentAnalysis(space, 1)
+        reports = broadcastability_report(analysis)
+        assert len(reports) == len(analysis.components)
+        for report in reports:
+            assert report.broadcasters
+            assert report.completion_round == 1
+            for p, value in report.values.items():
+                assert value in (0, 1)
+
+
+class TestBaselines:
+    def test_common_root_member(self):
+        from repro.consensus.baselines import common_root_member
+
+        assert common_root_member(one_directional_and_both("->")) == 0
+        assert common_root_member(lossy_link_no_hub()) is None
+
+    def test_cgp_classes_on_lossy_links(self):
+        from repro.consensus.baselines import cgp_beta_classes, cgp_predicts_solvable
+
+        assert cgp_predicts_solvable(lossy_link_no_hub())
+        assert not cgp_predicts_solvable(lossy_link_full())
+        classes = cgp_beta_classes(lossy_link_no_hub())
+        assert len(classes) == 2
+
+    def test_cgp_rejects_unrooted(self):
+        from repro.consensus.baselines import cgp_predicts_solvable
+
+        assert not cgp_predicts_solvable(ObliviousAdversary(2, [NONE]))
+
+    def test_cgp_agrees_with_checker_on_two_process_census(self):
+        from itertools import combinations
+
+        from repro.consensus.baselines import cgp_predicts_solvable
+        from repro.consensus.solvability import SolvabilityStatus, check_consensus
+
+        graphs = [TO, FRO, BOTH, NONE]
+        for size in range(1, 5):
+            for subset in combinations(graphs, size):
+                adversary = ObliviousAdversary(2, subset)
+                checker = check_consensus(adversary, max_depth=6)
+                assert (
+                    checker.status is SolvabilityStatus.SOLVABLE
+                ) == cgp_predicts_solvable(adversary), adversary.name
+
+    def test_santoro_widmayer_premise(self):
+        from repro.consensus.baselines import santoro_widmayer_applies
+
+        assert santoro_widmayer_applies(lossy_link_full())
+        assert not santoro_widmayer_applies(lossy_link_no_hub())
+        assert santoro_widmayer_applies(santoro_widmayer_family(3, 2))
+
+
+class TestBivalence:
+    def test_forever_bivalent_run_for_lossy_link(self):
+        from repro.consensus.bivalence import bivalence_history, forever_bivalent_run
+
+        run = forever_bivalent_run(lossy_link_full(), depth=4)
+        assert run is not None
+        assert run.depth == 4
+        assert run.inputs in {(0, 1), (1, 0)}
+        assert all(size >= 2 for size in run.component_sizes[1:])
+        history = bivalence_history(lossy_link_full(), max_depth=4)
+        assert history == [1, 1, 1, 1, 1]
+
+    def test_no_bivalent_run_for_solvable(self):
+        from repro.consensus.bivalence import bivalence_history, forever_bivalent_run
+
+        assert forever_bivalent_run(lossy_link_no_hub(), depth=2) is None
+        assert bivalence_history(lossy_link_no_hub(), max_depth=3) == [1, 0, 0, 0]

@@ -1,0 +1,123 @@
+"""Tests for decision times, census tooling, and fair-sequence extraction."""
+
+import random
+
+import pytest
+
+from repro.adversaries.generators import santoro_widmayer_family
+from repro.adversaries.lossylink import (
+    lossy_link_full,
+    lossy_link_no_hub,
+    one_directional_and_both,
+)
+from repro.consensus.census import random_rooted_census, two_process_census
+from repro.consensus.decision_times import (
+    decision_round_histogram,
+    earliest_possible_round,
+    worst_case_decision_round,
+)
+from repro.consensus.fairsequences import fair_sequence_candidates
+from repro.consensus.solvability import check_consensus
+from repro.core.digraph import arrow
+from repro.errors import AnalysisError
+
+TO, FRO, BOTH = arrow("->"), arrow("<-"), arrow("<->")
+
+
+class TestDecisionTimes:
+    def test_histogram_no_hub(self):
+        table = check_consensus(lossy_link_no_hub()).decision_table
+        histogram = decision_round_histogram(table)
+        # All 8 depth-1 prefixes decide exactly at round 1.
+        assert histogram == {1: 8}
+        assert worst_case_decision_round(table) == 1
+
+    def test_histogram_covers_layer(self):
+        result = check_consensus(santoro_widmayer_family(3, 1), max_depth=4)
+        table = result.decision_table
+        histogram = decision_round_histogram(table)
+        layer_size = len(table.space.layer(table.depth))
+        assert sum(histogram.values()) == layer_size
+        assert worst_case_decision_round(table) <= table.depth
+
+    def test_earliest_possible_round_bounds_worst_case(self):
+        for adversary in (lossy_link_no_hub(), one_directional_and_both("->")):
+            table = check_consensus(adversary).decision_table
+            assert earliest_possible_round(table) <= worst_case_decision_round(
+                table
+            )
+
+    def test_early_decisions_can_beat_certified_depth(self):
+        """SW(3,1) certifies at depth 2 but some runs decide in round 1."""
+        result = check_consensus(santoro_widmayer_family(3, 1), max_depth=4)
+        histogram = decision_round_histogram(result.decision_table)
+        assert result.certified_depth == 2
+        assert min(histogram) <= 2
+
+
+class TestCensus:
+    def test_two_process_census_complete_and_consistent(self):
+        rows = two_process_census(max_depth=6)
+        assert len(rows) == 15
+        for row in rows:
+            assert row.checker_solvable is not None
+            assert row.oracle_agrees is True
+            assert row.cgp_agrees is True
+            assert row.certificate != "-"
+
+    def test_two_process_census_counts(self):
+        rows = two_process_census(max_depth=6)
+        solvable = sum(1 for row in rows if row.checker_solvable)
+        # Impossible: all 8 subsets containing `none`, minus... exactly the
+        # 7 nonempty subsets of {->,<-,<->} extended with `none` (= 7+1
+        # with the singleton {none}) plus {<-,<->,->} itself: 9 impossible.
+        assert solvable == 6
+        assert len(rows) - solvable == 9
+
+    def test_random_rooted_census_runs(self):
+        rng = random.Random(1)
+        rows = random_rooted_census(rng, samples=8, max_depth=3)
+        assert len(rows) == 8
+        for row in rows:
+            assert row.oracle is None
+            # Certified solvable rows must carry a real certificate.
+            if row.checker_solvable:
+                assert "decision-table" in row.certificate or "broadcaster" in row.certificate
+
+
+class TestFairSequences:
+    def test_lossy_link_has_candidates(self):
+        candidates = fair_sequence_candidates(lossy_link_full(), verify_depth=4)
+        assert candidates
+        first = candidates[0]
+        assert first.verified_depth == 4
+        # For the lossy link the whole layer is one bivalent component.
+        assert all(size >= 2 for size in first.component_sizes)
+        # Candidates start from a mixed (bivalent) input assignment.
+        assert first.sequence.unanimous_value is None
+
+    def test_solvable_adversary_has_no_candidates(self):
+        assert fair_sequence_candidates(lossy_link_no_hub(), verify_depth=3) == []
+        assert (
+            fair_sequence_candidates(
+                one_directional_and_both("->"), verify_depth=3
+            )
+            == []
+        )
+
+    def test_candidate_limit_respected(self):
+        candidates = fair_sequence_candidates(
+            lossy_link_full(), verify_depth=3, limit=2
+        )
+        assert len(candidates) == 2
+
+    def test_bad_depth_rejected(self):
+        with pytest.raises(AnalysisError):
+            fair_sequence_candidates(lossy_link_full(), verify_depth=0)
+
+    def test_fixed_inputs(self):
+        candidates = fair_sequence_candidates(
+            lossy_link_full(), verify_depth=3, inputs=(0, 1), limit=3
+        )
+        assert candidates
+        assert all(c.sequence.inputs == (0, 1) for c in candidates)

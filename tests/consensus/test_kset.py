@@ -1,0 +1,103 @@
+"""Tests for the k-set agreement extension checker."""
+
+import pytest
+
+from repro.adversaries.generators import out_star_set, santoro_widmayer_family
+from repro.adversaries.lossylink import lossy_link_full, lossy_link_no_hub
+from repro.adversaries.oblivious import ObliviousAdversary
+from repro.consensus.kset import KSetTable, check_kset_by_depth, kset_depth_sweep
+from repro.consensus.solvability import check_consensus
+from repro.consensus.spec import ConsensusSpec
+from repro.core.digraph import arrow
+from repro.errors import AnalysisError
+
+SPEC3 = ConsensusSpec(domain=(0, 1, 2))
+
+
+class TestKEqualsOneMatchesConsensus:
+    """k = 1 is consensus: the certificates must coincide depth by depth."""
+
+    @pytest.mark.parametrize(
+        "factory, solvable_depth",
+        [
+            (lossy_link_no_hub, 1),
+            (lambda: ObliviousAdversary(3, out_star_set(3)), 1),
+            (lambda: santoro_widmayer_family(3, 1), 2),
+        ],
+    )
+    def test_solvable_cases(self, factory, solvable_depth):
+        adversary = factory()
+        consensus = check_consensus(adversary, max_depth=4)
+        assert consensus.certified_depth == solvable_depth
+        for depth in range(solvable_depth + 1):
+            table = check_kset_by_depth(adversary, 1, depth)
+            if depth < solvable_depth:
+                assert table is None
+            else:
+                assert table is not None
+
+    @pytest.mark.parametrize("depth", [0, 1, 2, 3])
+    def test_impossible_case_never_certifies(self, depth):
+        assert check_kset_by_depth(lossy_link_full(), 1, depth) is None
+
+
+class TestTrivialAndDegenerate:
+    def test_k_at_least_domain_size_is_trivial_binary(self):
+        # With binary inputs, "decide your own input" gives <= 2 values.
+        table = check_kset_by_depth(lossy_link_full(), 2, 0)
+        assert table is not None
+        table.validate()
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(AnalysisError):
+            check_kset_by_depth(lossy_link_full(), 0, 1)
+
+    def test_k3_with_three_values_trivial(self):
+        table = check_kset_by_depth(
+            santoro_widmayer_family(3, 2), 3, 0, spec=SPEC3
+        )
+        assert table is not None
+
+
+class TestGracefulDegradation:
+    """[6]'s theme: where consensus dies, (n-1)-set agreement survives."""
+
+    def test_sw32_two_set_agreement_at_depth_one(self):
+        adversary = santoro_widmayer_family(3, 2)
+        # Consensus (k=1) is impossible.
+        assert not check_consensus(adversary).solvable
+        # 2-set agreement with three input values: not at depth 0 (own
+        # input yields 3 values), but solvable at depth 1.
+        found, outcomes = kset_depth_sweep(adversary, 2, max_depth=1, spec=SPEC3)
+        assert outcomes[0] is False
+        assert found == 1
+
+    def test_certificate_validates(self):
+        table = check_kset_by_depth(
+            santoro_widmayer_family(3, 2), 2, 1, spec=SPEC3
+        )
+        assert isinstance(table, KSetTable)
+        table.validate()
+        # Every view decides, and per-prefix value sets are small.
+        for node in table.space.layer(1):
+            values = {
+                table.decision_for_view(v) for v in node.prefix.views(1)
+            }
+            assert 1 <= len(values) <= 2
+
+    def test_unanimous_views_forced(self):
+        table = check_kset_by_depth(lossy_link_no_hub(), 2, 1)
+        assert table is not None
+        for node in table.space.layer(1):
+            value = node.unanimous_value
+            if value is not None:
+                for v in node.prefix.views(1):
+                    assert table.decision_for_view(v) == value
+
+    def test_strong_validity_restricts(self):
+        spec = ConsensusSpec(domain=(0, 1), validity="strong")
+        table = check_kset_by_depth(lossy_link_full(), 2, 1, spec=spec)
+        assert table is not None
+        for node in table.space.layer(1):
+            for v in node.prefix.views(1):
+                assert table.decision_for_view(v) in node.inputs

@@ -1,0 +1,62 @@
+"""Property-based tests for the k-set agreement checker."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.adversaries.oblivious import ObliviousAdversary
+from repro.consensus.kset import check_kset_by_depth
+from repro.consensus.spec import ConsensusSpec
+from repro.core.digraph import arrow
+
+GRAPHS2 = tuple(arrow(name) for name in ("->", "<-", "<->", "none"))
+
+adversaries = st.lists(
+    st.sampled_from(GRAPHS2), min_size=1, max_size=4, unique=True
+).map(lambda graphs: ObliviousAdversary(2, graphs))
+
+
+class TestKSetProperties:
+    @given(adversaries, st.integers(0, 2))
+    @settings(
+        max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    def test_k_one_matches_consensus_components(self, adversary, depth):
+        """k = 1 certificates exist exactly when the layer separates."""
+        from repro.consensus.spec import ConsensusSpec
+        from repro.topology.components import ComponentAnalysis
+        from repro.topology.prefixspace import PrefixSpace
+
+        table = check_kset_by_depth(adversary, 1, depth)
+        analysis = ComponentAnalysis(PrefixSpace(adversary), depth)
+        separated = not analysis.bivalent_components()
+        assert (table is not None) == separated
+
+    @given(adversaries, st.integers(0, 2), st.integers(1, 2))
+    @settings(
+        max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    def test_monotone_in_k(self, adversary, depth, k):
+        """If k-set agreement is certifiable, so is (k+1)-set agreement."""
+        smaller = check_kset_by_depth(adversary, k, depth)
+        if smaller is not None:
+            assert check_kset_by_depth(adversary, k + 1, depth) is not None
+
+    @given(adversaries, st.integers(1, 2))
+    @settings(
+        max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    def test_monotone_in_depth(self, adversary, depth):
+        """A depth-t certificate extends to depth t+1 (decide later)."""
+        table = check_kset_by_depth(adversary, 2, depth)
+        if table is not None:
+            assert check_kset_by_depth(adversary, 2, depth + 1) is not None
+
+    @given(adversaries)
+    @settings(
+        max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    def test_tables_validate(self, adversary):
+        for k in (1, 2):
+            table = check_kset_by_depth(adversary, k, 1)
+            if table is not None:
+                table.validate()

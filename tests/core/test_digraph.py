@@ -1,0 +1,234 @@
+"""Unit tests for :mod:`repro.core.digraph`."""
+
+import pytest
+
+from repro.core.digraph import ARROW_NAMES_N2, Digraph, arrow
+from repro.errors import InvalidGraphError
+
+
+class TestConstruction:
+    def test_nodes_out_of_range_rejected(self):
+        with pytest.raises(InvalidGraphError):
+            Digraph(2, [(0, 2)])
+        with pytest.raises(InvalidGraphError):
+            Digraph(2, [(-1, 0)])
+
+    def test_nonpositive_n_rejected(self):
+        with pytest.raises(InvalidGraphError):
+            Digraph(0)
+
+    def test_self_loops_are_normalized_away(self):
+        g = Digraph(3, [(0, 0), (0, 1), (2, 2)])
+        assert g.edges == frozenset({(0, 1)})
+
+    def test_duplicate_edges_collapse(self):
+        g = Digraph(2, [(0, 1), (0, 1)])
+        assert len(g.edges) == 1
+
+    def test_empty_and_complete(self):
+        assert Digraph.empty(3).edges == frozenset()
+        assert len(Digraph.complete(3).edges) == 6
+
+    def test_from_matrix(self):
+        g = Digraph.from_matrix([[0, 1], [0, 0]])
+        assert g == arrow("->")
+
+    def test_from_dict(self):
+        g = Digraph.from_dict(3, {0: [1, 2]})
+        assert g == Digraph.star_out(3, 0)
+
+    def test_immutability(self):
+        g = Digraph(2, [(0, 1)])
+        with pytest.raises(AttributeError):
+            g.n = 5
+
+    def test_stars(self):
+        out = Digraph.star_out(4, 1)
+        assert out.edges == frozenset({(1, 0), (1, 2), (1, 3)})
+        into = Digraph.star_in(4, 1)
+        assert into.edges == frozenset({(0, 1), (2, 1), (3, 1)})
+
+    def test_cycle_and_path(self):
+        cyc = Digraph.directed_cycle(3)
+        assert cyc.edges == frozenset({(0, 1), (1, 2), (2, 0)})
+        path = Digraph.directed_path(3, order=[2, 1, 0])
+        assert path.edges == frozenset({(2, 1), (1, 0)})
+
+
+class TestArrows:
+    @pytest.mark.parametrize("name", ["->", "<-", "<->", "none"])
+    def test_round_trip_names(self, name):
+        assert arrow(name).name == name
+
+    def test_unicode_aliases(self):
+        assert arrow("→") == arrow("->")
+        assert arrow("←") == arrow("<-")
+        assert arrow("↔") == arrow("<->")
+        assert arrow("∅") == arrow("none")
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(InvalidGraphError):
+            arrow("-->")
+
+    def test_all_four_graphs_named(self):
+        assert len(ARROW_NAMES_N2) == 4
+
+
+class TestNeighborhoods:
+    def test_in_neighbors_include_self(self):
+        g = arrow("->")
+        assert g.in_neighbors(0) == frozenset({0})
+        assert g.in_neighbors(1) == frozenset({0, 1})
+
+    def test_out_neighbors_include_self(self):
+        g = arrow("->")
+        assert g.out_neighbors(0) == frozenset({0, 1})
+        assert g.out_neighbors(1) == frozenset({1})
+
+    def test_has_edge_with_implicit_self_loop(self):
+        g = Digraph.empty(2)
+        assert g.has_edge(0, 0)
+        assert not g.has_edge(0, 1)
+
+
+class TestDerivedGraphs:
+    def test_transpose(self):
+        assert arrow("->").transpose() == arrow("<-")
+        assert arrow("<->").transpose() == arrow("<->")
+
+    def test_union_intersection(self):
+        assert arrow("->").union(arrow("<-")) == arrow("<->")
+        assert arrow("<->").intersection(arrow("->")) == arrow("->")
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(InvalidGraphError):
+            arrow("->").union(Digraph.empty(3))
+
+    def test_with_without_edge(self):
+        g = Digraph.empty(2).with_edge(0, 1)
+        assert g == arrow("->")
+        assert g.without_edge(0, 1) == Digraph.empty(2)
+
+    def test_is_subgraph_of(self):
+        assert arrow("->").is_subgraph_of(arrow("<->"))
+        assert not arrow("<->").is_subgraph_of(arrow("->"))
+
+
+class TestReachability:
+    def test_reachable_from_includes_self(self):
+        g = Digraph.empty(3)
+        assert g.reachable_from(1) == frozenset({1})
+
+    def test_reachable_through_path(self):
+        g = Digraph.directed_path(4)
+        assert g.reachable_from(0) == frozenset({0, 1, 2, 3})
+        assert g.reachable_from(2) == frozenset({2, 3})
+
+
+class TestComponents:
+    def test_cycle_is_single_scc(self):
+        g = Digraph.directed_cycle(5)
+        assert g.strongly_connected_components() == (frozenset(range(5)),)
+        assert g.is_strongly_connected
+
+    def test_path_has_singleton_sccs(self):
+        g = Digraph.directed_path(4)
+        assert len(g.strongly_connected_components()) == 4
+
+    def test_component_of(self):
+        g = Digraph(4, [(0, 1), (1, 0), (2, 3)])
+        assert g.component_of(0) == frozenset({0, 1})
+        assert g.component_of(3) == frozenset({3})
+
+    def test_mixed_graph_sccs(self):
+        # Two 2-cycles joined by a single edge.
+        g = Digraph(4, [(0, 1), (1, 0), (2, 3), (3, 2), (1, 2)])
+        comps = set(g.strongly_connected_components())
+        assert comps == {frozenset({0, 1}), frozenset({2, 3})}
+
+    def test_scc_against_networkx_on_random_graphs(self):
+        networkx = pytest.importorskip("networkx")
+        import random
+
+        rng = random.Random(7)
+        for _ in range(60):
+            n = rng.randint(1, 7)
+            edges = [
+                (u, v)
+                for u in range(n)
+                for v in range(n)
+                if u != v and rng.random() < 0.3
+            ]
+            ours = set(Digraph(n, edges).strongly_connected_components())
+            nx_graph = networkx.DiGraph()
+            nx_graph.add_nodes_from(range(n))
+            nx_graph.add_edges_from(edges)
+            theirs = {
+                frozenset(c)
+                for c in networkx.strongly_connected_components(nx_graph)
+            }
+            assert ours == theirs
+
+
+class TestRootsAndBroadcasters:
+    def test_empty_graph_every_node_is_root(self):
+        g = Digraph.empty(3)
+        assert len(g.root_components) == 3
+        assert not g.is_rooted
+        assert g.broadcasters == frozenset()
+
+    def test_out_star_rooted_at_center(self):
+        g = Digraph.star_out(4, 2)
+        assert g.root_components == (frozenset({2}),)
+        assert g.is_rooted
+        assert g.broadcasters == frozenset({2})
+
+    def test_cycle_everyone_broadcasts(self):
+        g = Digraph.directed_cycle(4)
+        assert g.broadcasters == frozenset(range(4))
+
+    def test_arrow_roots(self):
+        assert arrow("->").broadcasters == frozenset({0})
+        assert arrow("<-").broadcasters == frozenset({1})
+        assert arrow("<->").broadcasters == frozenset({0, 1})
+        assert arrow("none").broadcasters == frozenset()
+
+    def test_two_root_components(self):
+        g = Digraph(3, [(0, 1)])
+        assert set(g.root_components) == {frozenset({0}), frozenset({2})}
+        assert g.roots == frozenset({0, 2})
+        assert g.broadcasters == frozenset()
+
+    def test_broadcasters_reach_everyone(self):
+        import random
+
+        rng = random.Random(13)
+        for _ in range(80):
+            n = rng.randint(1, 6)
+            edges = [
+                (u, v)
+                for u in range(n)
+                for v in range(n)
+                if u != v and rng.random() < 0.35
+            ]
+            g = Digraph(n, edges)
+            expected = frozenset(
+                p for p in range(n) if len(g.reachable_from(p)) == n
+            )
+            assert g.broadcasters == expected
+
+
+class TestProtocol:
+    def test_equality_and_hash(self):
+        assert arrow("->") == Digraph(2, [(0, 1)])
+        assert hash(arrow("->")) == hash(Digraph(2, [(0, 1)]))
+        assert arrow("->") != arrow("<-")
+        assert arrow("->") != "->"
+
+    def test_sorting_is_deterministic(self):
+        graphs = [arrow("<->"), arrow("->"), arrow("none"), arrow("<-")]
+        assert sorted(graphs) == sorted(reversed(graphs))
+
+    def test_repr_round_trips_for_n2(self):
+        g = arrow("<->")
+        assert eval(repr(g), {"Digraph": Digraph}) == g

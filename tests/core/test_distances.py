@@ -1,0 +1,214 @@
+"""Tests for the distance functions (Theorem 4.3 and Section 4.2)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.digraph import Digraph, arrow
+from repro.core.distances import (
+    d_max,
+    d_min,
+    d_p,
+    d_view,
+    diameter,
+    distance_value,
+    divergence_time,
+    equality_profile,
+    set_distance,
+)
+from repro.core.ptg import PTGPrefix
+from repro.core.views import ViewInterner
+from repro.errors import AnalysisError
+
+GRAPHS2 = [arrow(name) for name in ("->", "<-", "<->", "none")]
+
+
+def random_prefixes(count=30, depth=5, seed=0, n=2):
+    rng = random.Random(seed)
+    interner = ViewInterner(n)
+    graphs = GRAPHS2 if n == 2 else [
+        Digraph(n, [(u, v) for u in range(n) for v in range(n) if u != v and rng.random() < 0.4])
+        for _ in range(6)
+    ]
+    out = []
+    for _ in range(count):
+        inputs = tuple(rng.randint(0, 1) for _ in range(n))
+        word = [rng.choice(graphs) for _ in range(depth)]
+        out.append(PTGPrefix(interner, inputs, word))
+    return out
+
+
+class TestBasics:
+    def test_distance_value(self):
+        assert distance_value(None) == 0.0
+        assert distance_value(0) == 1.0
+        assert distance_value(3) == 0.125
+
+    def test_identical_prefixes_have_zero_distances(self):
+        interner = ViewInterner(2)
+        a = PTGPrefix(interner, (0, 1), [arrow("->")])
+        assert divergence_time(a, a) is None
+        assert d_max(a, a) == 0.0
+        assert d_min(a, a) == 0.0
+
+    def test_different_interners_rejected(self):
+        a = PTGPrefix(ViewInterner(2), (0, 1))
+        b = PTGPrefix(ViewInterner(2), (0, 1))
+        with pytest.raises(AnalysisError):
+            d_max(a, b)
+
+    def test_empty_process_set_rejected(self):
+        interner = ViewInterner(2)
+        a = PTGPrefix(interner, (0, 1))
+        with pytest.raises(AnalysisError):
+            d_view(a, a, ())
+
+    def test_input_difference_detected_at_time_zero(self):
+        interner = ViewInterner(2)
+        a = PTGPrefix(interner, (0, 0), [arrow("->")])
+        b = PTGPrefix(interner, (1, 0), [arrow("->")])
+        assert divergence_time(a, b, (0,)) == 0
+        assert d_p(a, b, 0) == 1.0
+        # Process 1 only notices once it hears process 0.
+        assert divergence_time(a, b, (1,)) == 1
+        assert d_p(a, b, 1) == 0.5
+
+    def test_process_never_hearing_gives_distance_zero(self):
+        interner = ViewInterner(2)
+        a = PTGPrefix(interner, (0, 0), [arrow("->")] * 4)
+        b = PTGPrefix(interner, (0, 1), [arrow("->")] * 4)
+        assert divergence_time(a, b, (0,)) is None
+        assert d_p(a, b, 0) == 0.0
+        assert d_min(a, b) == 0.0
+        # Process 1's own input differs, so it distinguishes immediately.
+        assert d_p(a, b, 1) == 1.0
+        # If instead x_0 differs, process 1 notices at its first reception.
+        c = PTGPrefix(interner, (1, 0), [arrow("->")] * 4)
+        assert d_p(a, c, 1) == 0.5
+
+
+class TestFigure3:
+    """Reconstruct Figure 3's distance pattern with three processes.
+
+    We build two executions where process 2 differs immediately
+    (d_{2} = 1), process 1 notices at time 1 (d_{1} = 1/2), and process 0
+    notices only at time 2 (d_{0} = 1/4), giving d_max = 1 and d_min = 1/4.
+    (The paper's figure indexes processes 1..3; ours are 0..2.)
+    """
+
+    @pytest.fixture
+    def pair(self):
+        interner = ViewInterner(3)
+        chain = Digraph(3, [(2, 1), (1, 0)])
+        alpha = PTGPrefix(interner, (0, 0, 0), [chain, chain])
+        beta = PTGPrefix(interner, (0, 0, 1), [chain, chain])
+        return alpha, beta
+
+    def test_distances(self, pair):
+        alpha, beta = pair
+        assert d_p(alpha, beta, 2) == 1.0
+        assert d_p(alpha, beta, 1) == 0.5
+        assert d_p(alpha, beta, 0) == 0.25
+        assert d_max(alpha, beta) == 1.0
+        assert d_min(alpha, beta) == 0.25
+
+    def test_equality_profile_shrinks(self, pair):
+        alpha, beta = pair
+        profile = equality_profile(alpha, beta)
+        assert profile == [
+            frozenset({0, 1}),
+            frozenset({0}),
+            frozenset(),
+        ]
+
+
+class TestTheorem43Properties:
+    """Symmetry, triangle inequality, monotonicity, d_[n] = d_max."""
+
+    def test_symmetry(self):
+        prefixes = random_prefixes(seed=1)
+        for a in prefixes[:10]:
+            for b in prefixes[:10]:
+                assert d_max(a, b) == d_max(b, a)
+                assert d_min(a, b) == d_min(b, a)
+                for p in range(2):
+                    assert d_p(a, b, p) == d_p(b, a, p)
+
+    def test_triangle_inequality_for_d_p(self):
+        prefixes = random_prefixes(seed=2, count=14)
+        for a in prefixes:
+            for b in prefixes:
+                for c in prefixes:
+                    for p in range(2):
+                        assert d_p(a, c, p) <= d_p(a, b, p) + d_p(b, c, p) + 1e-12
+
+    def test_monotonicity_in_p(self):
+        prefixes = random_prefixes(seed=3, n=3, count=12)
+        for a in prefixes[:8]:
+            for b in prefixes[:8]:
+                d_small = d_view(a, b, (0,))
+                d_large = d_view(a, b, (0, 1))
+                d_all = d_view(a, b, (0, 1, 2))
+                assert d_small <= d_large <= d_all
+                assert d_all == d_max(a, b)
+
+    def test_d_min_is_min_of_single_process_distances(self):
+        prefixes = random_prefixes(seed=4, n=3, count=12)
+        for a in prefixes[:8]:
+            for b in prefixes[:8]:
+                assert d_min(a, b) == min(d_p(a, b, p) for p in range(3))
+
+    def test_d_min_triangle_can_fail(self):
+        """d_min is only a pseudo-semi-metric (Section 4.2).
+
+        We exhibit prefixes with d_min(a, b) = 0 and d_min(b, c) = 0 but
+        d_min(a, c) > 0, witnessing the failure of the triangle inequality.
+        """
+        interner = ViewInterner(2)
+        to = arrow("->")
+        fro = arrow("<-")
+        a = PTGPrefix(interner, (0, 0), [to] * 3)
+        b = PTGPrefix(interner, (0, 1), [to] * 3)
+        # c shares process 1's view with b (under <-, process 1 hears nothing).
+        b2 = PTGPrefix(interner, (0, 1), [fro] * 3)
+        c = PTGPrefix(interner, (1, 1), [fro] * 3)
+        assert d_min(a, b) == 0.0
+        assert d_min(b2, c) == 0.0
+        assert d_min(a, c) > 0.0
+
+
+class TestSetHelpers:
+    def test_set_distance_and_diameter(self):
+        interner = ViewInterner(2)
+        a = PTGPrefix(interner, (0, 0), [arrow("->")] * 3)
+        b = PTGPrefix(interner, (0, 1), [arrow("->")] * 3)
+        c = PTGPrefix(interner, (1, 1), [arrow("<-")] * 3)
+        assert set_distance([a], [b]) == 0.0
+        assert set_distance([a], [c], dist=d_max) == 1.0
+        assert diameter([a, b, c], dist=d_max) == 1.0
+        assert diameter([a]) == 0.0
+
+    def test_empty_sets_rejected(self):
+        interner = ViewInterner(2)
+        a = PTGPrefix(interner, (0, 0))
+        with pytest.raises(AnalysisError):
+            set_distance([], [a])
+        with pytest.raises(AnalysisError):
+            diameter([])
+
+
+class TestLemma48MinFormula:
+    """d_min computed via the product formula equals min_p d_p (Lemma 4.8)."""
+
+    def test_product_formula(self):
+        prefixes = random_prefixes(seed=6, count=16, depth=4)
+        for a in prefixes[:10]:
+            for b in prefixes[:10]:
+                profile = equality_profile(a, b)
+                # First time every process distinguishes.
+                first_empty = next(
+                    (t for t, alive in enumerate(profile) if not alive), None
+                )
+                expected = 0.0 if first_empty is None else math.ldexp(1.0, -first_empty)
+                assert d_min(a, b) == expected

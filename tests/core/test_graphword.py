@@ -1,0 +1,126 @@
+"""Unit tests for :mod:`repro.core.graphword`."""
+
+import pytest
+
+from repro.core.digraph import Digraph, arrow
+from repro.core.graphword import GraphWord, full_mask, heard_of_step
+from repro.errors import InvalidGraphError
+
+
+class TestConstruction:
+    def test_empty_word_needs_n(self):
+        with pytest.raises(InvalidGraphError):
+            GraphWord([])
+        w = GraphWord([], n=3)
+        assert len(w) == 0 and w.n == 3
+
+    def test_mixed_sizes_rejected(self):
+        with pytest.raises(InvalidGraphError):
+            GraphWord([arrow("->"), Digraph.empty(3)])
+
+    def test_sequence_protocol(self):
+        w = GraphWord([arrow("->"), arrow("<-")])
+        assert len(w) == 2
+        assert list(w) == [arrow("->"), arrow("<-")]
+        assert w[0] == arrow("->")
+        assert w[0:1] == GraphWord([arrow("->")])
+        assert w[:0] == GraphWord([], n=2)
+
+    def test_round_graph_is_one_based(self):
+        w = GraphWord([arrow("->"), arrow("<-")])
+        assert w.round_graph(1) == arrow("->")
+        assert w.round_graph(2) == arrow("<-")
+        with pytest.raises(InvalidGraphError):
+            w.round_graph(0)
+        with pytest.raises(InvalidGraphError):
+            w.round_graph(3)
+
+    def test_extended_concat_repeat(self):
+        w = GraphWord([arrow("->")])
+        assert w.extended(arrow("<-")) == GraphWord([arrow("->"), arrow("<-")])
+        assert w.concat(w) == GraphWord([arrow("->")] * 2)
+        assert w.repeat(3) == GraphWord([arrow("->")] * 3)
+        with pytest.raises(InvalidGraphError):
+            w.repeat(0)
+
+    def test_immutability_and_hash(self):
+        w = GraphWord([arrow("->")])
+        with pytest.raises(AttributeError):
+            w.n = 7
+        assert hash(w) == hash(GraphWord([arrow("->")]))
+
+
+class TestHeardOfDynamics:
+    def test_full_mask(self):
+        assert full_mask(3) == 0b111
+
+    def test_heard_of_step_identity_on_empty_graph(self):
+        g = Digraph.empty(3)
+        heard = (0b001, 0b010, 0b100)
+        assert heard_of_step(g, heard) == heard
+
+    def test_heard_of_step_complete_graph_floods(self):
+        g = Digraph.complete(3)
+        heard = (0b001, 0b010, 0b100)
+        assert heard_of_step(g, heard) == (0b111, 0b111, 0b111)
+
+    def test_initial_masks(self):
+        w = GraphWord([], n=3)
+        assert w.heard_masks() == (0b001, 0b010, 0b100)
+
+    def test_propagation_along_arrow(self):
+        w = GraphWord([arrow("->")])
+        assert w.heard_masks() == (0b01, 0b11)
+        assert w.has_heard(1, 0)
+        assert not w.has_heard(0, 1)
+
+    def test_broadcast_rounds_two_process(self):
+        w = GraphWord([arrow("->"), arrow("<-")])
+        assert w.broadcast_complete_round(0) == 1
+        assert w.broadcast_complete_round(1) == 2
+        assert w.broadcasters_by(1) == frozenset({0})
+        assert w.broadcasters_by(2) == frozenset({0, 1})
+        assert w.first_broadcast_round() == 1
+
+    def test_no_broadcast_on_empty_graphs(self):
+        w = GraphWord([Digraph.empty(2)] * 5)
+        assert w.broadcast_complete_round(0) is None
+        assert w.first_broadcast_round() is None
+        assert w.broadcasters_by() == frozenset()
+
+    def test_path_graph_chain_broadcast(self):
+        # Repeating the path 0 -> 1 -> 2 floods process 0's input in 2 rounds.
+        g = Digraph.directed_path(3)
+        w = GraphWord([g, g])
+        assert w.broadcast_complete_round(0) == 2
+        assert w.broadcast_complete_round(1) is None
+
+    def test_heard_masks_are_monotone(self):
+        import random
+
+        rng = random.Random(3)
+        graphs = [arrow(name) for name in ("->", "<-", "<->", "none")]
+        word = GraphWord([rng.choice(graphs) for _ in range(12)])
+        for t in range(1, 13):
+            before = word.heard_masks(t - 1)
+            after = word.heard_masks(t)
+            for q in range(2):
+                assert before[q] & after[q] == before[q]
+
+    def test_broadcast_round_matches_ptg_views(self):
+        """Heard-of masks must agree with the view-based origin masks."""
+        import random
+
+        from repro.core.ptg import PTGPrefix
+        from repro.core.views import ViewInterner
+
+        rng = random.Random(5)
+        graphs = [arrow(name) for name in ("->", "<-", "<->", "none")]
+        for _ in range(25):
+            word = GraphWord([rng.choice(graphs) for _ in range(6)])
+            interner = ViewInterner(2)
+            prefix = PTGPrefix(interner, (0, 1), word.graphs)
+            for t in range(7):
+                masks = word.heard_masks(t)
+                for q in range(2):
+                    assert masks[q] == interner.origin_mask(prefix.view(q, t))

@@ -1,0 +1,257 @@
+"""Unit tests for views and process-time graph prefixes."""
+
+import pytest
+
+from repro.core.digraph import Digraph, arrow
+from repro.core.ptg import PTGPrefix
+from repro.core.views import ViewInterner
+from repro.errors import AnalysisError, InvalidInputError
+
+
+@pytest.fixture
+def interner2():
+    return ViewInterner(2)
+
+
+@pytest.fixture
+def interner3():
+    return ViewInterner(3)
+
+
+class TestInterner:
+    def test_leaf_interning(self, interner2):
+        assert interner2.leaf(0, 1) == interner2.leaf(0, 1)
+        assert interner2.leaf(0, 1) != interner2.leaf(0, 0)
+        assert interner2.leaf(0, 1) != interner2.leaf(1, 1)
+
+    def test_leaf_accessors(self, interner2):
+        vid = interner2.leaf(1, "a")
+        assert interner2.pid(vid) == 1
+        assert interner2.depth(vid) == 0
+        assert interner2.is_leaf(vid)
+        assert interner2.leaf_value(vid) == "a"
+        assert interner2.origins(vid) == ((1, "a"),)
+        assert interner2.origin_mask(vid) == 0b10
+
+    def test_node_interning(self, interner2):
+        a = interner2.leaf(0, 0)
+        b = interner2.leaf(1, 1)
+        n1 = interner2.node(0, [a, b])
+        n2 = interner2.node(0, [b, a])
+        assert n1 == n2
+        assert interner2.depth(n1) == 1
+        assert interner2.children(n1) == frozenset({a, b})
+        assert not interner2.is_leaf(n1)
+
+    def test_node_merges_origins(self, interner2):
+        a = interner2.leaf(0, 0)
+        b = interner2.leaf(1, 1)
+        vid = interner2.node(1, [a, b])
+        assert interner2.origin_mask(vid) == 0b11
+        assert interner2.origins(vid) == ((0, 0), (1, 1))
+        assert interner2.knows_input_of(vid, 0)
+        assert interner2.input_of(vid, 1) == 1
+
+    def test_node_rejects_mixed_depths(self, interner2):
+        a = interner2.leaf(0, 0)
+        deeper = interner2.node(0, [a])
+        with pytest.raises(AnalysisError):
+            interner2.node(1, [a, deeper])
+
+    def test_node_rejects_empty_children(self, interner2):
+        with pytest.raises(AnalysisError):
+            interner2.node(0, [])
+
+    def test_node_rejects_conflicting_origin_values(self, interner2):
+        a = interner2.leaf(0, 0)
+        b = interner2.leaf(0, 1)
+        with pytest.raises(AnalysisError):
+            interner2.node(1, [a, b])
+
+    def test_input_of_unknown_process_raises(self, interner2):
+        vid = interner2.leaf(0, 0)
+        with pytest.raises(AnalysisError):
+            interner2.input_of(vid, 1)
+
+    def test_out_of_range_pid(self, interner2):
+        with pytest.raises(AnalysisError):
+            interner2.leaf(2, 0)
+
+    def test_stats(self, interner2):
+        interner2.leaf(0, 0)
+        a = interner2.leaf(1, 1)
+        interner2.node(1, [a])
+        stats = interner2.stats()
+        assert stats.total == 3
+        assert stats.leaves == 2
+        assert stats.max_depth == 1
+        assert len(interner2) == 3
+
+
+class TestPTGPrefix:
+    def test_depth_zero_views_are_leaves(self, interner2):
+        prefix = PTGPrefix(interner2, (0, 1))
+        assert prefix.depth == 0
+        assert interner2.leaf_value(prefix.view(0)) == 0
+        assert interner2.leaf_value(prefix.view(1)) == 1
+
+    def test_wrong_input_length_rejected(self, interner2):
+        with pytest.raises(InvalidInputError):
+            PTGPrefix(interner2, (0, 1, 0))
+
+    def test_wrong_graph_size_rejected(self, interner2):
+        with pytest.raises(AnalysisError):
+            PTGPrefix(interner2, (0, 1), [Digraph.empty(3)])
+
+    def test_extension_matches_direct_construction(self, interner2):
+        direct = PTGPrefix(interner2, (0, 1), [arrow("->"), arrow("<-")])
+        stepwise = (
+            PTGPrefix(interner2, (0, 1))
+            .extended(arrow("->"))
+            .extended(arrow("<-"))
+        )
+        assert direct == stepwise
+        assert direct.views() == stepwise.views()
+
+    def test_truncation(self, interner2):
+        prefix = PTGPrefix(interner2, (0, 1), [arrow("->"), arrow("<-")])
+        cut = prefix.truncated(1)
+        assert cut.depth == 1
+        assert cut.views() == prefix.views(1)
+        with pytest.raises(AnalysisError):
+            prefix.truncated(3)
+
+    def test_view_equality_reflects_information_flow(self, interner2):
+        # Process 0 never hears process 1 under "->" so its view cannot
+        # depend on x_1; process 1 hears x_0 in round one.
+        a = PTGPrefix(interner2, (0, 0), [arrow("->")])
+        b = PTGPrefix(interner2, (0, 1), [arrow("->")])
+        c = PTGPrefix(interner2, (1, 0), [arrow("->")])
+        assert a.view(0) == b.view(0)
+        assert a.view(1) != b.view(1)
+        assert a.view(0) != c.view(0)
+        assert a.view(1) != c.view(1)
+
+    def test_unanimous_value(self, interner2):
+        assert PTGPrefix(interner2, (1, 1)).unanimous_value == 1
+        assert PTGPrefix(interner2, (0, 1)).unanimous_value is None
+
+    def test_broadcasters_after_arrow(self, interner2):
+        prefix = PTGPrefix(interner2, (0, 1), [arrow("->")])
+        assert prefix.broadcasters() == frozenset({0})
+        assert prefix.broadcasters(0) == frozenset()
+        both = prefix.extended(arrow("<-"))
+        assert both.broadcasters() == frozenset({0, 1})
+
+    def test_knows_input_of(self, interner2):
+        prefix = PTGPrefix(interner2, (0, 1), [arrow("->")])
+        assert prefix.knows_input_of(1, 0)
+        assert not prefix.knows_input_of(0, 1)
+
+    def test_views_out_of_range(self, interner2):
+        prefix = PTGPrefix(interner2, (0, 1), [arrow("->")])
+        with pytest.raises(AnalysisError):
+            prefix.view(0, 2)
+        with pytest.raises(AnalysisError):
+            prefix.views(-1)
+
+    def test_immutability(self, interner2):
+        prefix = PTGPrefix(interner2, (0, 1))
+        with pytest.raises(AttributeError):
+            prefix.inputs = (1, 1)
+
+
+class TestFigure2:
+    """The paper's Figure 2: PTG at time 2 with n = 3, x = (1, 0, 1)."""
+
+    def make_prefix(self, interner3):
+        # A concrete graph sequence for the figure's shape: in round 1 the
+        # edges 0->1, 2->1 are delivered; in round 2 the edge 1->0.
+        g1 = Digraph(3, [(0, 1), (2, 1)])
+        g2 = Digraph(3, [(1, 0)])
+        return PTGPrefix(interner3, (1, 0, 1), [g1, g2])
+
+    def test_node_inventory(self, interner3):
+        prefix = self.make_prefix(interner3)
+        nodes = prefix.ptg_nodes()
+        assert (0, 0, 1) in nodes and (1, 0, 0) in nodes and (2, 0, 1) in nodes
+        assert (0, 2) in nodes and (2, 2) in nodes
+        assert len(nodes) == 9
+
+    def test_edge_inventory(self, interner3):
+        prefix = self.make_prefix(interner3)
+        edges = prefix.ptg_edges(include_self_loops=False)
+        assert ((0, 0), (1, 1)) in edges
+        assert ((2, 0), (1, 1)) in edges
+        assert ((1, 1), (0, 2)) in edges
+        assert len(edges) == 3
+
+    def test_causal_cone_of_process_0(self, interner3):
+        prefix = self.make_prefix(interner3)
+        nodes, edges = prefix.cone(0)
+        # Process 0 at time 2 heard process 1 at time 1, who heard 0 and 2.
+        assert (0, 2) in nodes
+        assert (1, 1) in nodes
+        assert (0, 0) in nodes and (2, 0) in nodes and (1, 0) in nodes
+        assert ((1, 1), (0, 2)) in edges
+
+    def test_cone_matches_brute_force(self, interner3):
+        """Recursive views and explicit causal-past extraction must agree."""
+        prefix = self.make_prefix(interner3)
+        for p in range(3):
+            nodes, _ = prefix.cone(p)
+            expected = brute_force_cone(prefix, p, prefix.depth)
+            assert nodes == expected
+
+    def test_origin_mask_matches_cone(self, interner3):
+        prefix = self.make_prefix(interner3)
+        for p in range(3):
+            nodes, _ = prefix.cone(p)
+            level0 = {q for (q, s) in nodes if s == 0}
+            mask = interner3.origin_mask(prefix.view(p))
+            assert level0 == {q for q in range(3) if mask >> q & 1}
+
+
+def brute_force_cone(prefix: PTGPrefix, p: int, t: int) -> set:
+    """Causal past computed directly on the explicit process-time graph."""
+    frontier = {(p, t)}
+    result = set(frontier)
+    for s in range(t, 0, -1):
+        graph = prefix.graphs[s - 1]
+        previous = set()
+        for q, when in frontier:
+            if when == s:
+                previous.update((r, s - 1) for r in graph.in_neighbors(q))
+        result.update(previous)
+        frontier = previous
+    return result
+
+
+class TestViewConeEquivalence:
+    """Random cross-check: view equality iff labeled causal cones equal."""
+
+    def test_random_prefixes(self):
+        import random
+
+        rng = random.Random(11)
+        graphs2 = [arrow(name) for name in ("->", "<-", "<->", "none")]
+        interner = ViewInterner(2)
+        prefixes = []
+        for _ in range(40):
+            inputs = (rng.randint(0, 1), rng.randint(0, 1))
+            word = [rng.choice(graphs2) for _ in range(4)]
+            prefixes.append(PTGPrefix(interner, inputs, word))
+        for a in prefixes[:12]:
+            for b in prefixes[:12]:
+                for p in range(2):
+                    same_view = a.view(p) == b.view(p)
+                    same_cone = labeled_cone(a, p) == labeled_cone(b, p)
+                    assert same_view == same_cone
+
+
+def labeled_cone(prefix: PTGPrefix, p: int):
+    nodes, edges = prefix.cone(p)
+    labels = {
+        (q, s): prefix.inputs[q] for (q, s) in nodes if s == 0
+    }
+    return (frozenset(nodes), frozenset(edges), tuple(sorted(labels.items())))

@@ -1,0 +1,216 @@
+"""Tests for the lock-step simulator and the consensus algorithms."""
+
+import random
+
+import pytest
+
+from repro.adversaries.lossylink import (
+    eventually_one_direction,
+    lossy_link_no_hub,
+)
+from repro.adversaries.oblivious import ObliviousAdversary
+from repro.adversaries.stabilizing import EventuallyForeverAdversary
+from repro.consensus.solvability import check_consensus
+from repro.core.digraph import Digraph, arrow
+from repro.core.graphword import GraphWord
+from repro.core.ptg import PTGPrefix
+from repro.core.views import ViewInterner
+from repro.errors import SimulationError
+from repro.simulation.algorithms import (
+    BroadcastValueAlgorithm,
+    FullInformationAlgorithm,
+    MinOfHeardAlgorithm,
+    UniversalAlgorithm,
+)
+from repro.simulation.drivers import DelayBroadcastDriver, RandomDriver
+from repro.simulation.runner import run_many, run_word
+
+TO, FRO, BOTH = arrow("->"), arrow("<-"), arrow("<->")
+
+
+class TestFullInformation:
+    def test_simulated_views_match_ptg_module(self):
+        """The simulator's full-info states must equal the PTG views."""
+        rng = random.Random(1)
+        adversary = lossy_link_no_hub()
+        interner = ViewInterner(2)
+        algorithm = FullInformationAlgorithm(interner)
+        for _ in range(15):
+            inputs = (rng.randint(0, 1), rng.randint(0, 1))
+            word = adversary.sample_word(rng, 5)
+            result = run_word(algorithm, inputs, word, record_states=True)
+            prefix = PTGPrefix(interner, inputs, word.graphs)
+            for t, states in enumerate(result.states):
+                assert states == prefix.views(t)
+
+    def test_wrong_interner_size(self):
+        algorithm = FullInformationAlgorithm(ViewInterner(3))
+        with pytest.raises(SimulationError):
+            run_word(algorithm, (0, 1), GraphWord([TO]))
+
+    def test_mismatched_inputs(self):
+        algorithm = FullInformationAlgorithm(ViewInterner(2))
+        with pytest.raises(SimulationError):
+            run_word(algorithm, (0, 1, 1), GraphWord([TO]))
+
+
+class TestUniversalAlgorithm:
+    @pytest.fixture(scope="class")
+    def certified(self):
+        return check_consensus(lossy_link_no_hub())
+
+    def test_decides_by_certified_depth(self, certified):
+        algorithm = UniversalAlgorithm(certified.decision_table)
+        rng = random.Random(2)
+        stats = run_many(
+            algorithm, lossy_link_no_hub(), rng, trials=150, rounds=5
+        )
+        assert stats.runs == stats.decided == 150
+        assert stats.agreement_failures == 0
+        assert stats.max_round <= certified.certified_depth
+
+    def test_validity_on_unanimous_inputs(self, certified):
+        algorithm = UniversalAlgorithm(certified.decision_table)
+        rng = random.Random(3)
+        for value in (0, 1):
+            stats = run_many(
+                algorithm,
+                lossy_link_no_hub(),
+                rng,
+                trials=40,
+                rounds=4,
+                input_vectors=[(value, value)],
+            )
+            assert stats.validity_failures == 0
+            assert stats.agreement_failures == 0
+
+    def test_exhaustive_over_all_words(self, certified):
+        """Agreement/validity on *every* admissible word of length 4."""
+        algorithm = UniversalAlgorithm(certified.decision_table)
+        adversary = lossy_link_no_hub()
+        for word in adversary.iter_words(4):
+            for inputs in [(0, 0), (0, 1), (1, 0), (1, 1)]:
+                result = run_word(algorithm, inputs, word)
+                assert result.correct, (inputs, word)
+
+    def test_decision_matches_table_component_value(self, certified):
+        table = certified.decision_table
+        adversary = lossy_link_no_hub()
+        algorithm = UniversalAlgorithm(table)
+        for word in adversary.iter_words(2):
+            result = run_word(algorithm, (0, 1), word)
+            node = table.space.find_node(1, (0, 1), word.graphs[:1])
+            from repro.topology.components import ComponentAnalysis
+
+            analysis = ComponentAnalysis(table.space, 1)
+            expected = table.assignment[analysis.component_of(node).id]
+            assert result.decision_value == expected
+
+
+class TestBroadcastValueAlgorithm:
+    def test_correct_on_guaranteed_broadcaster_adversary(self):
+        adversary = EventuallyForeverAdversary(2, [FRO, BOTH, TO], [TO])
+        algorithm = BroadcastValueAlgorithm(ViewInterner(2), 0)
+        rng = random.Random(4)
+        stats = run_many(algorithm, adversary, rng, trials=150, rounds=12)
+        assert stats.agreement_failures == 0
+        assert stats.validity_failures == 0
+        # Some run must take several rounds (transient <- prefixes).
+        assert stats.max_round >= 2
+
+    def test_decision_value_is_broadcaster_input(self):
+        algorithm = BroadcastValueAlgorithm(ViewInterner(2), 0)
+        result = run_word(algorithm, (1, 0), GraphWord([TO, TO]))
+        assert result.decision_value == 1
+
+    def test_unbounded_decision_times(self):
+        """Decision round grows with the transient phase (Section 6.3)."""
+        algorithm = BroadcastValueAlgorithm(ViewInterner(2), 0)
+        for k in range(1, 5):
+            word = GraphWord([FRO] * k + [TO])
+            result = run_word(algorithm, (0, 1), word)
+            assert result.outcomes[1].round == k + 1
+
+    def test_broadcaster_range_checked(self):
+        with pytest.raises(SimulationError):
+            BroadcastValueAlgorithm(ViewInterner(2), 5)
+
+
+class TestNaiveBaseline:
+    def test_violates_agreement_on_no_hub(self):
+        algorithm = MinOfHeardAlgorithm(2)
+        # ->^ω with inputs (1, 0): process 0 decides min{1}=1, process 1
+        # decides min{0,1}=0: disagreement.
+        result = run_word(algorithm, (1, 0), GraphWord([TO, TO, TO]))
+        assert not result.agreement_holds
+        assert any(v.startswith("agreement") for v in result.violations)
+
+    def test_statistics_count_failures(self):
+        rng = random.Random(5)
+        stats = run_many(
+            MinOfHeardAlgorithm(2), lossy_link_no_hub(), rng, trials=200, rounds=4
+        )
+        assert stats.agreement_failures > 0
+
+    def test_correct_on_broadcastable_adversary(self):
+        # Under {<->} everyone hears everyone each round: min works.
+        adversary = ObliviousAdversary(2, [BOTH])
+        rng = random.Random(6)
+        stats = run_many(MinOfHeardAlgorithm(1), adversary, rng, trials=50, rounds=4)
+        assert stats.agreement_failures == 0
+        assert stats.validity_failures == 0
+
+    def test_bad_round_rejected(self):
+        with pytest.raises(SimulationError):
+            MinOfHeardAlgorithm(-1)
+
+
+class TestRunResult:
+    def test_undecided_processes_reported(self):
+        algorithm = BroadcastValueAlgorithm(ViewInterner(2), 0)
+        result = run_word(algorithm, (0, 1), GraphWord([FRO, FRO]))
+        assert not result.all_decided
+        assert result.max_decision_round is None
+        # Process 0 decided its own value; process 1 never heard it.
+        assert result.outcomes[0].decided
+        assert not result.outcomes[1].decided
+
+    def test_decision_value_raises_on_disagreement(self):
+        algorithm = MinOfHeardAlgorithm(2)
+        result = run_word(algorithm, (1, 0), GraphWord([TO, TO]))
+        with pytest.raises(SimulationError):
+            result.decision_value
+
+    def test_strong_validity_flag(self):
+        algorithm = BroadcastValueAlgorithm(ViewInterner(2), 0)
+        result = run_word(
+            algorithm, (0, 1), GraphWord([TO]), strong_validity=True
+        )
+        assert result.correct
+
+
+class TestDrivers:
+    def test_random_driver_produces_admissible_words(self):
+        adversary = eventually_one_direction("->")
+        driver = RandomDriver(adversary, random.Random(7))
+        word = driver.word(8)
+        assert adversary.admits_prefix(word)
+
+    def test_delay_driver_minimizes_information(self):
+        driver = DelayBroadcastDriver(lossy_link_no_hub())
+        word = driver.word(6)
+        # Under {<-,->} the laziest choice never completes both broadcasts.
+        assert len(set(word.graphs)) == 1
+
+    def test_delay_driver_respects_liveness(self):
+        adversary = eventually_one_direction("->")
+        driver = DelayBroadcastDriver(adversary)
+        word = driver.word(10)
+        assert adversary.admits_prefix(word)
+
+    def test_driver_reset(self):
+        driver = DelayBroadcastDriver(lossy_link_no_hub())
+        first = driver.word(3)
+        driver.reset()
+        second = driver.word(3)
+        assert first == second

@@ -1,0 +1,103 @@
+"""The hand-derived two-process algorithms vs the mechanical certificates.
+
+The headline test: on every admissible word and every input assignment,
+the literature's human-readable algorithm and Theorem 5.5's mechanically
+extracted universal algorithm make the *same decision* — the mechanical
+construction rediscovers the known algorithms.
+"""
+
+import random
+
+import pytest
+
+from repro.adversaries.lossylink import lossy_link_no_hub, one_directional_and_both
+from repro.consensus.solvability import check_consensus
+from repro.core.graphword import GraphWord
+from repro.core.digraph import arrow
+from repro.errors import SimulationError
+from repro.simulation.runner import run_many, run_word
+from repro.simulation.twoprocess import AlternationConsensus, ReceiverConsensus
+
+TO, FRO, BOTH = arrow("->"), arrow("<-"), arrow("<->")
+ALL_INPUTS = [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+
+class TestAlternationConsensus:
+    def test_requires_two_processes(self):
+        algorithm = AlternationConsensus()
+        with pytest.raises(SimulationError):
+            run_word(algorithm, (0, 1, 0), GraphWord([arrow("->")], n=2).repeat(1))
+
+    def test_correct_on_all_words(self):
+        algorithm = AlternationConsensus()
+        adversary = lossy_link_no_hub()
+        for word in adversary.iter_words(4):
+            for inputs in ALL_INPUTS:
+                result = run_word(algorithm, inputs, word)
+                assert result.correct, (inputs, word)
+                assert result.max_decision_round == 1
+
+    def test_matches_universal_algorithm_decision_for_decision(self):
+        certified = check_consensus(lossy_link_no_hub())
+        universal = certified.algorithm()
+        manual = AlternationConsensus()
+        adversary = lossy_link_no_hub()
+        for word in adversary.iter_words(3):
+            for inputs in ALL_INPUTS:
+                mechanical = run_word(universal, inputs, word).decision_value
+                hand = run_word(manual, inputs, word).decision_value
+                assert mechanical == hand, (inputs, word)
+
+    def test_statistics(self):
+        stats = run_many(
+            AlternationConsensus(),
+            lossy_link_no_hub(),
+            random.Random(0),
+            trials=100,
+            rounds=4,
+        )
+        assert stats.decided == 100
+        assert stats.agreement_failures == 0
+        assert stats.max_round == 1
+
+    def test_incorrect_outside_its_adversary(self):
+        """Under {<->} both processes hear each other: the rule decides the
+        other's value on both sides and disagrees for mixed inputs."""
+        algorithm = AlternationConsensus()
+        result = run_word(algorithm, (0, 1), GraphWord([BOTH]))
+        assert not result.agreement_holds
+
+
+class TestReceiverConsensus:
+    def test_correct_on_all_words(self):
+        algorithm = ReceiverConsensus(sender=0)
+        adversary = one_directional_and_both("->")
+        for word in adversary.iter_words(4):
+            for inputs in ALL_INPUTS:
+                result = run_word(algorithm, inputs, word)
+                assert result.correct, (inputs, word)
+                assert result.decision_value == inputs[0]
+
+    def test_matches_universal_algorithm(self):
+        certified = check_consensus(one_directional_and_both("->"))
+        universal = certified.algorithm()
+        manual = ReceiverConsensus(sender=0)
+        adversary = one_directional_and_both("->")
+        for word in adversary.iter_words(3):
+            for inputs in ALL_INPUTS:
+                mechanical = run_word(universal, inputs, word).decision_value
+                hand = run_word(manual, inputs, word).decision_value
+                assert mechanical == hand, (inputs, word)
+
+    def test_mirrored_sender(self):
+        algorithm = ReceiverConsensus(sender=1)
+        adversary = one_directional_and_both("<-")
+        for word in adversary.iter_words(3):
+            for inputs in ALL_INPUTS:
+                result = run_word(algorithm, inputs, word)
+                assert result.correct
+                assert result.decision_value == inputs[1]
+
+    def test_bad_sender_rejected(self):
+        with pytest.raises(SimulationError):
+            ReceiverConsensus(sender=3)

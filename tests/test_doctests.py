@@ -1,0 +1,41 @@
+"""Run the doctest examples embedded in the library's docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.adversaries.oblivious
+import repro.adversaries.safety
+import repro.adversaries.stabilizing
+import repro.core.digraph
+import repro.core.graphword
+import repro.core.ptg
+import repro.core.views
+import repro.topology.limits
+
+MODULES = [
+    repro.adversaries.oblivious,
+    repro.adversaries.safety,
+    repro.adversaries.stabilizing,
+    repro.core.digraph,
+    repro.core.graphword,
+    repro.core.ptg,
+    repro.core.views,
+    repro.topology.limits,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+
+
+def test_doctests_actually_exist():
+    """Guard against the suite silently testing nothing."""
+    total = sum(
+        len(doctest.DocTestFinder().find(module)) and
+        sum(len(t.examples) for t in doctest.DocTestFinder().find(module))
+        for module in MODULES
+    )
+    assert total >= 10

@@ -1,0 +1,55 @@
+"""Smoke tests: every example script runs end to end and reports success."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "IMPOSSIBLE" in out
+        assert "SOLVABLE" in out
+        assert "0 agreement failures" in out
+
+    def test_lossy_link_census(self):
+        out = run_example("lossy_link_census.py")
+        assert "All verdicts agree with the literature." in out
+        assert out.count("IMPOSSIBLE") >= 9
+
+    def test_stabilizing_consensus(self):
+        out = run_example("stabilizing_consensus.py")
+        assert "limit-closed (compact): False" in out
+        assert "excluded limits: True/True" in out
+        assert "SOLVABLE" in out
+
+    def test_rooted_n3(self):
+        out = run_example("rooted_n3_adversaries.py", "--samples", "6")
+        assert "matches [21]" in out
+        assert "IMPOSSIBLE" in out
+
+    def test_kset_agreement(self):
+        out = run_example("kset_agreement.py")
+        assert "certified 2-set table" in out
+        assert "IMPOSSIBLE" in out
+
+    def test_custom_adversary(self):
+        out = run_example("custom_adversary.py")
+        assert "guaranteed broadcaster: process 0" in out
+        assert "SOLVABLE" in out
+        assert "#####" in out

@@ -1,0 +1,125 @@
+"""Cross-module integration tests, including n = 4 scale checks.
+
+These tie the stack together: checker verdicts feed the simulator, the
+theorem module validates the certified structures, and the literature
+ground truth is enforced end to end on four-process families.
+"""
+
+import random
+
+import pytest
+
+from repro.adversaries.generators import (
+    out_star_set,
+    random_oblivious_adversary,
+    santoro_widmayer_family,
+)
+from repro.adversaries.oblivious import ObliviousAdversary
+from repro.consensus.solvability import SolvabilityStatus, check_consensus
+from repro.simulation import UniversalAlgorithm, run_many, run_word
+from repro.theorems import corollary_6_1, theorem_5_4, theorem_5_9
+from repro.topology.components import ComponentAnalysis
+
+
+class TestFourProcesses:
+    def test_santoro_widmayer_n4_three_losses_impossible(self):
+        result = check_consensus(santoro_widmayer_family(4, 3), max_depth=1)
+        assert result.status is SolvabilityStatus.IMPOSSIBLE
+        assert result.impossibility.kind == "single-component-induction"
+
+    def test_santoro_widmayer_n4_one_loss_solvable(self):
+        result = check_consensus(santoro_widmayer_family(4, 1), max_depth=2)
+        assert result.status is SolvabilityStatus.SOLVABLE
+        assert result.certified_depth == 2
+        result.decision_table.validate()
+
+    def test_out_stars_n4(self):
+        result = check_consensus(ObliviousAdversary(4, out_star_set(4)))
+        assert result.status is SolvabilityStatus.SOLVABLE
+        assert result.certified_depth == 1
+
+    def test_n4_simulation_round_trip(self):
+        result = check_consensus(santoro_widmayer_family(4, 1), max_depth=2)
+        algorithm = UniversalAlgorithm(result.decision_table)
+        rng = random.Random(0)
+        stats = run_many(
+            algorithm,
+            santoro_widmayer_family(4, 1),
+            rng,
+            trials=40,
+            rounds=3,
+        )
+        assert stats.decided == 40
+        assert stats.agreement_failures == 0
+        assert stats.max_round <= 2
+
+
+class TestCertifiedStructureInvariants:
+    """Theorem-module validation of every certified solvable example."""
+
+    @pytest.mark.parametrize(
+        "factory, max_depth",
+        [
+            (lambda: santoro_widmayer_family(3, 1), 3),
+            (lambda: ObliviousAdversary(3, out_star_set(3)), 2),
+        ],
+    )
+    def test_theorems_hold_on_certificates(self, factory, max_depth):
+        result = check_consensus(factory(), max_depth=max_depth)
+        table = result.decision_table
+        analysis = ComponentAnalysis(table.space, table.depth)
+        theorem_5_4(analysis, table)
+        corollary_6_1(analysis, table, values=(0, 1))
+        for component in analysis.components:
+            theorem_5_9(component)
+
+    def test_random_adversaries_full_pipeline(self):
+        """checker -> theorems -> simulation on random rooted n=3 sets."""
+        rng = random.Random(99)
+        certified = 0
+        for _ in range(12):
+            adversary = random_oblivious_adversary(
+                rng, 3, size=rng.randint(1, 3), rooted_only=True
+            )
+            result = check_consensus(adversary, max_depth=3)
+            if result.decision_table is None:
+                continue
+            certified += 1
+            table = result.decision_table
+            analysis = ComponentAnalysis(table.space, table.depth)
+            theorem_5_4(analysis, table)
+            for component in analysis.components:
+                theorem_5_9(component)
+            algorithm = UniversalAlgorithm(table)
+            for _ in range(6):
+                word = adversary.sample_word(rng, table.depth + 1)
+                inputs = tuple(rng.randint(0, 1) for _ in range(3))
+                run = run_word(algorithm, inputs, word)
+                assert run.correct
+        assert certified >= 4  # the sample must exercise the pipeline
+
+
+class TestCheckerMonotonicity:
+    def test_certified_depth_monotone_under_max_depth(self):
+        """Raising max_depth never changes a SOLVABLE verdict or depth."""
+        adversary = santoro_widmayer_family(3, 1)
+        shallow = check_consensus(adversary, max_depth=2)
+        deep = check_consensus(adversary, max_depth=5)
+        assert shallow.certified_depth == deep.certified_depth == 2
+
+    def test_superset_adversaries_are_harder(self):
+        """Adding graphs can only move verdicts toward impossibility."""
+        from repro.core.digraph import arrow
+
+        base = ObliviousAdversary(2, [arrow("->")])
+        bigger = ObliviousAdversary(2, [arrow("->"), arrow("<-")])
+        biggest = ObliviousAdversary(2, [arrow("->"), arrow("<-"), arrow("<->")])
+        depths = []
+        for adversary in (base, bigger, biggest):
+            result = check_consensus(adversary, max_depth=5)
+            depths.append(
+                result.certified_depth
+                if result.solvable
+                else float("inf")
+            )
+        assert depths[0] <= depths[1] <= depths[2]

@@ -1,0 +1,290 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These check the paper's structural facts on randomized inputs rather than
+hand-picked examples:
+
+* Theorem 4.3's pseudo-metric laws on random prefix pairs;
+* nesting of views / monotonicity of Eq-sets;
+* agreement between the heard-of dynamics and the view origin masks;
+* exact lasso distances vs deep finite-prefix distances;
+* solvability-certificate soundness: every certified decision table passes
+  validation and the simulated universal algorithm never violates
+  agreement or validity on admissible words;
+* digraph component structure (root components, broadcasters).
+"""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.digraph import Digraph, arrow
+from repro.core.distances import (
+    d_max,
+    d_min,
+    d_p,
+    d_view,
+    divergence_time,
+    equality_profile,
+)
+from repro.core.graphword import GraphWord
+from repro.core.ptg import PTGPrefix
+from repro.core.views import ViewInterner
+from repro.topology.limits import UltimatelyPeriodic, d_min_periodic, eq_evolution
+
+GRAPHS2 = tuple(arrow(name) for name in ("->", "<-", "<->", "none"))
+
+# --------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------- #
+
+inputs2 = st.tuples(st.integers(0, 1), st.integers(0, 1))
+word2 = st.lists(st.sampled_from(GRAPHS2), min_size=0, max_size=6)
+
+
+def digraphs(n: int):
+    edges = [(u, v) for u in range(n) for v in range(n) if u != v]
+    return st.lists(
+        st.sampled_from(edges), min_size=0, max_size=len(edges), unique=True
+    ).map(lambda chosen: Digraph(n, chosen))
+
+
+@st.composite
+def prefix_pairs(draw):
+    interner = ViewInterner(2)
+    xa = draw(inputs2)
+    xb = draw(inputs2)
+    depth = draw(st.integers(1, 5))
+    wa = [draw(st.sampled_from(GRAPHS2)) for _ in range(depth)]
+    wb = [draw(st.sampled_from(GRAPHS2)) for _ in range(depth)]
+    return (
+        PTGPrefix(interner, xa, wa),
+        PTGPrefix(interner, xb, wb),
+    )
+
+
+@st.composite
+def prefix_triples(draw):
+    interner = ViewInterner(2)
+    out = []
+    depth = draw(st.integers(1, 4))
+    for _ in range(3):
+        x = draw(inputs2)
+        w = [draw(st.sampled_from(GRAPHS2)) for _ in range(depth)]
+        out.append(PTGPrefix(interner, x, w))
+    return tuple(out)
+
+
+@st.composite
+def lasso_pairs(draw):
+    xa = draw(inputs2)
+    xb = draw(inputs2)
+    stem_a = [draw(st.sampled_from(GRAPHS2)) for _ in range(draw(st.integers(0, 2)))]
+    stem_b = [draw(st.sampled_from(GRAPHS2)) for _ in range(draw(st.integers(0, 2)))]
+    cycle_a = [draw(st.sampled_from(GRAPHS2)) for _ in range(draw(st.integers(1, 3)))]
+    cycle_b = [draw(st.sampled_from(GRAPHS2)) for _ in range(draw(st.integers(1, 3)))]
+    return (
+        UltimatelyPeriodic(xa, stem_a, cycle_a),
+        UltimatelyPeriodic(xb, stem_b, cycle_b),
+    )
+
+
+# --------------------------------------------------------------------- #
+# Theorem 4.3: pseudo-metric properties
+# --------------------------------------------------------------------- #
+
+
+class TestMetricProperties:
+    @given(prefix_pairs())
+    def test_symmetry(self, pair):
+        a, b = pair
+        assert d_max(a, b) == d_max(b, a)
+        assert d_min(a, b) == d_min(b, a)
+        for p in range(2):
+            assert d_p(a, b, p) == d_p(b, a, p)
+
+    @given(prefix_triples())
+    def test_triangle_inequality_for_d_p(self, triple):
+        a, b, c = triple
+        for p in range(2):
+            assert d_p(a, c, p) <= d_p(a, b, p) + d_p(b, c, p) + 1e-12
+
+    @given(prefix_pairs())
+    def test_monotonicity_and_common_prefix(self, pair):
+        a, b = pair
+        assert d_view(a, b, (0,)) <= d_max(a, b)
+        assert d_view(a, b, (1,)) <= d_max(a, b)
+        assert d_view(a, b, (0, 1)) == d_max(a, b)
+
+    @given(prefix_pairs())
+    def test_min_formula(self, pair):
+        a, b = pair
+        assert d_min(a, b) == min(d_p(a, b, p) for p in range(2))
+
+    @given(prefix_pairs())
+    def test_identity_of_indiscernibles_for_d_max(self, pair):
+        a, b = pair
+        if d_max(a, b) == 0.0:
+            assert a.inputs == b.inputs and a.graphs == b.graphs
+
+    @given(prefix_pairs())
+    def test_distance_values_are_powers_of_two(self, pair):
+        a, b = pair
+        for value in (d_max(a, b), d_min(a, b)):
+            if value:
+                assert math.log2(value).is_integer()
+
+
+# --------------------------------------------------------------------- #
+# Views: nesting, Eq-set monotonicity, heard-of consistency
+# --------------------------------------------------------------------- #
+
+
+class TestViewInvariants:
+    @given(prefix_pairs())
+    def test_eq_profile_is_decreasing(self, pair):
+        a, b = pair
+        profile = equality_profile(a, b)
+        for earlier, later in zip(profile, profile[1:]):
+            assert later <= earlier
+
+    @given(prefix_pairs())
+    def test_divergence_consistent_with_profile(self, pair):
+        a, b = pair
+        profile = equality_profile(a, b)
+        for p in range(2):
+            t = divergence_time(a, b, (p,))
+            if t is None:
+                assert all(p in alive for alive in profile)
+            else:
+                assert p in profile[t - 1] if t > 0 else True
+                assert p not in profile[t]
+
+    @given(inputs2, word2)
+    def test_origin_masks_match_heard_of_dynamics(self, inputs, graphs):
+        interner = ViewInterner(2)
+        prefix = PTGPrefix(interner, inputs, graphs)
+        word = GraphWord(graphs, n=2)
+        for t in range(len(graphs) + 1):
+            masks = word.heard_masks(t)
+            for q in range(2):
+                assert masks[q] == interner.origin_mask(prefix.view(q, t))
+
+    @given(inputs2, word2)
+    def test_view_determines_prefix(self, inputs, graphs):
+        """The joint view tuple pins down inputs and graph word."""
+        interner = ViewInterner(2)
+        a = PTGPrefix(interner, inputs, graphs)
+        b = PTGPrefix(interner, inputs, graphs)
+        assert a.views() == b.views()
+
+
+# --------------------------------------------------------------------- #
+# Lassos: exact distances agree with finite prefixes
+# --------------------------------------------------------------------- #
+
+
+class TestLassoProperties:
+    @given(lasso_pairs())
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_exact_distance_matches_deep_prefixes(self, pair):
+        a, b = pair
+        exact = d_min_periodic(a, b)
+        interner = ViewInterner(2)
+        horizon = 16
+        finite = d_min(
+            a.ptg_prefix(interner, horizon), b.ptg_prefix(interner, horizon)
+        )
+        if exact > 0.0:
+            assert finite == exact
+        else:
+            assert finite == 0.0
+
+    @given(lasso_pairs())
+    def test_survivors_never_diverge(self, pair):
+        a, b = pair
+        evolution = eq_evolution(a, b)
+        assert not (set(evolution.survivors) & set(evolution.divergence))
+
+    @given(lasso_pairs())
+    def test_symmetry_of_lasso_distance(self, pair):
+        a, b = pair
+        assert d_min_periodic(a, b) == d_min_periodic(b, a)
+
+    @given(lasso_pairs())
+    def test_self_distance_zero(self, pair):
+        a, _ = pair
+        assert d_min_periodic(a, a) == 0.0
+
+
+# --------------------------------------------------------------------- #
+# Digraph structure
+# --------------------------------------------------------------------- #
+
+
+class TestDigraphProperties:
+    @given(digraphs(4))
+    def test_sccs_partition_nodes(self, g):
+        nodes = set()
+        for comp in g.strongly_connected_components():
+            assert not (nodes & comp)
+            nodes |= comp
+        assert nodes == set(range(4))
+
+    @given(digraphs(4))
+    def test_at_least_one_root_component(self, g):
+        assert len(g.root_components) >= 1
+
+    @given(digraphs(4))
+    def test_broadcasters_iff_rooted(self, g):
+        assert bool(g.broadcasters) == g.is_rooted
+        for p in g.broadcasters:
+            assert len(g.reachable_from(p)) == 4
+
+    @given(digraphs(3))
+    def test_transpose_involution(self, g):
+        assert g.transpose().transpose() == g
+
+    @given(digraphs(3))
+    def test_root_components_have_no_incoming(self, g):
+        for root in g.root_components:
+            for (u, v) in g.edges:
+                if v in root:
+                    assert u in root
+
+
+# --------------------------------------------------------------------- #
+# End-to-end: certified tables are correct on random adversaries
+# --------------------------------------------------------------------- #
+
+
+class TestCertificateSoundness:
+    @given(
+        st.lists(st.sampled_from(GRAPHS2), min_size=1, max_size=4, unique=True),
+        st.randoms(use_true_random=False),
+    )
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_random_oblivious_certificates(self, graph_set, rng):
+        from repro.adversaries.oblivious import ObliviousAdversary
+        from repro.consensus.provers import two_process_oblivious_verdict
+        from repro.consensus.solvability import SolvabilityStatus, check_consensus
+        from repro.simulation import UniversalAlgorithm, run_word
+
+        adversary = ObliviousAdversary(2, graph_set)
+        result = check_consensus(adversary, max_depth=6)
+        # Exactness against the literature oracle.
+        assert result.status is not SolvabilityStatus.UNDECIDED
+        assert result.solvable == two_process_oblivious_verdict(adversary)
+        if result.decision_table is None:
+            return
+        algorithm = UniversalAlgorithm(result.decision_table)
+        for _ in range(5):
+            word = adversary.sample_word(rng, result.certified_depth + 2)
+            inputs = (rng.randint(0, 1), rng.randint(0, 1))
+            run = run_word(algorithm, inputs, word)
+            assert run.correct
+            assert run.max_decision_round <= result.certified_depth

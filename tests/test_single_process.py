@@ -1,0 +1,60 @@
+"""Edge case: single-process systems (n = 1).
+
+Consensus with one process is trivially solvable (decide your own input at
+round 0); the machinery must handle the degenerate case without special
+paths: the single view per prefix is its own component, every component is
+broadcastable by process 0, and the decision table certifies at depth 0.
+"""
+
+import pytest
+
+from repro.adversaries.oblivious import ObliviousAdversary
+from repro.consensus.kset import check_kset_by_depth
+from repro.consensus.solvability import SolvabilityStatus, check_consensus
+from repro.core.digraph import Digraph
+from repro.core.ptg import PTGPrefix
+from repro.core.views import ViewInterner
+from repro.topology.components import ComponentAnalysis
+from repro.topology.prefixspace import PrefixSpace
+
+
+@pytest.fixture
+def adversary():
+    return ObliviousAdversary(1, [Digraph.empty(1)])
+
+
+class TestSingleProcess:
+    def test_consensus_solvable_at_depth_zero(self, adversary):
+        result = check_consensus(adversary)
+        assert result.status is SolvabilityStatus.SOLVABLE
+        assert result.certified_depth == 0
+        result.decision_table.validate()
+
+    def test_components_are_singletons(self, adversary):
+        space = PrefixSpace(adversary)
+        analysis = ComponentAnalysis(space, 2)
+        assert len(analysis.components) == 2  # one per input value
+        for component in analysis.components:
+            assert component.is_broadcastable
+            assert component.broadcasters == frozenset({0})
+
+    def test_views_and_broadcast(self):
+        interner = ViewInterner(1)
+        prefix = PTGPrefix(interner, (1,), [Digraph.empty(1)] * 3)
+        assert prefix.broadcasters(0) == frozenset({0})
+        assert interner.origins(prefix.view(0)) == ((0, 1),)
+
+    def test_kset_trivial(self, adversary):
+        table = check_kset_by_depth(adversary, 1, 0)
+        assert table is not None
+
+    def test_simulation(self, adversary):
+        import random
+
+        from repro.simulation import UniversalAlgorithm, run_many
+
+        result = check_consensus(adversary)
+        algorithm = UniversalAlgorithm(result.decision_table)
+        stats = run_many(algorithm, adversary, random.Random(0), trials=10, rounds=2)
+        assert stats.decided == 10
+        assert stats.max_round == 0

@@ -1,0 +1,207 @@
+"""Tests for the executable theorem statements (repro.theorems)."""
+
+import random
+
+import pytest
+
+from repro.adversaries.lossylink import lossy_link_no_hub, one_directional_and_both
+from repro.consensus.solvability import check_consensus
+from repro.core.digraph import arrow
+from repro.core.ptg import PTGPrefix
+from repro.core.views import ViewInterner
+from repro.errors import AnalysisError
+from repro.simulation.algorithms import (
+    FullInformationAlgorithm,
+    MinOfHeardAlgorithm,
+    UniversalAlgorithm,
+)
+from repro.simulation.traces import (
+    StateTrace,
+    d_min_trace,
+    d_view_trace,
+    trace_divergence_time,
+    trace_of,
+)
+from repro.theorems import (
+    corollary_6_1,
+    lemma_4_5,
+    lemma_4_8,
+    lemma_5_2,
+    theorem_4_3,
+    theorem_5_4,
+    theorem_5_9,
+)
+from repro.topology.components import ComponentAnalysis
+
+GRAPHS2 = [arrow(name) for name in ("->", "<-", "<->", "none")]
+
+
+def random_prefixes(count, seed, interner=None, depth=4):
+    rng = random.Random(seed)
+    interner = interner or ViewInterner(2)
+    out = []
+    for _ in range(count):
+        inputs = (rng.randint(0, 1), rng.randint(0, 1))
+        word = [rng.choice(GRAPHS2) for _ in range(depth)]
+        out.append(PTGPrefix(interner, inputs, word))
+    return out
+
+
+class TestMetricTheorems:
+    def test_theorem_4_3_on_random_triples(self):
+        prefixes = random_prefixes(12, seed=1)
+        for a in prefixes[:6]:
+            for b in prefixes[:6]:
+                for c in prefixes[:6]:
+                    theorem_4_3(a, b, c)
+
+    def test_lemma_4_8_on_random_pairs(self):
+        prefixes = random_prefixes(12, seed=2)
+        for a in prefixes:
+            for b in prefixes:
+                lemma_4_8(a, b)
+
+
+class TestContinuityOfTau:
+    @pytest.mark.parametrize(
+        "make_algorithm",
+        [
+            lambda interner: FullInformationAlgorithm(interner),
+            lambda interner: MinOfHeardAlgorithm(2),
+        ],
+    )
+    def test_lemma_4_5_for_deterministic_algorithms(self, make_algorithm):
+        interner = ViewInterner(2)
+        prefixes = random_prefixes(10, seed=3, interner=interner)
+        algorithm = make_algorithm(interner)
+        for a in prefixes[:6]:
+            for b in prefixes[:6]:
+                lemma_4_5(algorithm, a, b)
+                for p in range(2):
+                    lemma_4_5(algorithm, a, b, (p,))
+
+    def test_full_information_states_are_exactly_views(self):
+        """For the full-information protocol, τ is essentially the identity:
+        state divergence equals view divergence exactly."""
+        from repro.core.distances import divergence_time
+
+        interner = ViewInterner(2)
+        prefixes = random_prefixes(10, seed=4, interner=interner)
+        algorithm = FullInformationAlgorithm(interner)
+        for a in prefixes[:6]:
+            for b in prefixes[:6]:
+                ta = trace_of(algorithm, a.inputs, a.word)
+                tb = trace_of(algorithm, b.inputs, b.word)
+                for p in range(2):
+                    assert trace_divergence_time(ta, tb, (p,)) == divergence_time(
+                        a, b, (p,)
+                    )
+
+    def test_digesting_algorithms_can_be_strictly_coarser(self):
+        """MinOfHeard digests views, so states may diverge strictly later."""
+        interner = ViewInterner(2)
+        algorithm = MinOfHeardAlgorithm(10)
+        # Same inputs; the words differ only in round 2 at process 0's
+        # in-neighborhood.  Process 1 sees that difference in its *view* at
+        # round 3 (when it receives process 0's round-2 view), but its
+        # known-input set is {x0, x1} in both runs throughout, so its
+        # MinOfHeard states never diverge.
+        a = PTGPrefix(interner, (0, 1), [arrow("->"), arrow("->"), arrow("->")])
+        b = PTGPrefix(interner, (0, 1), [arrow("->"), arrow("<->"), arrow("->")])
+        ta = trace_of(algorithm, a.inputs, a.word)
+        tb = trace_of(algorithm, b.inputs, b.word)
+        assert trace_divergence_time(ta, tb, (1,)) is None
+        from repro.core.distances import divergence_time
+
+        assert divergence_time(a, b, (1,)) == 3
+
+
+class TestDecisionTheorems:
+    @pytest.fixture(scope="class")
+    def certified(self):
+        return check_consensus(lossy_link_no_hub())
+
+    def test_lemma_5_2_local_constancy(self, certified):
+        table = certified.decision_table
+        layer = table.space.layer(table.depth)
+        for a in layer:
+            for b in layer:
+                lemma_5_2(table, a, b)
+
+    def test_theorem_5_4_clopen_decision_sets(self, certified):
+        table = certified.decision_table
+        analysis = ComponentAnalysis(table.space, table.depth)
+        theorem_5_4(analysis, table)
+
+    def test_theorem_5_9_on_all_components(self):
+        for adversary in (lossy_link_no_hub(), one_directional_and_both("->")):
+            result = check_consensus(adversary)
+            space = result.decision_table.space
+            for depth in (1, 2):
+                for component in ComponentAnalysis(space, depth).components:
+                    theorem_5_9(component)
+
+    def test_corollary_6_1_separation(self, certified):
+        table = certified.decision_table
+        space = table.space
+        for depth in (1, 2, 3):
+            analysis = ComponentAnalysis(space, depth)
+            corollary_6_1(analysis, table, values=(0, 1))
+
+    def test_corollary_6_1_depth_check(self, certified):
+        table = certified.decision_table
+        analysis = ComponentAnalysis(table.space, 0)
+        with pytest.raises(AnalysisError):
+            corollary_6_1(analysis, table, values=(0, 1))
+
+
+class TestTraces:
+    def test_trace_structure(self):
+        from repro.core.graphword import GraphWord
+
+        interner = ViewInterner(2)
+        algorithm = FullInformationAlgorithm(interner)
+        trace = trace_of(algorithm, (0, 1), GraphWord([arrow("->")] * 3))
+        assert trace.depth == 3
+        assert trace.n == 2
+        assert len(trace.states) == 4
+
+    def test_trace_distance_conventions(self):
+        from repro.core.graphword import GraphWord
+
+        interner = ViewInterner(2)
+        algorithm = FullInformationAlgorithm(interner)
+        a = trace_of(algorithm, (0, 1), GraphWord([arrow("->")] * 3))
+        b = trace_of(algorithm, (0, 1), GraphWord([arrow("->")] * 3))
+        c = trace_of(algorithm, (1, 1), GraphWord([arrow("->")] * 3))
+        assert d_view_trace(a, b) == 0.0
+        assert d_view_trace(a, c) == 1.0
+
+    def test_trace_distance_values(self):
+        from repro.core.graphword import GraphWord
+
+        interner = ViewInterner(2)
+        algorithm = FullInformationAlgorithm(interner)
+        a = trace_of(algorithm, (0, 1), GraphWord([arrow("->")] * 3))
+        c = trace_of(algorithm, (1, 1), GraphWord([arrow("->")] * 3))
+        assert d_view_trace(a, c, (0,)) == 1.0
+        assert d_view_trace(a, c, (1,)) == 0.5
+        assert d_min_trace(a, c) == 0.5
+
+    def test_mismatched_traces_rejected(self):
+        from repro.core.graphword import GraphWord
+        from repro.errors import SimulationError
+
+        i2, i3 = ViewInterner(2), ViewInterner(3)
+        t2 = trace_of(FullInformationAlgorithm(i2), (0, 1), GraphWord([arrow("->")]))
+        from repro.core.digraph import Digraph
+
+        t3 = trace_of(
+            FullInformationAlgorithm(i3),
+            (0, 1, 0),
+            GraphWord([Digraph.empty(3)]),
+        )
+        with pytest.raises(SimulationError):
+            trace_divergence_time(t2, t3)
+        with pytest.raises(SimulationError):
+            trace_divergence_time(t2, t2, ())

@@ -1,0 +1,130 @@
+"""Tests for the ASCII renderers and the command-line interface."""
+
+import pytest
+
+from repro.adversaries.lossylink import lossy_link_no_hub
+from repro.cli import ADVERSARIES, main
+from repro.core.digraph import Digraph, arrow
+from repro.core.graphword import GraphWord
+from repro.core.ptg import PTGPrefix
+from repro.core.views import ViewInterner
+from repro.topology.components import ComponentAnalysis
+from repro.topology.prefixspace import PrefixSpace
+from repro.viz import (
+    render_component_table,
+    render_digraph,
+    render_distance_matrix,
+    render_ptg,
+    render_word,
+)
+
+
+class TestRenderers:
+    def test_render_digraph_two_process(self):
+        assert render_digraph(arrow("->")) == "->"
+        assert render_digraph(arrow("none")) == "none"
+
+    def test_render_digraph_general(self):
+        text = render_digraph(Digraph(3, [(0, 1), (2, 1)]))
+        assert "0->1" in text and "2->1" in text
+        assert render_digraph(Digraph.empty(3)) == "[no edges]"
+
+    def test_render_word(self):
+        word = GraphWord([arrow("->"), arrow("<-")])
+        assert render_word(word) == "-> <-"
+        assert render_word(GraphWord([], n=2)) == "(empty)"
+
+    def test_render_ptg_figure2(self):
+        g1 = Digraph(3, [(0, 1), (2, 1)])
+        g2 = Digraph(3, [(1, 0)])
+        prefix = PTGPrefix(ViewInterner(3), (1, 0, 1), [g1, g2])
+        text = render_ptg(prefix, highlight_process=0)
+        assert "t=0" in text and "t=2" in text
+        assert "(0,2)*" in text  # the apex is highlighted
+        assert "(2,2)" in text and "(2,2)*" not in text  # outside the cone
+        assert "causal past of process 0" in text
+
+    def test_render_ptg_without_highlight(self):
+        prefix = PTGPrefix(ViewInterner(2), (0, 1), [arrow("->")])
+        text = render_ptg(prefix)
+        assert "causal past" not in text
+
+    def test_render_component_table(self):
+        space = PrefixSpace(lossy_link_no_hub())
+        analysis = ComponentAnalysis(space, 1)
+        text = render_component_table(analysis)
+        assert "4 component(s)" in text
+        assert "broadcasters" in text
+
+    def test_render_distance_matrix(self):
+        text = render_distance_matrix({("A", "B"): 0.5}, title="demo")
+        assert "demo" in text and "d(A, B) = 0.5" in text
+
+    def test_render_bivalence_sparkline(self):
+        from repro.viz import render_bivalence_sparkline
+
+        text = render_bivalence_sparkline([1, 1, 0, 0])
+        assert "##.." in text
+
+    def test_render_census(self):
+        from repro.consensus.census import two_process_census
+        from repro.viz import render_census
+
+        text = render_census(two_process_census(max_depth=5))
+        assert "decision-table@1" in text
+        assert "single-component-induction" in text
+        assert "disagrees" not in text
+
+
+class TestCLI:
+    def test_registry_instantiates(self):
+        for name, factory in ADVERSARIES.items():
+            adversary = factory()
+            assert adversary.n in (2, 3), name
+
+    def test_check_command(self, capsys):
+        assert main(["check", "--adversary", "no-hub"]) == 0
+        out = capsys.readouterr().out
+        assert "SOLVABLE" in out
+
+    def test_check_unknown_adversary(self):
+        with pytest.raises(SystemExit):
+            main(["check", "--adversary", "bogus"])
+
+    def test_simulate_command(self, capsys):
+        assert main(["simulate", "--adversary", "no-hub", "--trials", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "agreement failures 0" in out
+
+    def test_simulate_impossible_returns_error(self, capsys):
+        assert main(["simulate", "--adversary", "lossy-full"]) == 1
+
+    def test_ptg_command(self, capsys):
+        assert main(["ptg", "--process", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+
+    def test_census_command(self, capsys):
+        assert main(["census", "--max-depth", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "15/15 rows agree with the literature oracle: True" in out
+        assert "disagrees" not in out
+
+    def test_kset_command(self, capsys):
+        assert main(["kset", "--adversary", "lossy-full", "--k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2-set agreement solvable" in out
+        assert main(["kset", "--adversary", "lossy-full", "--k", "1", "--max-depth", "2"]) == 1
+
+    def test_heardof_command(self, capsys):
+        assert main(["heardof", "--n", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "kernel" in out and "IMPOSSIBLE" in out and "SOLVABLE" in out
+
+    def test_fair_command(self, capsys):
+        assert main(["fair", "--adversary", "lossy-full", "--depth", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "candidate(s) bivalent" in out
+        assert main(["fair", "--adversary", "no-hub", "--depth", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "no fair-sequence candidate" in out

@@ -1,0 +1,98 @@
+"""Property-based tests for ε-approximations (Lemma 6.3) and components."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.adversaries.oblivious import ObliviousAdversary
+from repro.core.digraph import arrow
+from repro.core.distances import d_min
+from repro.topology.approximation import EpsApproximation, eps_ball
+from repro.topology.components import ComponentAnalysis
+from repro.topology.prefixspace import PrefixSpace
+
+GRAPHS2 = tuple(arrow(name) for name in ("->", "<-", "<->", "none"))
+
+adversaries = st.lists(
+    st.sampled_from(GRAPHS2), min_size=1, max_size=3, unique=True
+).map(lambda graphs: ObliviousAdversary(2, graphs))
+
+
+class TestLemma63Properties:
+    @given(adversaries, st.integers(1, 3))
+    @settings(
+        max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    def test_iii_intersecting_approximations_are_equal(self, adversary, depth):
+        space = PrefixSpace(adversary)
+        layer = space.layer(depth)
+        rng = random.Random(0)
+        seeds = rng.sample(layer, min(4, len(layer)))
+        approximations = [
+            set(EpsApproximation(space, depth, seed).member_indices)
+            for seed in seeds
+        ]
+        for a in approximations:
+            for b in approximations:
+                if a & b:
+                    assert a == b
+
+    @given(adversaries, st.integers(1, 3))
+    @settings(
+        max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    def test_iv_component_contains_seed_ball(self, adversary, depth):
+        """PS_z ⊆ PS^ε_z: the ball around the seed is inside the fixpoint."""
+        space = PrefixSpace(adversary)
+        layer = space.layer(depth)
+        seed = layer[0]
+        approx = set(EpsApproximation(space, depth, seed).member_indices)
+        for node in eps_ball(space, depth, seed):
+            assert node.index in approx
+
+    @given(adversaries, st.integers(1, 2))
+    @settings(
+        max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    def test_ii_refinement_under_depth(self, adversary, depth):
+        """Members of a depth-(t+1) approximation truncate into the depth-t one."""
+        space = PrefixSpace(adversary)
+        space.ensure_depth(depth + 1)
+        deep_layer = space.layer(depth + 1)
+        seed = deep_layer[0]
+        deep = EpsApproximation(space, depth + 1, seed)
+        shallow_seed = space.parent_of(depth + 1, seed.index)
+        shallow = set(
+            EpsApproximation(space, depth, shallow_seed).member_indices
+        )
+        for member in deep.members():
+            parent = space.parent_of(depth + 1, member.index)
+            assert parent.index in shallow
+
+    @given(adversaries, st.integers(1, 3))
+    @settings(
+        max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    def test_components_close_under_distance_zero(self, adversary, depth):
+        """Nodes at prefix-d_min 0 always share a component."""
+        space = PrefixSpace(adversary)
+        analysis = ComponentAnalysis(space, depth)
+        layer = space.layer(depth)
+        rng = random.Random(1)
+        for _ in range(10):
+            a, b = rng.choice(layer), rng.choice(layer)
+            if d_min(a.prefix, b.prefix) == 0.0:
+                assert analysis.component_of(a) is analysis.component_of(b)
+
+    @given(adversaries, st.integers(1, 3))
+    @settings(
+        max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    def test_broadcastable_components_have_small_diameter(self, adversary, depth):
+        """Theorem 5.9 on random adversaries and depths."""
+        from repro.theorems import theorem_5_9
+
+        space = PrefixSpace(adversary)
+        for component in ComponentAnalysis(space, depth).components:
+            theorem_5_9(component)

@@ -1,0 +1,112 @@
+"""Tests for the layered admissible prefix space."""
+
+import pytest
+
+from repro.adversaries.lossylink import (
+    eventually_one_direction,
+    lossy_link_full,
+    lossy_link_no_hub,
+)
+from repro.adversaries.oblivious import ObliviousAdversary
+from repro.core.digraph import arrow
+from repro.errors import AnalysisError
+from repro.topology.prefixspace import PrefixSpace
+
+TO, FRO = arrow("->"), arrow("<-")
+
+
+class TestConstruction:
+    def test_layer_zero_is_input_assignments(self):
+        space = PrefixSpace(lossy_link_no_hub())
+        layer0 = space.layer(0)
+        assert len(layer0) == 4
+        assert {node.inputs for node in layer0} == {
+            (0, 0), (0, 1), (1, 0), (1, 1)
+        }
+
+    def test_custom_input_vectors(self):
+        space = PrefixSpace(lossy_link_no_hub(), input_vectors=[(0, 0), (1, 1)])
+        assert len(space.layer(0)) == 2
+
+    def test_duplicate_inputs_rejected(self):
+        with pytest.raises(AnalysisError):
+            PrefixSpace(lossy_link_no_hub(), input_vectors=[(0, 0), (0, 0)])
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(AnalysisError):
+            PrefixSpace(lossy_link_no_hub(), input_vectors=[])
+
+    def test_layer_sizes_grow_by_alphabet(self):
+        space = PrefixSpace(lossy_link_full())
+        space.ensure_depth(3)
+        assert space.layer_sizes() == [4, 12, 36, 108]
+
+    def test_max_nodes_guard(self):
+        space = PrefixSpace(lossy_link_full(), max_nodes=20)
+        with pytest.raises(AnalysisError):
+            space.ensure_depth(3)
+
+
+class TestStructure:
+    def test_parents_chain_to_layer_zero(self):
+        space = PrefixSpace(lossy_link_no_hub())
+        for node in space.layer(3):
+            parent = space.parent_of(3, node.index)
+            assert parent is not None
+            assert parent.prefix.graphs == node.prefix.graphs[:-1]
+            assert parent.inputs == node.inputs
+
+    def test_input_index_preserved(self):
+        space = PrefixSpace(lossy_link_no_hub())
+        for node in space.layer(2):
+            assert space.input_vectors[node.input_index] == node.inputs
+
+    def test_unanimous_nodes(self):
+        space = PrefixSpace(lossy_link_no_hub())
+        unanimous = space.unanimous_nodes(2)
+        assert set(unanimous) == {0, 1}
+        assert all(node.inputs == (0, 0) for node in unanimous[0])
+        assert len(unanimous[0]) == 4
+
+    def test_find_node(self):
+        space = PrefixSpace(lossy_link_no_hub())
+        node = space.find_node(2, (0, 1), [TO, FRO])
+        assert node.inputs == (0, 1)
+        with pytest.raises(AnalysisError):
+            space.find_node(1, (0, 1), [arrow("<->")])
+
+    def test_words_match_adversary_enumeration(self):
+        adversary = lossy_link_full()
+        space = PrefixSpace(adversary, input_vectors=[(0, 1)])
+        for t in range(4):
+            words = {node.prefix.graphs for node in space.layer(t)}
+            expected = {w.graphs for w in adversary.iter_words(t)}
+            assert words == expected
+
+
+class TestLivenessPruning:
+    def test_noncompact_adversary_prefixes_are_safety_prefixes(self):
+        # For eventually-> the transient phase is unconstrained over {<-,->}.
+        space = PrefixSpace(eventually_one_direction("->"))
+        assert len(space.layer(3)) == 4 * 8
+
+    def test_dead_end_safety_state_pruned(self):
+        # An adversary that forces -> then has only -> available: prefixes
+        # through the dead letter are never generated.
+        from repro.adversaries.safety import SafetyAdversary
+
+        table = {
+            "start": {TO: ["go"], FRO: ["stuck"]},
+            "go": {TO: ["go"]},
+            "stuck": {},
+        }
+        adversary = SafetyAdversary(2, ["start"], table)
+        space = PrefixSpace(adversary, input_vectors=[(0, 1)])
+        assert len(space.layer(1)) == 1
+        assert space.layer(1)[0].prefix.graphs == (TO,)
+
+    def test_interner_shared_across_layers(self):
+        space = PrefixSpace(lossy_link_no_hub())
+        space.ensure_depth(3)
+        for node in space.layer(3):
+            assert node.prefix.interner is space.interner

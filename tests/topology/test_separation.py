@@ -1,0 +1,77 @@
+"""Tests for set distances / separation (Figures 4 and 5 shapes)."""
+
+import pytest
+
+from repro.adversaries.lossylink import lossy_link_no_hub
+from repro.core.digraph import arrow
+from repro.core.distances import d_max
+from repro.errors import AnalysisError
+from repro.topology.components import ComponentAnalysis
+from repro.topology.prefixspace import PrefixSpace
+from repro.topology.separation import (
+    are_separated,
+    distance_matrix,
+    node_set_diameter,
+    node_set_distance,
+)
+
+TO, FRO = arrow("->"), arrow("<-")
+
+
+@pytest.fixture(scope="module")
+def solvable_space():
+    space = PrefixSpace(lossy_link_no_hub())
+    space.ensure_depth(3)
+    return space
+
+
+class TestNodeSetDistances:
+    def test_empty_sets_rejected(self, solvable_space):
+        layer = solvable_space.layer(1)
+        with pytest.raises(AnalysisError):
+            node_set_distance([], layer)
+        with pytest.raises(AnalysisError):
+            node_set_diameter([])
+
+    def test_distance_zero_within_component(self, solvable_space):
+        analysis = ComponentAnalysis(solvable_space, 2)
+        for component in analysis.components:
+            members = list(component.members())
+            if len(members) >= 2:
+                assert node_set_distance(members[:1], members[1:]) == 0.0
+
+    def test_decision_sets_positively_separated(self, solvable_space):
+        """Figure 4's shape: compact solvable => distance > 0 at every depth."""
+        for depth in (1, 2, 3):
+            analysis = ComponentAnalysis(solvable_space, depth)
+            zero_side, one_side = [], []
+            for component in analysis.components:
+                members = list(component.members())
+                if 0 in component.valences:
+                    zero_side.extend(members)
+                elif 1 in component.valences:
+                    one_side.extend(members)
+            assert are_separated(zero_side, one_side)
+            assert node_set_distance(zero_side, one_side) >= 0.5
+
+    def test_diameter_of_broadcastable_component_at_most_half(self, solvable_space):
+        """Theorem 5.9: broadcastable connected sets have diameter <= 1/2."""
+        analysis = ComponentAnalysis(solvable_space, 2)
+        for component in analysis.components:
+            if component.is_broadcastable:
+                members = list(component.members())
+                assert node_set_diameter(members) <= 0.5
+
+    def test_distance_matrix_labels(self, solvable_space):
+        analysis = ComponentAnalysis(solvable_space, 1)
+        groups = {c.id: list(c.members()) for c in analysis.components}
+        matrix = distance_matrix(groups)
+        assert len(matrix) == len(groups) * (len(groups) - 1) // 2
+        for value in matrix.values():
+            assert value > 0.0
+
+    def test_d_max_distance_option(self, solvable_space):
+        layer = solvable_space.layer(1)
+        a = [node for node in layer if node.inputs == (0, 0)]
+        b = [node for node in layer if node.inputs == (1, 1)]
+        assert node_set_distance(a, b, dist=d_max) == 1.0
