@@ -6,6 +6,8 @@ Workload sizes are chosen to finish in seconds while exposing the
 exponential layer growth ``|V|^n · |D|^t``.
 """
 
+import random
+
 import pytest
 from conftest import emit
 
@@ -14,6 +16,7 @@ from repro.adversaries import (
     lossy_link_full,
     lossy_link_no_hub,
     out_star_set,
+    random_oblivious_adversary,
     santoro_widmayer_family,
 )
 from repro.consensus import check_consensus
@@ -71,16 +74,80 @@ def test_scaling_full_check(benchmark, label, factory):
 
 
 def test_scaling_view_interning(benchmark):
-    """Throughput of the hash-consing view store on a deep layer."""
-    space = PrefixSpace(lossy_link_no_hub())
+    """Throughput of the hash-consing view store on a deep layer.
+
+    The kernel builds the whole space (interner included) from scratch, so
+    every round measures the same full workload.
+    """
 
     def kernel():
+        space = PrefixSpace(lossy_link_no_hub())
         space.ensure_depth(9)
         return space.interner.stats().total
 
-    total = benchmark.pedantic(kernel, rounds=1, iterations=1)
+    total = benchmark(kernel)
     emit(
         benchmark,
         "scaling: view interning",
         [f"interned views after depth-9 space: {total}"],
+    )
+
+
+# --------------------------------------------------------------------- #
+# Scenarios unlocked by the bitmask kernel (impractical on the seed)
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.bench_deep
+def test_scaling_layer_construction_deep(benchmark):
+    """Depth-8 sweep of the full lossy link: 4 * 3^8 = 26244 prefixes."""
+
+    def kernel():
+        space = PrefixSpace(lossy_link_full())
+        space.ensure_depth(8)
+        return len(space.layer(8))
+
+    size = benchmark.pedantic(kernel, rounds=3, iterations=1)
+    emit(
+        benchmark,
+        "scaling: layer construction, depth=8 (new scenario)",
+        [f"|layer 8| = {size} prefixes (4 * 3^8)"],
+    )
+    assert size == 4 * 3**8
+
+
+@pytest.mark.bench_deep
+def test_scaling_full_check_n5_sw(benchmark):
+    """Full check of the n=5 Santoro-Widmayer family with one loss.
+
+    |D| = 21 rooted graphs over 32 input assignments; certification at
+    depth 2 walks a layer of 32 * 21^2 = 14112 five-process prefixes.  On
+    the seed representation this ran for ~0.4 s per round — far outside the
+    suite's per-round budget; the bitmask kernel brings it into range.
+    """
+    result = benchmark.pedantic(
+        lambda: check_consensus(santoro_widmayer_family(5, 1), max_depth=3),
+        rounds=3,
+        iterations=1,
+    )
+    emit(
+        benchmark,
+        "scaling: full check, n=5 |D|=21 (new scenario)",
+        [f"{result.status.name}, certified depth {result.certified_depth}"],
+    )
+
+
+@pytest.mark.bench_deep
+def test_scaling_full_check_n5_rooted(benchmark):
+    """Iterative deepening over a random rooted oblivious adversary on n=5."""
+    rng = random.Random(2026)
+    adversary = random_oblivious_adversary(rng, 5, size=4, rooted_only=True)
+
+    result = benchmark.pedantic(
+        lambda: check_consensus(adversary, max_depth=3), rounds=3, iterations=1
+    )
+    emit(
+        benchmark,
+        "scaling: full check, n=5 |D|=4 rooted (new scenario)",
+        [f"{result.status.name}, certified depth {result.certified_depth}"],
     )

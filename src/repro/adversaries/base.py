@@ -56,6 +56,8 @@ class MessageAdversary(ABC):
         self.name = name or type(self).__name__
         self._live_cache: frozenset | None = None
         self._state_cache: frozenset | None = None
+        self._ext_cache: dict[frozenset, tuple] = {}
+        self._ext_graphs_cache: dict[frozenset, tuple] = {}
 
     # ------------------------------------------------------------------ #
     # Automaton interface (to be provided by subclasses)
@@ -189,19 +191,37 @@ class MessageAdversary(ABC):
 
     def admissible_extensions(
         self, states: frozenset
-    ) -> list[tuple[Digraph, frozenset]]:
+    ) -> tuple[tuple[Digraph, frozenset], ...]:
         """Graphs extending an admissible prefix, with their new state sets.
 
         Only extensions that remain prefixes of admissible infinite
-        sequences (i.e. keep a live state reachable) are returned.
+        sequences (i.e. keep a live state reachable) are returned.  Results
+        are cached per state set (the automaton is static), which makes the
+        per-prefix cost of layer construction a single dict lookup; the
+        tuple return type keeps the shared cache immutable for callers.
         """
+        states = frozenset(states)
+        cached = self._ext_cache.get(states)
+        if cached is not None:
+            return cached
         live = self.live_states()
         result = []
         for graph in self.alphabet():
             nxt = self.step(states, graph) & live
             if nxt:
                 result.append((graph, nxt))
+        result = tuple(result)
+        self._ext_cache[states] = result
         return result
+
+    def extension_alphabet(self, states: frozenset) -> tuple[Digraph, ...]:
+        """The graphs of :meth:`admissible_extensions`, cached as a tuple."""
+        states = frozenset(states)
+        graphs = self._ext_graphs_cache.get(states)
+        if graphs is None:
+            graphs = tuple(g for g, _ in self.admissible_extensions(states))
+            self._ext_graphs_cache[states] = graphs
+        return graphs
 
     # ------------------------------------------------------------------ #
     # Word enumeration / sampling

@@ -37,12 +37,22 @@ def all_digraphs(n: int) -> Iterator[Digraph]:
 
     Intended for small ``n`` (the count is 2 for n=1, 4 for n=2, 64 for
     n=3, 4096 for n=4); raises for ``n > 4`` to avoid accidental blowups.
+
+    Graphs are built directly from their packed bitmask keys, so the
+    enumeration does per-graph O(1) work beyond interning.
     """
     if n > 4:
         raise AdversaryError(f"refusing to enumerate 2^{n * (n - 1)} digraphs")
-    edges = all_possible_edges(n)
-    for mask in range(1 << len(edges)):
-        yield Digraph(n, [e for i, e in enumerate(edges) if mask >> i & 1])
+    bit_positions = tuple(1 << (u * n + v) for u, v in all_possible_edges(n))
+    from_key = Digraph._from_key
+    for mask in range(1 << len(bit_positions)):
+        key = 0
+        rest = mask
+        while rest:
+            low = rest & -rest
+            key |= bit_positions[low.bit_length() - 1]
+            rest ^= low
+        yield from_key(n, key)
 
 
 def all_rooted_digraphs(n: int) -> Iterator[Digraph]:
@@ -64,10 +74,17 @@ def santoro_widmayer_family(n: int, losses: int) -> ObliviousAdversary:
         raise AdversaryError("losses must be nonnegative")
     edges = all_possible_edges(n)
     losses = min(losses, len(edges))
+    full_key = 0
+    for u, v in edges:
+        full_key |= 1 << (u * n + v)
+    from_key = Digraph._from_key
     graphs = []
     for k in range(losses + 1):
         for missing in combinations(edges, k):
-            graphs.append(Digraph(n, set(edges) - set(missing)))
+            key = full_key
+            for u, v in missing:
+                key &= ~(1 << (u * n + v))
+            graphs.append(from_key(n, key))
     return ObliviousAdversary(
         n, graphs, name=f"SantoroWidmayer(n={n}, losses={losses})"
     )
@@ -78,11 +95,20 @@ def out_star_set(n: int) -> tuple[Digraph, ...]:
     return tuple(Digraph.star_out(n, center) for center in range(n))
 
 
+def _random_graph(rng: random.Random, n: int, p: float) -> Digraph:
+    """A random digraph with independent edge probability ``p`` (bitmask)."""
+    key = 0
+    random_value = rng.random
+    for u, v in all_possible_edges(n):
+        if random_value() < p:
+            key |= 1 << (u * n + v)
+    return Digraph._from_key(n, key)
+
+
 def random_rooted_digraph(rng: random.Random, n: int, p: float = 0.4) -> Digraph:
     """A random digraph conditioned (by rejection) on having a unique root."""
-    edges = all_possible_edges(n)
     for _ in range(10_000):
-        g = Digraph(n, [e for e in edges if rng.random() < p])
+        g = _random_graph(rng, n, p)
         if g.is_rooted:
             return g
     raise AdversaryError("rejection sampling failed to find a rooted digraph")
@@ -93,7 +119,6 @@ def random_oblivious_adversary(
 ) -> ObliviousAdversary:
     """A random oblivious adversary with ``size`` distinct graphs."""
     chosen: set[Digraph] = set()
-    edges = all_possible_edges(n)
     attempts = 0
     while len(chosen) < size:
         attempts += 1
@@ -102,5 +127,5 @@ def random_oblivious_adversary(
         if rooted_only:
             chosen.add(random_rooted_digraph(rng, n, p))
         else:
-            chosen.add(Digraph(n, [e for e in edges if rng.random() < p]))
+            chosen.add(_random_graph(rng, n, p))
     return ObliviousAdversary(n, chosen)

@@ -87,32 +87,39 @@ class DecisionTable:
         Raises :class:`CertificateError` on any violation; passing is an
         end-to-end check of the universal construction at this depth.
         """
-        layer = self.space.layer(self.depth)
-        n = self.space.adversary.n
-        for node in layer:
-            views = node.prefix.views(self.depth)
-            decisions = set()
-            for p in range(n):
-                value = self.early.get(views[p])
-                if value is None:
+        space = self.space
+        store = space.layer_store(self.depth)
+        unanimity = space.unanimity_by_index
+        input_vectors = space.input_vectors
+        strong = self.spec.validity == "strong"
+        early_get = self.early.get
+        missing = object()
+        for index, views in enumerate(store.levels):
+            value = early_get(views[0], missing)
+            for p, vid in enumerate(views):
+                decided = early_get(vid, missing)
+                if decided is missing:
                     raise CertificateError(
                         f"termination violation: no decision for process {p} "
-                        f"in {node!r}"
+                        f"in {space.node(self.depth, index)!r}"
                     )
-                decisions.add(value)
-            if len(decisions) != 1:
-                raise CertificateError(
-                    f"agreement violation in {node!r}: {decisions}"
-                )
-            value = decisions.pop()
-            unanimous = node.unanimous_value
+                if decided != value:
+                    raise CertificateError(
+                        f"agreement violation in "
+                        f"{space.node(self.depth, index)!r}: "
+                        f"{{{value!r}, {decided!r}}}"
+                    )
+            input_index = store.input_idx[index]
+            unanimous = unanimity[input_index]
             if unanimous is not None and value != unanimous:
                 raise CertificateError(
-                    f"validity violation in {node!r}: decided {value!r}"
+                    f"validity violation in {space.node(self.depth, index)!r}: "
+                    f"decided {value!r}"
                 )
-            if self.spec.validity == "strong" and value not in node.inputs:
+            if strong and value not in input_vectors[input_index]:
                 raise CertificateError(
-                    f"strong validity violation in {node!r}: decided {value!r}"
+                    f"strong validity violation in "
+                    f"{space.node(self.depth, index)!r}: decided {value!r}"
                 )
         # Early decisions must be consistent with final ones.
         for view, value in self.final.items():
@@ -157,25 +164,42 @@ def build_decision_table(
 
     # Final map: every view occurring at the certification depth.
     final: dict[int, object] = {}
-    layer = space.layer(depth)
-    n = space.adversary.n
-    for node in layer:
-        value = assignment[analysis.component_of(node).id]
-        for p in range(n):
-            final[node.prefix.view(p, depth)] = value
+    store = space.layer_store(depth)
+    node_values: list = [None] * len(store)
+    for component in analysis.components:
+        value = assignment[component.id]
+        for index in component.member_indices:
+            node_values[index] = value
+            for vid in store.levels[index]:
+                final[vid] = value
 
     # Early map: a view at depth s <= depth decides when every admissible
-    # depth-t continuation carries the same value.
-    possible: dict[int, set] = {}
-    for node in layer:
-        value = assignment[analysis.component_of(node).id]
-        for s in range(depth + 1):
-            for p in range(n):
-                possible.setdefault(node.prefix.view(p, s), set()).add(value)
+    # depth-t continuation carries the same value.  Computed bottom-up: the
+    # value set of a node is the union over its depth-t descendants, pushed
+    # through the parent links layer by layer, so the whole map costs
+    # O(total views) instead of O(nodes * depth).  Value sets are encoded
+    # as bitmaps over the (small, finite) set of assigned values.
+    value_list = sorted(set(assignment.values()), key=repr)
+    bit_of = {value: 1 << i for i, value in enumerate(value_list)}
+    possible: dict[int, int] = {}
+    possible_get = possible.get
+    value_bits: list[int] = [bit_of[value] for value in node_values]
+    for s in range(depth, -1, -1):
+        level_store = space.layer_store(s)
+        levels = level_store.levels
+        for index, bits in enumerate(value_bits):
+            for vid in levels[index]:
+                possible[vid] = possible_get(vid, 0) | bits
+        if s:
+            parents = level_store.parents
+            parent_bits = [0] * len(space.layer_store(s - 1))
+            for index, bits in enumerate(value_bits):
+                parent_bits[parents[index]] |= bits
+            value_bits = parent_bits
     early = {
-        view: next(iter(values))
-        for view, values in possible.items()
-        if len(values) == 1
+        view: value_list[bits.bit_length() - 1]
+        for view, bits in possible.items()
+        if bits and bits & (bits - 1) == 0
     }
 
     table = DecisionTable(space, depth, spec, assignment, final, early)

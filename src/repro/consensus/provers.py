@@ -329,25 +329,32 @@ class SingleComponentInduction:
         witnesses: dict[int, Digraph] = {}
         if not graphs:
             return witnesses, False
+        # C1 on the bitmask rows: ``In_G(p) = {p}`` iff the in-bit row of p
+        # is exactly p's own bit.
         for p in range(self.n):
+            own = 1 << p
             for g in graphs:
-                if g.in_neighbors(p) == frozenset({p}):
+                if g.in_bits[p] == own:
                     witnesses[p] = g
                     break
-        # C2: connectivity of the shared-in-neighborhood relation.
+        # C2: connectivity of the shared-in-neighborhood relation.  Instead
+        # of the O(|D|^2 n) pairwise scan, bucket graphs by (p, in-row):
+        # all graphs sharing a bucket are pairwise related, so chaining each
+        # bucket is enough — O(|D| n) unions.
         from repro.topology.components import UnionFind
 
-        index = {g: i for i, g in enumerate(graphs)}
         uf = UnionFind(len(graphs))
+        buckets: dict[tuple[int, int], int] = {}
         for i, g in enumerate(graphs):
-            for h in graphs[i + 1 :]:
-                if any(
-                    g.in_neighbors(p) == h.in_neighbors(p)
-                    for p in range(self.n)
-                ):
-                    uf.union(index[g], index[h])
-        roots = {uf.find(i) for i in range(len(graphs))}
-        return witnesses, len(roots) == 1
+            rows = g.in_bits
+            for p in range(self.n):
+                key = (p, rows[p])
+                first = buckets.setdefault(key, i)
+                if first != i:
+                    uf.union(first, i)
+        root = uf.find(0)
+        connected = all(uf.find(i) == root for i in range(len(graphs)))
+        return witnesses, connected
 
     @property
     def c1_holds(self) -> bool:

@@ -36,9 +36,9 @@ def heard_of_step(graph: Digraph, heard: Sequence[int]) -> tuple[int, ...]:
     are delivered along ``graph`` (self-loops implicit).
     """
     result = []
-    for q in range(graph.n):
+    for in_list in graph.in_neighbor_lists:
         mask = 0
-        for r in graph.in_neighbors(q):
+        for r in in_list:
             mask |= heard[r]
         result.append(mask)
     return tuple(result)

@@ -73,18 +73,31 @@ class PTGPrefix:
             _history = self._build_history(interner, inputs, graphs)
         object.__setattr__(self, "_view_history", _history)
 
+    @classmethod
+    def _make(
+        cls,
+        interner: ViewInterner,
+        inputs: tuple,
+        graphs: tuple[Digraph, ...],
+        history: tuple[tuple[int, ...], ...],
+    ) -> "PTGPrefix":
+        """Internal unchecked constructor (inputs/graphs already validated)."""
+        self = object.__new__(cls)
+        sset = object.__setattr__
+        sset(self, "interner", interner)
+        sset(self, "inputs", inputs)
+        sset(self, "graphs", graphs)
+        sset(self, "_view_history", history)
+        return self
+
     @staticmethod
     def _build_history(
         interner: ViewInterner, inputs: tuple, graphs: tuple[Digraph, ...]
     ) -> tuple[tuple[int, ...], ...]:
-        n = interner.n
-        level = tuple(interner.leaf(p, inputs[p]) for p in range(n))
+        level = interner.leaf_level(inputs)
         history = [level]
         for g in graphs:
-            level = tuple(
-                interner.node(p, (history[-1][q] for q in g.in_neighbors(p)))
-                for p in range(n)
-            )
+            level = interner.extend_level(level, g)
             history.append(level)
         return tuple(history)
 
@@ -118,29 +131,26 @@ class PTGPrefix:
 
     def extended(self, graph: Digraph) -> "PTGPrefix":
         """The prefix with one more round appended (shares the history)."""
-        if graph.n != self.n:
+        if graph.n != self.interner.n:
             raise AnalysisError("appended graph has wrong n")
-        last = self._view_history[-1]
-        level = tuple(
-            self.interner.node(p, (last[q] for q in graph.in_neighbors(p)))
-            for p in range(self.n)
-        )
-        return PTGPrefix(
+        history = self._view_history
+        level = self.interner.extend_level(history[-1], graph)
+        return PTGPrefix._make(
             self.interner,
             self.inputs,
             self.graphs + (graph,),
-            _history=self._view_history + (level,),
+            history + (level,),
         )
 
     def truncated(self, t: int) -> "PTGPrefix":
         """The depth-``t`` prefix of this prefix."""
         if not 0 <= t <= self.depth:
             raise AnalysisError(f"cannot truncate depth-{self.depth} prefix to {t}")
-        return PTGPrefix(
+        return PTGPrefix._make(
             self.interner,
             self.inputs,
             self.graphs[:t],
-            _history=self._view_history[: t + 1],
+            self._view_history[: t + 1],
         )
 
     # ------------------------------------------------------------------ #
@@ -178,9 +188,10 @@ class PTGPrefix:
         the sense of Definition 5.8.
         """
         views = self.views(t)
-        mask = (1 << self.n) - 1
+        masks = self.interner._origin_mask
+        mask = (1 << self.interner.n) - 1
         for vid in views:
-            mask &= self.interner.origin_mask(vid)
+            mask &= masks[vid]
         return mask
 
     def broadcasters(self, t: int | None = None) -> frozenset[int]:

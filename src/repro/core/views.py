@@ -27,8 +27,9 @@ bit of ``p`` is set in every process's view mask.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Sequence
 
+from repro.core.digraph import Digraph
 from repro.errors import AnalysisError
 
 __all__ = ["ViewInterner", "ViewStats"]
@@ -75,6 +76,7 @@ class ViewInterner:
         "_origin_mask",
         "_origin_values",
         "_leaf_count",
+        "_level_cache",
     )
 
     def __init__(self, n: int) -> None:
@@ -86,8 +88,10 @@ class ViewInterner:
         self._depth: list[int] = []
         self._payload: list = []
         self._origin_mask: list[int] = []
-        self._origin_values: list[tuple] = []
+        self._origin_values: list = []
         self._leaf_count = 0
+        # (level tuple, graph) -> next level tuple; the prefix-space hot path.
+        self._level_cache: dict = {}
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -118,10 +122,12 @@ class ViewInterner:
         depth.
         """
         self._check_pid(p)
-        kids = frozenset(children)
+        kids = tuple(sorted(set(children)))
         if not kids:
             raise AnalysisError("a non-leaf view needs at least its own previous view")
-        key = (p, kids)
+        # Non-leaf keys are tagged with ``~p`` so they can never collide
+        # with a leaf key ``(p, value)`` whatever the input values are.
+        key = (~p, kids)
         vid = self._table.get(key)
         if vid is not None:
             return vid
@@ -132,7 +138,7 @@ class ViewInterner:
         values: dict[int, object] = {}
         for c in kids:
             mask |= self._origin_mask[c]
-            for q, value in self._origin_values[c]:
+            for q, value in self.origins(c):
                 previous = values.setdefault(q, value)
                 if previous != value:
                     raise AnalysisError(
@@ -146,6 +152,113 @@ class ViewInterner:
             origin_mask=mask,
             origin_values=tuple(sorted(values.items(), key=lambda kv: kv[0])),
         )
+
+    def leaf_level(self, inputs: Sequence) -> tuple[int, ...]:
+        """Intern the whole time-0 level ``(leaf(0, x_0), ..., leaf(n-1, x_{n-1}))``."""
+        if len(inputs) != self.n:
+            raise AnalysisError(
+                f"assignment of length {len(inputs)} for n={self.n} interner"
+            )
+        table = self._table
+        pids = self._pid
+        level = []
+        for p, value in enumerate(inputs):
+            key = (p, value)
+            vid = table.get(key)
+            if vid is None:
+                vid = len(pids)
+                table[key] = vid
+                pids.append(p)
+                self._depth.append(0)
+                self._payload.append(value)
+                self._origin_mask.append(1 << p)
+                self._origin_values.append(((p, value),))
+                self._leaf_count += 1
+            level.append(vid)
+        return tuple(level)
+
+    def extend_level(self, level: tuple[int, ...], graph: Digraph) -> tuple[int, ...]:
+        """One synchronous round: the views of all processes after ``graph``.
+
+        ``level`` must be the full view-id tuple of one prefix at some time
+        ``t`` (so the children of each new view are mutually consistent by
+        construction); the result is the level at time ``t + 1``.  Results
+        are memoized per ``(level, graph)``, and origin *values* of the new
+        views are materialized lazily (only :meth:`origins` and
+        :meth:`input_of` force them) — the prefix-space hot path needs only
+        the origin masks.
+        """
+        memo_key = (level, graph)
+        cached = self._level_cache.get(memo_key)
+        if cached is not None:
+            return cached
+        result = self.extend_level_multi(level, (graph,))[0]
+        self._level_cache[memo_key] = result
+        return result
+
+    def extend_level_multi(
+        self, level: tuple[int, ...], graphs: Sequence[Digraph]
+    ) -> list[tuple[int, ...]]:
+        """Extend one level by every graph of an alphabet in a single pass.
+
+        Equivalent to ``[self.extend_level(level, g) for g in graphs]`` but
+        shares the per-``(p, in-neighborhood)`` work across graphs: alphabets
+        typically repeat in-rows (e.g. every graph in which ``p`` hears
+        everyone produces the same view of ``p``), so each distinct row is
+        interned once.  This is the inner loop of prefix-space layer
+        construction.
+        """
+        table = self._table
+        table_get = table.get
+        pids = self._pid
+        depths = self._depth
+        payloads = self._payload
+        masks = self._origin_mask
+        values = self._origin_values
+        depth = depths[level[0]] + 1
+        n = self.n
+        sorted_level: tuple[int, ...] | None = None
+        row_cache: dict = {}
+        row_get = row_cache.get
+        results = []
+        for graph in graphs:
+            out = []
+            for p, in_list in enumerate(graph.in_neighbor_lists):
+                row_key = (p, in_list)
+                vid = row_get(row_key)
+                if vid is None:
+                    size = len(in_list)
+                    if size == 2:
+                        a = level[in_list[0]]
+                        b = level[in_list[1]]
+                        kids = (a, b) if a < b else (b, a)
+                    elif size == 1:
+                        kids = (level[in_list[0]],)
+                    elif size == n:
+                        # Dense row: every graph in which p hears everyone
+                        # shares the sorted full level.
+                        if sorted_level is None:
+                            sorted_level = tuple(sorted(level))
+                        kids = sorted_level
+                    else:
+                        kids = tuple(sorted([level[q] for q in in_list]))
+                    key = (~p, kids)
+                    vid = table_get(key)
+                    if vid is None:
+                        mask = 0
+                        for c in kids:
+                            mask |= masks[c]
+                        vid = len(pids)
+                        table[key] = vid
+                        pids.append(p)
+                        depths.append(depth)
+                        payloads.append(kids)
+                        masks.append(mask)
+                        values.append(None)
+                    row_cache[row_key] = vid
+                out.append(vid)
+            results.append(tuple(out))
+        return results
 
     def _store(self, key, *, pid, depth, payload, origin_mask, origin_values) -> int:
         vid = len(self._pid)
@@ -187,7 +300,7 @@ class ViewInterner:
         """The previous-round views visible in ``vid`` (empty for leaves)."""
         if self.is_leaf(vid):
             return frozenset()
-        return self._payload[vid]
+        return frozenset(self._payload[vid])
 
     def origin_mask(self, vid: int) -> int:
         """Bitmask of processes whose initial node lies in the causal past."""
@@ -195,7 +308,41 @@ class ViewInterner:
 
     def origins(self, vid: int) -> tuple:
         """Sorted tuple of ``(q, x_q)`` pairs visible in the causal past."""
-        return self._origin_values[vid]
+        cached = self._origin_values[vid]
+        if cached is None:
+            cached = self._force_origins(vid)
+        return cached
+
+    def _force_origins(self, vid: int) -> tuple:
+        """Materialize lazily-deferred origin values (fast-path views only).
+
+        Views created through :meth:`extend_level` defer the value merge;
+        their children are mutually consistent by construction, so a plain
+        union suffices.
+        """
+        values = self._origin_values
+        merged: dict[int, object] = {}
+        stack = [vid]
+        seen = {vid}
+        pending: list[int] = []
+        while stack:
+            current = stack.pop()
+            if values[current] is None:
+                pending.append(current)
+                for child in self._payload[current]:
+                    if child not in seen:
+                        seen.add(child)
+                        stack.append(child)
+            else:
+                merged.update(values[current])
+        # Fill in post-order so deeper views are cached too.
+        for current in reversed(pending):
+            mask = self._origin_mask[current]
+            entry = tuple(
+                (q, merged[q]) for q in range(self.n) if mask >> q & 1
+            )
+            values[current] = entry
+        return values[vid]
 
     def knows_input_of(self, vid: int, q: int) -> bool:
         """Whether the causal past of ``vid`` contains ``(q, 0, x_q)``."""
@@ -203,7 +350,7 @@ class ViewInterner:
 
     def input_of(self, vid: int, q: int):
         """The input value of ``q`` as recorded in the causal past of ``vid``."""
-        for owner, value in self._origin_values[vid]:
+        for owner, value in self.origins(vid):
             if owner == q:
                 return value
         raise AnalysisError(f"view {vid} has not heard of process {q}")

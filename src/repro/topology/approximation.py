@@ -28,13 +28,13 @@ def eps_ball(space: PrefixSpace, depth: int, center: PrefixNode) -> list[PrefixN
     A prefix is in the ball iff some process's views agree with ``center``'s
     through round ``depth`` (i.e. ``d_min < 2^{-depth}``).
     """
-    layer = space.layer(depth)
+    store = space.layer_store(depth)
     center_views = center.prefix.views(depth)
+    n = space.adversary.n
     ball = []
-    for node in layer:
-        views = node.prefix.views(depth)
-        if any(views[p] == center_views[p] for p in range(space.adversary.n)):
-            ball.append(node)
+    for index, views in enumerate(store.levels):
+        if any(views[p] == center_views[p] for p in range(n)):
+            ball.append(space.node(depth, index))
     return ball
 
 
@@ -63,19 +63,19 @@ class EpsApproximation:
         self.space = space
         self.depth = depth
         self.seed = seed
-        layer = space.layer(depth)
+        store = space.layer_store(depth)
+        levels = store.levels
         if seed.depth != depth:
             raise AnalysisError("seed must live on the chosen layer")
 
         n = space.adversary.n
-        # Index views once: (p, view id) -> node indices.
-        buckets: dict[tuple[int, int], list[int]] = {}
-        for node in layer:
-            views = node.prefix.views(depth)
+        # Index views once: packed (view id, p) key -> node indices.
+        buckets: dict[int, list[int]] = {}
+        for index, views in enumerate(levels):
             for p in range(n):
-                buckets.setdefault((p, views[p]), []).append(node.index)
+                buckets.setdefault(views[p] * n + p, []).append(index)
 
-        member_flags = [False] * len(layer)
+        member_flags = [False] * len(levels)
         member_flags[seed.index] = True
         frontier = [seed.index]
         order = [seed.index]
@@ -84,9 +84,9 @@ class EpsApproximation:
             iterations += 1
             nxt: list[int] = []
             for index in frontier:
-                views = layer[index].prefix.views(depth)
+                views = levels[index]
                 for p in range(n):
-                    for other in buckets[(p, views[p])]:
+                    for other in buckets[views[p] * n + p]:
                         if not member_flags[other]:
                             member_flags[other] = True
                             nxt.append(other)

@@ -121,7 +121,12 @@ class Component:
 
     def broadcaster_value(self, p: int):
         """The input value of broadcaster ``p`` (constant by Theorem 5.9)."""
-        values = {node.inputs[p] for node in self.members()}
+        store = self._space.layer_store(self.depth)
+        input_idx = store.input_idx
+        input_vectors = self._space.input_vectors
+        values = {
+            input_vectors[input_idx[i]][p] for i in self.member_indices
+        }
         if len(values) != 1:
             raise AnalysisError(
                 f"Theorem 5.9 violation: broadcaster {p} has values {values} "
@@ -151,56 +156,99 @@ class ComponentAnalysis:
     def __init__(self, space: PrefixSpace, depth: int) -> None:
         self.space = space
         self.depth = depth
-        layer = space.layer(depth)
+        store = space.layer_store(depth)
+        levels = store.levels
         interner = space.interner
         n = space.adversary.n
 
-        union_find = UnionFind(len(layer))
-        buckets: dict[tuple[int, int], int] = {}
-        for node in layer:
-            views = node.prefix.views(depth)
+        union_find = UnionFind(len(levels))
+        parent = union_find.parent
+        size = union_find.size
+        origin_masks = interner._origin_mask
+        everyone = full_mask(n)
+        # One pass: bucket nodes by the packed key ``view_id * n + p`` (two
+        # prefixes sharing a bucket are indistinguishable) and fold the
+        # per-node broadcast mask while the views are at hand.
+        buckets: dict[int, int] = {}
+        bucket_get = buckets.get
+        node_masks: list[int] = []
+        node_masks_append = node_masks.append
+        for index, views in enumerate(levels):
+            common = everyone
             for p in range(n):
-                key = (p, views[p])
-                first = buckets.setdefault(key, node.index)
-                if first != node.index:
-                    union_find.union(first, node.index)
+                vid = views[p]
+                common &= origin_masks[vid]
+                key = vid * n + p
+                first = bucket_get(key)
+                if first is None:
+                    buckets[key] = index
+                    continue
+                # Inline union by size with path halving.
+                a, b = first, index
+                while parent[a] != a:
+                    parent[a] = a = parent[parent[a]]
+                while parent[b] != b:
+                    parent[b] = b = parent[parent[b]]
+                if a != b:
+                    if size[a] < size[b]:
+                        a, b = b, a
+                    parent[b] = a
+                    size[a] += size[b]
+            node_masks_append(common)
         self._union_find = union_find
 
-        # Gather per-root data.
-        roots: dict[int, dict] = {}
-        everyone = full_mask(n)
-        for node in layer:
-            root = union_find.find(node.index)
-            data = roots.setdefault(
-                root,
-                {"members": [], "valences": set(), "mask": everyone},
-            )
-            data["members"].append(node.index)
-            value = node.unanimous_value
+        # Gather per-root data in a second pass over the columns.  Because
+        # nodes are visited in index order, each root is first reached
+        # through its smallest member, so the insertion order of
+        # ``members_of`` is already the canonical (first-member) component
+        # order — no sort needed.
+        unanimity = space.unanimity_by_index
+        input_idx = store.input_idx
+        members_of: dict[int, list[int]] = {}
+        valences_of: dict[int, set] = {}
+        mask_of: dict[int, int] = {}
+        for index, common in enumerate(node_masks):
+            root = index
+            while parent[root] != root:
+                parent[root] = root = parent[parent[root]]
+            members = members_of.get(root)
+            if members is None:
+                members_of[root] = [index]
+                mask_of[root] = common
+            else:
+                members.append(index)
+                mask_of[root] &= common
+            value = unanimity[input_idx[index]]
             if value is not None:
-                data["valences"].add(value)
-            data["mask"] &= node.prefix.heard_by_all_mask(depth)
+                held = valences_of.get(root)
+                if held is None:
+                    valences_of[root] = {value}
+                else:
+                    held.add(value)
 
+        empty: frozenset = frozenset()
+        valences_get = valences_of.get
         self.components: list[Component] = []
+        components_append = self.components.append
         self._component_of_root: dict[int, int] = {}
-        for root in sorted(roots, key=lambda r: roots[r]["members"][0]):
-            data = roots[root]
-            component = Component(
-                component_id=len(self.components),
-                depth=depth,
-                member_indices=data["members"],
-                valences=frozenset(data["valences"]),
-                broadcast_mask=data["mask"],
-                space=space,
+        for component_id, (root, members) in enumerate(members_of.items()):
+            held = valences_get(root)
+            components_append(
+                Component(
+                    component_id=component_id,
+                    depth=depth,
+                    member_indices=members,
+                    valences=frozenset(held) if held else empty,
+                    broadcast_mask=mask_of[root],
+                    space=space,
+                )
             )
-            self.components.append(component)
-            self._component_of_root[root] = component.id
+            self._component_of_root[root] = component_id
 
-        # view bucket -> component id (the universal algorithm's lookup).
-        self._view_to_component: dict[tuple[int, int], int] = {
-            key: self._component_of_root[union_find.find(first)]
-            for key, first in buckets.items()
-        }
+        # view bucket -> component id (the universal algorithm's lookup);
+        # built lazily because the solvability checker never queries it.
+        self._buckets = buckets
+        self._view_map: dict[tuple[int, int], int] | None = None
 
     # ------------------------------------------------------------------ #
     # Lookup
@@ -218,7 +266,17 @@ class ComponentAnalysis:
         returned component (that is what indistinguishability means); `None`
         if the view does not occur at this depth.
         """
-        cid = self._view_to_component.get((p, view_id))
+        view_map = self._view_map
+        if view_map is None:
+            n = self.space.adversary.n
+            find = self._union_find.find
+            component_of_root = self._component_of_root
+            view_map = {
+                (key % n, key // n): component_of_root[find(first)]
+                for key, first in self._buckets.items()
+            }
+            self._view_map = view_map
+        cid = view_map.get((p, view_id))
         return None if cid is None else self.components[cid]
 
     def bivalent_components(self) -> list[Component]:

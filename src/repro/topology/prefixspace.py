@@ -13,19 +13,36 @@ round enumerates exactly the admissible continuations (including the
 liveness pruning for non-compact adversaries: prefixes that could never be
 completed to an admissible infinite sequence are not generated — they are
 not prefixes of points of ``PS`` at all).
+
+Storage layout
+--------------
+Layers are stored *columnar* (:class:`LayerStore`): parallel lists of
+interned view levels, parent indices, input indices, round graphs, and
+adversary state sets.  This is the representation the hot analyses
+(components, decision tables, ε-approximations) iterate directly — one
+tuple of interned view ids per prefix, no per-prefix Python objects.  The
+:class:`PrefixNode` wrappers of the original API are materialized lazily
+(and cached) when a consumer asks for them, with full-history
+:class:`~repro.core.ptg.PTGPrefix` objects whose construction is amortized
+O(1) per node through parent-history sharing.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.adversaries.base import MessageAdversary
-from repro.core.inputs import all_assignments, binary_domain, validate_assignment
+from repro.core.inputs import (
+    all_assignments,
+    binary_domain,
+    unanimity_value,
+    validate_assignment,
+)
 from repro.core.ptg import PTGPrefix
 from repro.core.views import ViewInterner
 from repro.errors import AnalysisError
 
-__all__ = ["PrefixNode", "PrefixSpace"]
+__all__ = ["PrefixNode", "PrefixSpace", "LayerStore", "LayerView"]
 
 
 class PrefixNode:
@@ -67,6 +84,75 @@ class PrefixNode:
             f"PrefixNode(#{self.index}, inputs={self.inputs!r}, "
             f"depth={self.depth})"
         )
+
+
+class LayerStore:
+    """Columnar storage of one layer: parallel per-prefix lists.
+
+    Attributes
+    ----------
+    levels:
+        Per prefix, the tuple of interned view ids at this depth.
+    parents:
+        Per prefix, the index of its depth ``t - 1`` truncation (``-1`` on
+        the root layer).
+    input_idx:
+        Per prefix, the index into ``space.input_vectors``.
+    graphs:
+        Per prefix, the communication graph of the last round (``None`` on
+        the root layer).
+    states:
+        Per prefix, the adversary's reachable state set.
+    """
+
+    __slots__ = ("levels", "parents", "input_idx", "graphs", "states", "nodes")
+
+    def __init__(self, levels, parents, input_idx, graphs, states) -> None:
+        self.levels: list[tuple[int, ...]] = levels
+        self.parents: list[int] = parents
+        self.input_idx: list[int] = input_idx
+        self.graphs: list = graphs
+        self.states: list[frozenset] = states
+        #: Lazy cache of materialized :class:`PrefixNode` wrappers.
+        self.nodes: list[PrefixNode | None] = [None] * len(levels)
+
+    def __len__(self) -> int:
+        return len(self.levels)
+
+
+class LayerView(Sequence):
+    """Sequence facade over one layer; nodes materialize on access."""
+
+    __slots__ = ("_space", "_depth")
+
+    def __init__(self, space: "PrefixSpace", depth: int) -> None:
+        self._space = space
+        self._depth = depth
+
+    def __len__(self) -> int:
+        return len(self._space._stores[self._depth])
+
+    def __getitem__(self, item):
+        if isinstance(item, slice):
+            return [
+                self._space._materialize(self._depth, i)
+                for i in range(*item.indices(len(self)))
+            ]
+        size = len(self)
+        if item < 0:
+            item += size
+        if not 0 <= item < size:
+            raise IndexError(item)
+        return self._space._materialize(self._depth, item)
+
+    def __iter__(self) -> Iterator[PrefixNode]:
+        materialize = self._space._materialize
+        depth = self._depth
+        for i in range(len(self)):
+            yield materialize(depth, i)
+
+    def __repr__(self) -> str:
+        return f"LayerView(depth={self._depth}, size={len(self)})"
 
 
 class PrefixSpace:
@@ -119,6 +205,9 @@ class PrefixSpace:
         if len(set(vectors)) != len(vectors):
             raise AnalysisError("duplicate input assignments")
         self.input_vectors = vectors
+        #: Unanimity value per input index (None for mixed assignments),
+        #: precomputed so per-node valence queries are a tuple lookup.
+        self.unanimity_by_index = tuple(unanimity_value(vec) for vec in vectors)
         self.max_nodes = max_nodes
         initial_states = frozenset(
             adversary.initial_states() & adversary.live_states()
@@ -127,17 +216,17 @@ class PrefixSpace:
             raise AnalysisError(
                 f"adversary {adversary.name} admits no infinite sequences"
             )
-        layer0 = [
-            PrefixNode(
-                index=i,
-                parent=None,
-                input_index=i,
-                prefix=PTGPrefix(self.interner, vec),
-                states=initial_states,
+        leaf_level = self.interner.leaf_level
+        count = len(vectors)
+        self._stores: list[LayerStore] = [
+            LayerStore(
+                levels=[leaf_level(vec) for vec in vectors],
+                parents=[-1] * count,
+                input_idx=list(range(count)),
+                graphs=[None] * count,
+                states=[initial_states] * count,
             )
-            for i, vec in enumerate(vectors)
         ]
-        self._layers: list[list[PrefixNode]] = [layer0]
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -146,34 +235,57 @@ class PrefixSpace:
     @property
     def depth(self) -> int:
         """The deepest fully constructed layer."""
-        return len(self._layers) - 1
+        return len(self._stores) - 1
 
     def extend(self) -> None:
-        """Construct the next layer (depth + 1)."""
-        current = self._layers[-1]
-        nxt: list[PrefixNode] = []
+        """Construct the next layer (depth + 1).
+
+        Per parent prefix this resolves the admissible alphabet once
+        (cached on the adversary) and interns all successor view levels in
+        one batched call; children are plain column appends.
+        """
+        current = self._stores[-1]
         adversary = self.adversary
-        for node in current:
-            for graph, states in adversary.admissible_extensions(node.states):
-                if len(nxt) >= self.max_nodes:
-                    raise AnalysisError(
-                        f"prefix space exceeds max_nodes={self.max_nodes} at "
-                        f"depth {self.depth + 1}; reduce depth or inputs"
-                    )
-                nxt.append(
-                    PrefixNode(
-                        index=len(nxt),
-                        parent=node.index,
-                        input_index=node.input_index,
-                        prefix=node.prefix.extended(graph),
-                        states=states,
-                    )
+        extensions = adversary.admissible_extensions
+        alphabet_of = adversary.extension_alphabet
+        extend_multi = self.interner.extend_level_multi
+        max_nodes = self.max_nodes
+        levels: list[tuple[int, ...]] = []
+        parents: list[int] = []
+        input_idx: list[int] = []
+        graphs: list = []
+        states_col: list[frozenset] = []
+        levels_append = levels.append
+        parents_append = parents.append
+        input_append = input_idx.append
+        graphs_append = graphs.append
+        states_append = states_col.append
+        cur_levels = current.levels
+        cur_inputs = current.input_idx
+        count = 0
+        for i, node_states in enumerate(current.states):
+            exts = extensions(node_states)
+            new_levels = extend_multi(cur_levels[i], alphabet_of(node_states))
+            count += len(exts)
+            if count > max_nodes:
+                raise AnalysisError(
+                    f"prefix space exceeds max_nodes={self.max_nodes} at "
+                    f"depth {self.depth + 1}; reduce depth or inputs"
                 )
-        if not nxt:
+            inp = cur_inputs[i]
+            for (graph, nxt_states), level in zip(exts, new_levels):
+                levels_append(level)
+                parents_append(i)
+                input_append(inp)
+                graphs_append(graph)
+                states_append(nxt_states)
+        if not levels:
             raise AnalysisError(
                 f"{adversary.name}: no admissible extension at depth {self.depth}"
             )
-        self._layers.append(nxt)
+        self._stores.append(
+            LayerStore(levels, parents, input_idx, graphs, states_col)
+        )
 
     def ensure_depth(self, t: int) -> None:
         """Construct layers up to depth ``t``."""
@@ -184,34 +296,78 @@ class PrefixSpace:
     # Access
     # ------------------------------------------------------------------ #
 
-    def layer(self, t: int) -> list[PrefixNode]:
+    def layer_store(self, t: int) -> LayerStore:
+        """The columnar data of layer ``t`` (constructing if needed).
+
+        This is the fast-path API: analyses that only need view levels,
+        input indices, or parent links should iterate the store's columns
+        instead of materializing :class:`PrefixNode` objects.
+        """
+        self.ensure_depth(t)
+        return self._stores[t]
+
+    def layer(self, t: int) -> LayerView:
         """All admissible prefixes of depth ``t`` (constructing if needed)."""
         self.ensure_depth(t)
-        return self._layers[t]
+        return LayerView(self, t)
 
     def node(self, t: int, index: int) -> PrefixNode:
         """The ``index``-th node of layer ``t``."""
-        return self.layer(t)[index]
+        self.ensure_depth(t)
+        return self._materialize(t, index)
+
+    def _materialize(self, t: int, index: int) -> PrefixNode:
+        """Build (and cache) the node wrapper for one columnar entry."""
+        store = self._stores[t]
+        node = store.nodes[index]
+        if node is not None:
+            return node
+        if t == 0:
+            prefix = PTGPrefix._make(
+                self.interner,
+                self.input_vectors[store.input_idx[index]],
+                (),
+                (store.levels[index],),
+            )
+            node = PrefixNode(index, None, store.input_idx[index], prefix, store.states[index])
+        else:
+            parent_index = store.parents[index]
+            parent = self._materialize(t - 1, parent_index)
+            parent_prefix = parent.prefix
+            prefix = PTGPrefix._make(
+                self.interner,
+                parent_prefix.inputs,
+                parent_prefix.graphs + (store.graphs[index],),
+                parent_prefix._view_history + (store.levels[index],),
+            )
+            node = PrefixNode(
+                index, parent_index, store.input_idx[index], prefix, store.states[index]
+            )
+        store.nodes[index] = node
+        return node
 
     def parent_of(self, t: int, index: int) -> PrefixNode | None:
         """The depth ``t - 1`` truncation of a node (None at the root)."""
-        node = self.layer(t)[index]
-        if node.parent is None:
+        self.ensure_depth(t)
+        parent = self._stores[t].parents[index]
+        if parent < 0:
             return None
-        return self._layers[t - 1][node.parent]
+        return self._materialize(t - 1, parent)
 
     def unanimous_nodes(self, t: int) -> dict:
         """Map value -> list of unanimous (``v``-valent) nodes at depth ``t``."""
+        store = self.layer_store(t)
+        unanimity = self.unanimity_by_index
         result: dict = {}
-        for node in self.layer(t):
-            value = node.unanimous_value
+        for index, inp in enumerate(store.input_idx):
+            value = unanimity[inp]
             if value is not None:
-                result.setdefault(value, []).append(node)
+                result.setdefault(value, []).append(self._materialize(t, index))
         return result
 
     def layer_sizes(self) -> list[int]:
         """Sizes of all constructed layers."""
-        return [len(layer) for layer in self._layers]
+        return [len(store) for store in self._stores]
 
     def find_node(self, t: int, inputs: Sequence, word) -> PrefixNode:
         """The node with the given inputs and graph word at depth ``t``."""

@@ -1,0 +1,271 @@
+"""Randomized equivalence: bitmask kernel vs the legacy set semantics.
+
+The ``Digraph`` bitmask kernel (integer adjacency rows, closure by repeated
+squaring, interning) replaced a ``frozenset``-of-edges representation with
+per-call Tarjan SCCs.  These property tests pin the kernel to an
+independent, deliberately naive set-based reference implementation on
+randomized digraphs: neighborhoods, reachability, strongly connected
+components, root components, broadcasters, graph products, and the
+hash/equality/interning identities — including the implicit-self-loop
+convention and the ``ARROW_NAMES_N2`` naming of the four two-process
+graphs.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.digraph import ARROW_NAMES_N2, Digraph, arrow
+
+# --------------------------------------------------------------------- #
+# Reference implementation (sets and DFS only — no bit tricks)
+# --------------------------------------------------------------------- #
+
+
+def ref_normalize(n, edges):
+    """Non-self edges inside range, as the legacy constructor kept them."""
+    return frozenset((u, v) for u, v in edges if u != v)
+
+
+def ref_out(n, edges, p):
+    return frozenset({p} | {v for u, v in edges if u == p})
+
+
+def ref_in(n, edges, p):
+    return frozenset({p} | {u for u, v in edges if v == p})
+
+
+def ref_reachable(n, edges, p):
+    seen = {p}
+    stack = [p]
+    while stack:
+        u = stack.pop()
+        for v in ref_out(n, edges, u):
+            if v not in seen:
+                seen.add(v)
+                stack.append(v)
+    return frozenset(seen)
+
+
+def ref_sccs(n, edges):
+    """SCCs by mutual reachability (quadratic, obviously correct)."""
+    reach = [ref_reachable(n, edges, p) for p in range(n)]
+    comps = set()
+    for p in range(n):
+        comps.add(frozenset(q for q in reach[p] if p in reach[q]))
+    return comps
+
+
+def ref_root_components(n, edges):
+    reach = [ref_reachable(n, edges, p) for p in range(n)]
+    roots = set()
+    for comp in ref_sccs(n, edges):
+        member = next(iter(comp))
+        incoming = any(
+            member in reach[q] and q not in reach[member] for q in range(n)
+        )
+        if not incoming:
+            roots.add(comp)
+    return roots
+
+
+def ref_broadcasters(n, edges):
+    return frozenset(
+        p for p in range(n) if len(ref_reachable(n, edges, p)) == n
+    )
+
+
+def ref_compose(n, first, second):
+    """Round product with implicit self-loops in both factors."""
+    produced = set()
+    for u in range(n):
+        for v in ref_out(n, first, u):
+            for w in ref_out(n, second, v):
+                if u != w:
+                    produced.add((u, w))
+    return frozenset(produced)
+
+
+# --------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------- #
+
+
+@st.composite
+def digraph_inputs(draw, max_n=6):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    pairs = st.tuples(
+        st.integers(min_value=0, max_value=n - 1),
+        st.integers(min_value=0, max_value=n - 1),
+    )
+    edges = draw(st.lists(pairs, max_size=n * n))
+    return n, edges
+
+
+# --------------------------------------------------------------------- #
+# Equivalence properties
+# --------------------------------------------------------------------- #
+
+
+@settings(max_examples=200, deadline=None)
+@given(digraph_inputs())
+def test_neighborhoods_match_reference(case):
+    n, edges = case
+    g = Digraph(n, edges)
+    assert g.edges == ref_normalize(n, edges)
+    for p in range(n):
+        assert g.in_neighbors(p) == ref_in(n, edges, p)
+        assert g.out_neighbors(p) == ref_out(n, edges, p)
+        assert set(g.in_neighbor_lists[p]) == ref_in(n, edges, p)
+
+
+@settings(max_examples=200, deadline=None)
+@given(digraph_inputs())
+def test_reachability_and_closure_match_reference(case):
+    n, edges = case
+    g = Digraph(n, edges)
+    closure = g.closure_bits()
+    for p in range(n):
+        expected = ref_reachable(n, edges, p)
+        assert g.reachable_from(p) == expected
+        assert {q for q in range(n) if closure[p] >> q & 1} == expected
+        for q in range(n):
+            assert g.reaches(p, q) == (q in expected)
+
+
+@settings(max_examples=200, deadline=None)
+@given(digraph_inputs())
+def test_components_roots_broadcasters_match_reference(case):
+    n, edges = case
+    g = Digraph(n, edges)
+    assert set(g.strongly_connected_components()) == ref_sccs(n, edges)
+    assert set(g.root_components) == ref_root_components(n, edges)
+    assert g.broadcasters == ref_broadcasters(n, edges)
+    assert g.is_rooted == (len(ref_root_components(n, edges)) == 1)
+    for p in range(n):
+        assert g.component_of(p) == next(
+            comp for comp in ref_sccs(n, edges) if p in comp
+        )
+
+
+@settings(max_examples=200, deadline=None)
+@given(digraph_inputs(max_n=5), digraph_inputs(max_n=5))
+def test_compose_matches_reference(case_a, case_b):
+    n, edges_a = case_a
+    _, edges_b = case_b
+    edges_b = [(u % n, v % n) for u, v in edges_b]
+    a = Digraph(n, edges_a)
+    b = Digraph(n, edges_b)
+    assert a.compose(b).edges == ref_compose(n, edges_a, edges_b)
+
+
+@settings(max_examples=200, deadline=None)
+@given(digraph_inputs())
+def test_scc_order_is_reverse_topological(case):
+    n, edges = case
+    g = Digraph(n, edges)
+    comps = g.strongly_connected_components()
+    position = {comp: i for i, comp in enumerate(comps)}
+    for u, v in g.edges:
+        cu, cv = g.component_of(u), g.component_of(v)
+        if cu != cv:
+            assert position[cv] < position[cu]
+
+
+# --------------------------------------------------------------------- #
+# Interning, hashing, and representation identities
+# --------------------------------------------------------------------- #
+
+
+@settings(max_examples=200, deadline=None)
+@given(digraph_inputs(), st.randoms(use_true_random=False))
+def test_interning_identity(case, rng):
+    n, edges = case
+    g = Digraph(n, edges)
+    shuffled = list(edges)
+    rng.shuffle(shuffled)
+    # Same edge multiset in any order, with duplicates and self-loops,
+    # interns to the very same object.
+    duplicated = shuffled + shuffled + [(p, p) for p in range(n)]
+    h = Digraph(n, duplicated)
+    assert g is h
+    assert hash(g) == hash(h)
+    assert g == h
+    # Round-trip through the bit rows is also the identical object.
+    assert Digraph.from_out_bits(n, g.out_bits) is g
+
+
+@settings(max_examples=100, deadline=None)
+@given(digraph_inputs())
+def test_sort_key_matches_legacy_formula(case):
+    n, edges = case
+    g = Digraph(n, edges)
+    assert g.sort_key() == (n, len(g.edges), tuple(sorted(g.edges)))
+
+
+def test_self_loops_are_implicit():
+    g = Digraph(3, [(0, 0), (1, 2)])
+    assert g.edges == frozenset({(1, 2)})
+    for p in range(3):
+        assert g.has_edge(p, p)
+        assert p in g.in_neighbors(p)
+        assert p in g.out_neighbors(p)
+
+
+def test_arrow_names_n2_naming():
+    for edges, name in ARROW_NAMES_N2.items():
+        g = Digraph(2, edges)
+        assert g.name == name
+        assert arrow(name) is g
+
+
+def test_digraph_has_no_instance_dict():
+    """Regression: ``__slots__`` used to be defeated by a ``__dict__`` slot."""
+    g = Digraph(2, [(0, 1)])
+    assert not hasattr(g, "__dict__")
+    with pytest.raises(AttributeError):
+        g.some_new_attribute = 1
+
+
+def test_lazy_origins_are_linear_in_deep_shared_views():
+    """Regression: forcing origin values must walk the view DAG once.
+
+    Views built through the fast level path defer their origin values; the
+    lazy merge used to revisit shared sub-views once per parent, which is
+    exponential in depth (a depth-20 prefix hung).  With memoized
+    traversal this is instant.
+    """
+    from repro.core.ptg import PTGPrefix
+    from repro.core.views import ViewInterner
+
+    interner = ViewInterner(3)
+    prefix = PTGPrefix(interner, (0, 1, 2), [Digraph.complete(3)] * 20)
+    assert interner.origins(prefix.view(0)) == ((0, 0), (1, 1), (2, 2))
+    assert interner.input_of(prefix.view(1), 2) == 2
+
+
+def test_clear_intern_cache_preserves_equality():
+    a = Digraph(3, [(0, 1)])
+    Digraph.clear_intern_cache()
+    b = Digraph(3, [(0, 1)])
+    assert a == b and hash(a) == hash(b)
+    assert b is Digraph(3, [(0, 1)])
+
+
+def test_interned_graphs_share_cached_closures():
+    rng = random.Random(5)
+    for _ in range(20):
+        n = rng.randint(1, 6)
+        edges = [
+            (u, v)
+            for u in range(n)
+            for v in range(n)
+            if u != v and rng.random() < 0.3
+        ]
+        first = Digraph(n, edges)
+        closure = first.closure_bits()
+        again = Digraph(n, list(reversed(edges)))
+        assert again is first
+        assert again.closure_bits() is closure

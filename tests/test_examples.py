@@ -1,5 +1,6 @@
 """Smoke tests: every example script runs end to end and reports success."""
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -7,14 +8,22 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+SRC = Path(__file__).resolve().parent.parent / "src"
 
 
 def run_example(name: str, *args: str) -> str:
+    # Propagate the src layout to the child: pytest's `pythonpath` ini only
+    # configures this process, not subprocesses.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [str(SRC), env.get("PYTHONPATH")])
+    )
     result = subprocess.run(
         [sys.executable, str(EXAMPLES / name), *args],
         capture_output=True,
         text=True,
         timeout=300,
+        env=env,
     )
     assert result.returncode == 0, result.stderr
     return result.stdout
