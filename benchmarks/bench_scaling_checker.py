@@ -83,13 +83,17 @@ def test_scaling_view_interning(benchmark):
     def kernel():
         space = PrefixSpace(lossy_link_no_hub())
         space.ensure_depth(9)
-        return space.interner.stats().total
+        return space.interner.stats()
 
-    total = benchmark(kernel)
+    stats = benchmark(kernel)
     emit(
         benchmark,
         "scaling: view interning",
-        [f"interned views after depth-9 space: {total}"],
+        [
+            f"interned views after depth-9 space: {stats.total}",
+            f"table geometry: {stats.rows} child rows, "
+            f"~{stats.approx_bytes / 1024:.0f} KiB resident",
+        ],
     )
 
 
@@ -135,6 +139,57 @@ def test_scaling_full_check_n5_sw(benchmark):
         "scaling: full check, n=5 |D|=21 (new scenario)",
         [f"{result.status.name}, certified depth {result.certified_depth}"],
     )
+
+
+@pytest.mark.bench_deep
+def test_scaling_layer_construction_depth10_streaming(benchmark):
+    """Depth-10 lossy link streamed frontier-by-frontier: 4 * 3^10 prefixes.
+
+    ``retain="frontier"`` evicts historical layers as ``iter_layers``
+    advances, so the run holds one 236k-prefix frontier plus the interner —
+    the scenario the array-backed view tables and the streaming engine were
+    built for (impractical before: the seed representation held every layer
+    and every PrefixNode wrapper).
+    """
+
+    def kernel():
+        space = PrefixSpace(lossy_link_full(), retain="frontier")
+        for depth, store in space.iter_layers(max_depth=10):
+            pass
+        return len(store), space.interner.stats()
+
+    size, stats = benchmark.pedantic(kernel, rounds=3, iterations=1)
+    emit(
+        benchmark,
+        "scaling: streaming layer construction, depth=10 (new scenario)",
+        [
+            f"|layer 10| = {size} prefixes (4 * 3^10)",
+            f"interner: {stats.total} views, {stats.rows} child rows, "
+            f"~{stats.approx_bytes / 1e6:.1f} MB resident",
+        ],
+    )
+    assert size == 4 * 3**10
+
+
+@pytest.mark.bench_deep
+def test_scaling_full_check_n6_sw(benchmark):
+    """Full check of the n=6 Santoro-Widmayer family with one loss.
+
+    |D| = 31 rooted graphs over 64 input assignments; certification at
+    depth 2 walks a layer of 64 * 31^2 = 61504 six-process prefixes.  The
+    first n=6 scenario inside the suite's budget.
+    """
+    result = benchmark.pedantic(
+        lambda: check_consensus(santoro_widmayer_family(6, 1), max_depth=2),
+        rounds=3,
+        iterations=1,
+    )
+    emit(
+        benchmark,
+        "scaling: full check, n=6 |D|=31 (new scenario)",
+        [f"{result.status.name}, certified depth {result.certified_depth}"],
+    )
+    assert result.status.name == "SOLVABLE"
 
 
 @pytest.mark.bench_deep

@@ -67,4 +67,8 @@ def __getattr__(name: str):
         import repro.consensus as _cons
 
         return getattr(_cons, name)
+    if name in {"SweepJob", "SweepRecord", "run_sweep"}:
+        import repro.sweep as _sweep
+
+        return getattr(_sweep, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -25,7 +25,9 @@ from repro.adversaries.generators import (
     out_star_set,
     random_oblivious_adversary,
     random_rooted_digraph,
+    random_rooted_family,
     santoro_widmayer_family,
+    two_process_oblivious_family,
 )
 from repro.adversaries.heardof import (
     graphs_satisfying,
@@ -86,5 +88,7 @@ __all__ = [
     "out_star_set",
     "random_oblivious_adversary",
     "random_rooted_digraph",
+    "random_rooted_family",
     "santoro_widmayer_family",
+    "two_process_oblivious_family",
 ]

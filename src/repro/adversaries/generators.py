@@ -24,6 +24,8 @@ __all__ = [
     "out_star_set",
     "random_rooted_digraph",
     "random_oblivious_adversary",
+    "two_process_oblivious_family",
+    "random_rooted_family",
 ]
 
 
@@ -112,6 +114,48 @@ def random_rooted_digraph(rng: random.Random, n: int, p: float = 0.4) -> Digraph
         if g.is_rooted:
             return g
     raise AdversaryError("rejection sampling failed to find a rooted digraph")
+
+
+def two_process_oblivious_family() -> tuple[ObliviousAdversary, ...]:
+    """All 15 nonempty two-process oblivious adversaries, in canonical order.
+
+    The subsets of ``{→, ←, ↔, ∅}`` ordered by size then by the enumeration
+    order of :func:`itertools.combinations` — the fixed row order of the
+    census and of the sweep CLI's ``two-process`` family.
+    """
+    graphs = [
+        Digraph.from_arrow("->"),
+        Digraph.from_arrow("<-"),
+        Digraph.from_arrow("<->"),
+        Digraph.from_arrow("none"),
+    ]
+    return tuple(
+        ObliviousAdversary(2, subset)
+        for size in range(1, len(graphs) + 1)
+        for subset in combinations(graphs, size)
+    )
+
+
+def random_rooted_family(
+    rng: random.Random,
+    n: int,
+    samples: int,
+    sizes: tuple[int, ...] = (1, 2, 3),
+    p: float = 0.4,
+) -> tuple[ObliviousAdversary, ...]:
+    """``samples`` random rooted oblivious adversaries on ``n`` processes.
+
+    All randomness is drawn from the explicit ``rng``; the family is fully
+    determined by the seed, so sweep shards can be regenerated and compared
+    across runs.
+    """
+    sizes = tuple(sizes)
+    return tuple(
+        random_oblivious_adversary(
+            rng, n, size=rng.choice(sizes), rooted_only=True, p=p
+        )
+        for _ in range(samples)
+    )
 
 
 def random_oblivious_adversary(

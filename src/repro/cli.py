@@ -1,11 +1,15 @@
-"""Command-line interface: ``repro-cli``.
+"""Command-line interface: ``repro-consensus`` (the ``pyproject.toml`` entry point).
 
 Subcommands:
 
 * ``check`` — run the solvability checker on a named adversary;
-* ``census`` — classify every two-process oblivious adversary;
+* ``census`` — classify two-process (or random rooted) oblivious adversaries;
+* ``sweep`` — fan a family of check jobs across worker processes (JSONL out);
 * ``simulate`` — run the universal algorithm against sampled sequences;
 * ``ptg`` — print the Figure 2 process-time graph.
+
+All randomized subcommands take an explicit ``--seed`` and thread a local
+``random.Random`` through — nothing mutates the global ``random`` state.
 
 Named adversaries (``--adversary``): ``lossy-full``, ``no-hub``,
 ``silence``, ``to-and-both``, ``only-to``, ``eventually-to``,
@@ -18,6 +22,7 @@ from __future__ import annotations
 import argparse
 import random
 import sys
+from collections import Counter
 from typing import Callable
 
 from repro.adversaries import (
@@ -65,23 +70,101 @@ def _resolve(name: str):
 
 def cmd_check(args: argparse.Namespace) -> int:
     from repro.consensus import check_consensus
+    from repro.core.views import ViewInterner
 
     adversary = _resolve(args.adversary)
-    result = check_consensus(adversary, max_depth=args.max_depth)
+    interner = ViewInterner(adversary.n) if args.stats else None
+    # The interner here is for observability only: keep the extension memo
+    # at its default-off setting so --stats measures the same run shape.
+    result = check_consensus(
+        adversary,
+        max_depth=args.max_depth,
+        interner=interner,
+        memo_extensions=False if interner is not None else None,
+    )
     print(result.explain())
+    if interner is not None:
+        print(f"  view tables: {interner.stats()!r}")
     return 0
 
 
 def cmd_census(args: argparse.Namespace) -> int:
-    from repro.consensus.census import two_process_census
+    from repro.consensus.census import random_rooted_census, two_process_census
     from repro.viz import render_census
 
-    rows = two_process_census(max_depth=args.max_depth)
+    if args.rooted:
+        rng = random.Random(args.seed)
+        rows = random_rooted_census(
+            rng,
+            n=args.n,
+            samples=args.samples,
+            max_depth=args.max_depth,
+            workers=args.workers,
+        )
+        print(render_census(rows))
+        disagreements = sum(1 for row in rows if row.cgp_agrees is False)
+        print(
+            f"{len(rows)} random rooted adversaries (n={args.n}, "
+            f"seed={args.seed}); CGP heuristic disagrees on {disagreements}"
+        )
+        return 0
+    rows = two_process_census(max_depth=args.max_depth, workers=args.workers)
     print(render_census(rows))
     agreements = sum(1 for row in rows if row.oracle_agrees)
     print(f"{agreements}/{len(rows)} rows agree with the literature oracle: "
           f"{'True' if agreements == len(rows) else 'False'}")
     return 0 if agreements == len(rows) else 1
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.adversaries import (
+        random_rooted_family,
+        santoro_widmayer_family,
+        two_process_oblivious_family,
+    )
+    from repro.sweep import jobs_for, run_sweep
+
+    rng = random.Random(args.seed)
+    if args.family == "two-process":
+        adversaries = two_process_oblivious_family()
+    elif args.family == "rooted":
+        adversaries = random_rooted_family(
+            rng, args.n, args.samples, sizes=tuple(args.sizes)
+        )
+    else:  # sw
+        adversaries = tuple(
+            santoro_widmayer_family(args.n, losses)
+            for losses in range(1, args.losses + 1)
+        )
+    jobs = jobs_for(
+        adversaries,
+        max_depth=args.max_depth,
+        tags={"family": args.family, "seed": args.seed},
+    )
+    records = run_sweep(jobs, workers=args.workers, jsonl_path=args.out)
+    header = (
+        f"{'#':>3s} {'adversary':32s} {'status':11s} {'certificate':28s} "
+        f"{'time':>9s} {'shard':>5s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for record in records:
+        print(
+            f"{record.index:>3d} {record.adversary:32s} "
+            f"{record.status.upper():11s} {record.certificate:28s} "
+            f"{record.elapsed_s * 1e3:>7.1f}ms {record.shard:>5d}"
+        )
+    by_status = Counter(record.status for record in records)
+    summary = ", ".join(f"{count} {status}" for status, count in sorted(by_status.items()))
+    workers = max(1, min(args.workers, len(records)))
+    print("-" * len(header))
+    print(
+        f"{len(records)} jobs on {workers} worker(s): {summary}; "
+        f"total checker time {sum(r.elapsed_s for r in records):.3f}s"
+    )
+    if args.out:
+        print(f"records written to {args.out}")
+    return 0
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -195,19 +278,57 @@ def cmd_ptg(args: argparse.Namespace) -> int:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
-        prog="repro-cli",
+        prog="repro-consensus",
         description="Consensus under general message adversaries (PODC 2019 reproduction)",
+        epilog=(
+            "Installed as `repro-consensus` (see [project.scripts] in "
+            "pyproject.toml); `python -m repro.cli` works from a source tree."
+        ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
     check = sub.add_parser("check", help="run the solvability checker")
     check.add_argument("--adversary", required=True)
     check.add_argument("--max-depth", type=int, default=8)
+    check.add_argument(
+        "--stats", action="store_true",
+        help="also print the view-table statistics of the run",
+    )
     check.set_defaults(func=cmd_check)
 
-    census = sub.add_parser("census", help="two-process oblivious census")
+    census = sub.add_parser("census", help="oblivious adversary census")
     census.add_argument("--max-depth", type=int, default=6)
+    census.add_argument("--workers", type=int, default=1,
+                        help="fan checker jobs across this many processes")
+    census.add_argument("--rooted", action="store_true",
+                        help="census random rooted adversaries instead of the "
+                             "exhaustive two-process family")
+    census.add_argument("--n", type=int, default=3, help="processes (--rooted)")
+    census.add_argument("--samples", type=int, default=25,
+                        help="sample count (--rooted)")
+    census.add_argument("--seed", type=int, default=0,
+                        help="PRNG seed for --rooted sampling")
     census.set_defaults(func=cmd_census)
+
+    sweep = sub.add_parser(
+        "sweep", help="sharded (adversary, depth) sweep with JSONL output"
+    )
+    sweep.add_argument("--family", choices=["two-process", "rooted", "sw"],
+                       default="two-process")
+    sweep.add_argument("--workers", type=int, default=1)
+    sweep.add_argument("--max-depth", type=int, default=6)
+    sweep.add_argument("--out", help="write one JSON record per job to this file")
+    sweep.add_argument("--seed", type=int, default=0,
+                       help="PRNG seed for sampled families")
+    sweep.add_argument("--n", type=int, default=3,
+                       help="processes for rooted/sw families")
+    sweep.add_argument("--samples", type=int, default=25,
+                       help="sample count for the rooted family")
+    sweep.add_argument("--sizes", type=int, nargs="+", default=[1, 2, 3],
+                       help="alphabet sizes for the rooted family")
+    sweep.add_argument("--losses", type=int, default=1,
+                       help="max losses for the Santoro-Widmayer family")
+    sweep.set_defaults(func=cmd_sweep)
 
     simulate = sub.add_parser("simulate", help="simulate the certified algorithm")
     simulate.add_argument("--adversary", required=True)

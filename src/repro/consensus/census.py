@@ -6,15 +6,24 @@ census is the reproduction's instrument for the claims of Section 6.2: for
 two processes the classification is provably complete; for three processes
 it reports exactly where the heuristic baseline diverges from the certified
 checker.
+
+Both censuses run on the sharded sweep engine (:mod:`repro.sweep`): pass
+``workers > 1`` to fan the checker jobs across processes.  The serial path
+(``workers=1``) additionally keeps the full
+:class:`~repro.consensus.solvability.SolvabilityResult` on each row; the
+parallel path carries the engine's compact records instead (``row.result``
+is ``None`` there — certificates, verdicts, and depths are identical).
 """
 
 from __future__ import annotations
 
 import random
-from itertools import combinations
 from typing import Iterable
 
-from repro.adversaries.generators import random_oblivious_adversary
+from repro.adversaries.generators import (
+    random_rooted_family,
+    two_process_oblivious_family,
+)
 from repro.adversaries.oblivious import ObliviousAdversary
 from repro.consensus.baselines import cgp_predicts_solvable
 from repro.consensus.provers import two_process_oblivious_verdict
@@ -23,7 +32,7 @@ from repro.consensus.solvability import (
     SolvabilityStatus,
     check_consensus,
 )
-from repro.core.digraph import arrow
+from repro.sweep import SweepRecord, certificate_summary, jobs_for, run_sweep
 
 __all__ = ["CensusRow", "two_process_census", "random_rooted_census"]
 
@@ -31,26 +40,78 @@ __all__ = ["CensusRow", "two_process_census", "random_rooted_census"]
 class CensusRow:
     """One classified adversary with all verdicts side by side."""
 
-    __slots__ = ("adversary", "result", "oracle", "cgp")
+    __slots__ = (
+        "adversary",
+        "status",
+        "certificate",
+        "certified_depth",
+        "oracle",
+        "cgp",
+        "result",
+    )
 
     def __init__(
         self,
         adversary: ObliviousAdversary,
+        status: SolvabilityStatus,
+        certificate: str,
+        certified_depth: int | None,
+        oracle: bool | None,
+        cgp: bool,
+        result: SolvabilityResult | None = None,
+    ) -> None:
+        self.adversary = adversary
+        self.status = status
+        self.certificate = certificate
+        self.certified_depth = certified_depth
+        self.oracle = oracle
+        self.cgp = cgp
+        #: The full checker result (serial path only; None on sweep records).
+        self.result = result
+
+    @classmethod
+    def from_result(
+        cls,
+        adversary: ObliviousAdversary,
         result: SolvabilityResult,
         oracle: bool | None,
         cgp: bool,
-    ) -> None:
-        self.adversary = adversary
-        self.result = result
-        self.oracle = oracle
-        self.cgp = cgp
+    ) -> "CensusRow":
+        """Row backed by a full in-process checker result."""
+        return cls(
+            adversary,
+            result.status,
+            certificate_summary(result),
+            result.certified_depth,
+            oracle,
+            cgp,
+            result=result,
+        )
+
+    @classmethod
+    def from_record(
+        cls,
+        adversary: ObliviousAdversary,
+        record: SweepRecord,
+        oracle: bool | None,
+        cgp: bool,
+    ) -> "CensusRow":
+        """Row backed by a compact sweep-engine record."""
+        return cls(
+            adversary,
+            SolvabilityStatus(record.status),
+            record.certificate,
+            record.certified_depth,
+            oracle,
+            cgp,
+        )
 
     @property
     def checker_solvable(self) -> bool | None:
         """Checker verdict (None when undecided)."""
-        if self.result.status is SolvabilityStatus.UNDECIDED:
+        if self.status is SolvabilityStatus.UNDECIDED:
             return None
-        return self.result.solvable
+        return self.status is SolvabilityStatus.SOLVABLE
 
     @property
     def oracle_agrees(self) -> bool | None:
@@ -66,18 +127,6 @@ class CensusRow:
             return None
         return self.checker_solvable == self.cgp
 
-    @property
-    def certificate(self) -> str:
-        """Short description of the checker's certificate."""
-        result = self.result
-        if result.decision_table is not None:
-            return f"decision-table@{result.certified_depth}"
-        if result.broadcaster is not None:
-            return f"broadcaster p{result.broadcaster.process}"
-        if result.impossibility is not None:
-            return result.impossibility.kind
-        return "-"
-
     def __repr__(self) -> str:
         return (
             f"CensusRow({self.adversary.name}, checker={self.checker_solvable}, "
@@ -85,26 +134,57 @@ class CensusRow:
         )
 
 
-def two_process_census(max_depth: int = 6) -> list[CensusRow]:
+def _classify(
+    adversaries: Iterable[ObliviousAdversary],
+    max_depth: int,
+    workers: int,
+    oracle_fn,
+) -> list[CensusRow]:
+    """Run the checker over a family and attach oracle/CGP verdicts."""
+    adversaries = list(adversaries)
+    if workers > 1:
+        records = run_sweep(jobs_for(adversaries, max_depth), workers=workers)
+        return [
+            CensusRow.from_record(
+                adversary, record, oracle_fn(adversary), cgp_predicts_solvable(adversary)
+            )
+            for adversary, record in zip(adversaries, records)
+        ]
+    # Serial path: share one interner per process count across the family,
+    # exactly as a sweep shard would — same-n jobs reuse view tables and
+    # the memoized level extensions.
+    from repro.core.views import ViewInterner
+
+    interners: dict[int, ViewInterner] = {}
+    rows = []
+    for adversary in adversaries:
+        interner = interners.get(adversary.n)
+        if interner is None:
+            interner = interners[adversary.n] = ViewInterner(adversary.n)
+        rows.append(
+            CensusRow.from_result(
+                adversary,
+                check_consensus(adversary, max_depth=max_depth, interner=interner),
+                oracle_fn(adversary),
+                cgp_predicts_solvable(adversary),
+            )
+        )
+    return rows
+
+
+def two_process_census(max_depth: int = 6, workers: int = 1) -> list[CensusRow]:
     """Classify all 15 nonempty two-process oblivious adversaries.
 
     Every row carries the exact literature verdict; the census is complete
-    and the test suite asserts full agreement.
+    and the test suite asserts full agreement.  ``workers > 1`` shards the
+    checker jobs across processes through the sweep engine.
     """
-    graphs = [arrow("->"), arrow("<-"), arrow("<->"), arrow("none")]
-    rows = []
-    for size in range(1, len(graphs) + 1):
-        for subset in combinations(graphs, size):
-            adversary = ObliviousAdversary(2, subset)
-            rows.append(
-                CensusRow(
-                    adversary,
-                    check_consensus(adversary, max_depth=max_depth),
-                    two_process_oblivious_verdict(adversary),
-                    cgp_predicts_solvable(adversary),
-                )
-            )
-    return rows
+    return _classify(
+        two_process_oblivious_family(),
+        max_depth,
+        workers,
+        two_process_oblivious_verdict,
+    )
 
 
 def random_rooted_census(
@@ -113,25 +193,15 @@ def random_rooted_census(
     samples: int = 25,
     sizes: Iterable[int] = (1, 2, 3),
     max_depth: int = 4,
+    workers: int = 1,
 ) -> list[CensusRow]:
     """Classify random rooted oblivious adversaries on ``n`` processes.
 
     No exact oracle exists here, so ``oracle`` is None; the interesting
     output is where the CGP reconstruction disagrees with the checker's
-    certified verdicts.
+    certified verdicts.  Sampling happens in this process with the explicit
+    ``rng`` (the family — and the shard assignment of every sample — is a
+    pure function of the seed); only the checker jobs fan out to workers.
     """
-    sizes = tuple(sizes)
-    rows = []
-    for _ in range(samples):
-        adversary = random_oblivious_adversary(
-            rng, n, size=rng.choice(sizes), rooted_only=True
-        )
-        rows.append(
-            CensusRow(
-                adversary,
-                check_consensus(adversary, max_depth=max_depth),
-                None,
-                cgp_predicts_solvable(adversary),
-            )
-        )
-    return rows
+    family = random_rooted_family(rng, n, samples, sizes=tuple(sizes))
+    return _classify(family, max_depth, workers, lambda adversary: None)

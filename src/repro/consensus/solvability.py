@@ -242,6 +242,7 @@ def check_consensus(
     max_nodes: int = 2_000_000,
     use_impossibility_provers: bool = True,
     use_broadcaster_certificate: bool = True,
+    memo_extensions: bool | None = None,
 ) -> SolvabilityResult:
     """Decide consensus solvability under a message adversary.
 
@@ -258,6 +259,11 @@ def check_consensus(
         Iterative-deepening bound for the decision-table search.
     use_impossibility_provers / use_broadcaster_certificate:
         Allow disabling individual certificates (useful for ablations).
+    memo_extensions:
+        Forwarded to :class:`~repro.topology.prefixspace.PrefixSpace`;
+        ``None`` keeps its default (memoize exactly when ``interner`` is
+        shared).  Pass ``False`` when the interner is provided only for
+        observability, not cross-space reuse.
 
     Returns
     -------
@@ -302,7 +308,11 @@ def check_consensus(
 
     # 2. Iterative deepening for a decision-table certificate.
     space = PrefixSpace(
-        adversary, input_vectors=input_vectors, interner=interner, max_nodes=max_nodes
+        adversary,
+        input_vectors=input_vectors,
+        interner=interner,
+        max_nodes=max_nodes,
+        memo_extensions=memo_extensions,
     )
     table: DecisionTable | None = None
     certified_depth = None

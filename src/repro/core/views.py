@@ -18,6 +18,21 @@ structurally equal views receive the same integer id, so the view-equality
 tests that underlie every distance function in the paper become integer
 comparisons.
 
+Array-backed view tables
+------------------------
+The interner is columnar: per view id, parallel ``array`` columns hold the
+owner (``_pid``), the depth (``_depth``), the origin bitmask
+(``_origin_mask``), and a *row id* (``_row``) that indexes one of two side
+tables — the leaf payload list for time-0 views, or the interned *child-row
+table* for later views.  Child sets (sorted tuples of view ids) are
+hash-consed once in the row table, so the per-view key of the node lookup
+collapses to the compact integer ``row_id * n + p`` — and because row ids
+are allocated consecutively, those keys are dense and the node "table" is a
+flat slot array indexed directly, no hashing at all.  The ``(level, graph)``
+extension cache of the prefix-space hot path is likewise keyed by compact
+integers: levels and graphs get small ids, the memo key is
+``level_id << 32 | graph_id``.
+
 The interner also maintains, per view, the bitmask of processes whose
 *initial* node ``(q, 0, x_q)`` occurs in the causal past, together with the
 observed input values.  This is precisely the information needed to decide
@@ -27,6 +42,8 @@ bit of ``p`` is set in every process's view mask.
 
 from __future__ import annotations
 
+import sys
+from array import array
 from typing import Iterable, Sequence
 
 from repro.core.digraph import Digraph
@@ -34,21 +51,53 @@ from repro.errors import AnalysisError
 
 __all__ = ["ViewInterner", "ViewStats"]
 
+#: Origin masks are stored in a signed-64-bit array column when they fit;
+#: interners on more processes fall back to a plain list column.
+_MASK_ARRAY_MAX_N = 62
+
 
 class ViewStats:
-    """A small report on the contents of a :class:`ViewInterner`."""
+    """A small report on the contents of a :class:`ViewInterner`.
 
-    __slots__ = ("total", "leaves", "max_depth")
+    Beyond the view counts, the stats expose the table geometry that the
+    benchmarks and the CLI use to watch interner pressure: ``rows`` is the
+    number of distinct interned child sets, ``cached_extensions`` the number
+    of memoized ``(level, graph)`` extensions, and ``approx_bytes`` an
+    estimate of the resident size of all tables (columns, side tables, and
+    cache keys; Python object headers of shared children are not counted).
+    """
 
-    def __init__(self, total: int, leaves: int, max_depth: int) -> None:
+    __slots__ = (
+        "total",
+        "leaves",
+        "max_depth",
+        "rows",
+        "cached_extensions",
+        "approx_bytes",
+    )
+
+    def __init__(
+        self,
+        total: int,
+        leaves: int,
+        max_depth: int,
+        rows: int = 0,
+        cached_extensions: int = 0,
+        approx_bytes: int = 0,
+    ) -> None:
         self.total = total
         self.leaves = leaves
         self.max_depth = max_depth
+        self.rows = rows
+        self.cached_extensions = cached_extensions
+        self.approx_bytes = approx_bytes
 
     def __repr__(self) -> str:
         return (
             f"ViewStats(total={self.total}, leaves={self.leaves}, "
-            f"max_depth={self.max_depth})"
+            f"max_depth={self.max_depth}, rows={self.rows}, "
+            f"cached_extensions={self.cached_extensions}, "
+            f"approx_bytes={self.approx_bytes})"
         )
 
 
@@ -56,7 +105,11 @@ class ViewInterner:
     """Hash-consing store for full-information views of an ``n``-process system.
 
     All prefixes participating in one analysis must share one interner; view
-    ids are only comparable within the interner that produced them.
+    ids are only comparable within the interner that produced them.  Because
+    views depend only on inputs and in-neighborhoods — never on the
+    adversary that generated a prefix — one interner may also be shared
+    *across* adversaries of the same ``n``, which is how the sweep engine
+    reuses view tables between jobs of one shard.
 
     Examples
     --------
@@ -69,29 +122,61 @@ class ViewInterner:
 
     __slots__ = (
         "n",
-        "_table",
         "_pid",
         "_depth",
-        "_payload",
+        "_row",
         "_origin_mask",
         "_origin_values",
+        "_leaf_table",
+        "_leaf_values",
+        "_node_slots",
+        "_empty_row",
+        "_rows",
+        "_row_table",
+        "_row_masks",
         "_leaf_count",
-        "_level_cache",
+        "_level_table",
+        "_graph_ids",
+        "_ext_cache",
+        "_plan_cache",
     )
 
     def __init__(self, n: int) -> None:
         if n <= 0:
             raise AnalysisError("a view interner needs n >= 1 processes")
         self.n = n
-        self._table: dict = {}
+        # Parallel per-view columns.  Owners and depths are plain lists of
+        # (interpreter-shared) small ints — same 8 bytes per slot as an
+        # array, faster appends; row ids grow unbounded, so that column is
+        # a machine-integer array, as are the origin masks while they fit.
         self._pid: list[int] = []
         self._depth: list[int] = []
-        self._payload: list = []
-        self._origin_mask: list[int] = []
+        self._row = array("q")
+        self._origin_mask = array("q") if n <= _MASK_ARRAY_MAX_N else []
         self._origin_values: list = []
+        # Leaf side table: (p, value) -> vid, plus payload storage.
+        self._leaf_table: dict = {}
+        self._leaf_values: list = []
+        # Node side tables: interned child rows and the dense slot column
+        # ``row_id * n + p -> vid`` (-1 = not yet interned).  Keys are dense
+        # because row ids are allocated consecutively, so the "table" is a
+        # flat array indexed directly instead of a hashed dict.
+        self._node_slots = array("q")
+        self._empty_row = array("q", [-1]) * n
+        self._rows: list[tuple[int, ...]] = []
+        self._row_table: dict[tuple[int, ...], int] = {}
+        # Per-row origin-mask cache: a view's mask is the union of its
+        # children's masks, which depends on the row only — never on the
+        # owner — so views sharing a row skip the fold.
+        self._row_masks: list[int] = []
         self._leaf_count = 0
-        # (level tuple, graph) -> next level tuple; the prefix-space hot path.
-        self._level_cache: dict = {}
+        # (level, graph) extension memo, keyed ``level_id << 32 | graph_id``.
+        self._level_table: dict[tuple[int, ...], int] = {}
+        self._graph_ids: dict[Digraph, int] = {}
+        self._ext_cache: dict[int, tuple[int, ...]] = {}
+        # Per-alphabet extension plan: distinct (p, in-neighborhood)
+        # patterns in first-occurrence order + per-graph assembly layouts.
+        self._plan_cache: dict[tuple, tuple] = {}
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -101,16 +186,16 @@ class ViewInterner:
         """Intern the time-0 view ``(p, value)`` and return its id."""
         self._check_pid(p)
         key = (p, value)
-        vid = self._table.get(key)
+        vid = self._leaf_table.get(key)
         if vid is None:
-            vid = self._store(
-                key,
-                pid=p,
-                depth=0,
-                payload=value,
-                origin_mask=1 << p,
-                origin_values=((p, value),),
-            )
+            vid = len(self._pid)
+            self._leaf_table[key] = vid
+            self._pid.append(p)
+            self._depth.append(0)
+            self._row.append(len(self._leaf_values))
+            self._leaf_values.append(value)
+            self._origin_mask.append(1 << p)
+            self._origin_values.append(((p, value),))
             self._leaf_count += 1
         return vid
 
@@ -125,12 +210,13 @@ class ViewInterner:
         kids = tuple(sorted(set(children)))
         if not kids:
             raise AnalysisError("a non-leaf view needs at least its own previous view")
-        # Non-leaf keys are tagged with ``~p`` so they can never collide
-        # with a leaf key ``(p, value)`` whatever the input values are.
-        key = (~p, kids)
-        vid = self._table.get(key)
-        if vid is not None:
-            return vid
+        rid = self._row_table.get(kids)
+        if rid is not None:
+            vid = self._node_slots[rid * self.n + p]
+            if vid >= 0:
+                return vid
+        # Validate *before* interning the row, so a rejected call leaves no
+        # phantom row behind in the tables (or the stats).
         depths = {self._depth[c] for c in kids}
         if len(depths) != 1:
             raise AnalysisError(f"children of a view must share a depth, got {sorted(depths)}")
@@ -144,14 +230,22 @@ class ViewInterner:
                     raise AnalysisError(
                         f"inconsistent input values for process {q}: {previous!r} vs {value!r}"
                     )
-        return self._store(
-            key,
-            pid=p,
-            depth=depths.pop() + 1,
-            payload=kids,
-            origin_mask=mask,
-            origin_values=tuple(sorted(values.items(), key=lambda kv: kv[0])),
+        if rid is None:
+            rid = len(self._rows)
+            self._row_table[kids] = rid
+            self._rows.append(kids)
+            self._node_slots.extend(self._empty_row)
+            self._row_masks.append(mask)
+        vid = len(self._pid)
+        self._node_slots[rid * self.n + p] = vid
+        self._pid.append(p)
+        self._depth.append(depths.pop() + 1)
+        self._row.append(rid)
+        self._origin_mask.append(mask)
+        self._origin_values.append(
+            tuple(sorted(values.items(), key=lambda kv: kv[0]))
         )
+        return vid
 
     def leaf_level(self, inputs: Sequence) -> tuple[int, ...]:
         """Intern the whole time-0 level ``(leaf(0, x_0), ..., leaf(n-1, x_{n-1}))``."""
@@ -159,18 +253,21 @@ class ViewInterner:
             raise AnalysisError(
                 f"assignment of length {len(inputs)} for n={self.n} interner"
             )
-        table = self._table
+        leaf_table = self._leaf_table
+        leaf_table_get = leaf_table.get
         pids = self._pid
+        leaf_values = self._leaf_values
         level = []
         for p, value in enumerate(inputs):
             key = (p, value)
-            vid = table.get(key)
+            vid = leaf_table_get(key)
             if vid is None:
                 vid = len(pids)
-                table[key] = vid
+                leaf_table[key] = vid
                 pids.append(p)
                 self._depth.append(0)
-                self._payload.append(value)
+                self._row.append(len(leaf_values))
+                leaf_values.append(value)
                 self._origin_mask.append(1 << p)
                 self._origin_values.append(((p, value),))
                 self._leaf_count += 1
@@ -183,21 +280,18 @@ class ViewInterner:
         ``level`` must be the full view-id tuple of one prefix at some time
         ``t`` (so the children of each new view are mutually consistent by
         construction); the result is the level at time ``t + 1``.  Results
-        are memoized per ``(level, graph)``, and origin *values* of the new
-        views are materialized lazily (only :meth:`origins` and
-        :meth:`input_of` force them) — the prefix-space hot path needs only
-        the origin masks.
+        are memoized per ``(level, graph)`` in the compact-integer extension
+        cache, and origin *values* of the new views are materialized lazily
+        (only :meth:`origins` and :meth:`input_of` force them) — the
+        prefix-space hot path needs only the origin masks.
         """
-        memo_key = (level, graph)
-        cached = self._level_cache.get(memo_key)
-        if cached is not None:
-            return cached
-        result = self.extend_level_multi(level, (graph,))[0]
-        self._level_cache[memo_key] = result
-        return result
+        return self.extend_level_multi(level, (graph,), memo=True)[0]
 
     def extend_level_multi(
-        self, level: tuple[int, ...], graphs: Sequence[Digraph]
+        self,
+        level: tuple[int, ...],
+        graphs: Sequence[Digraph],
+        memo: bool = False,
     ) -> list[tuple[int, ...]]:
         """Extend one level by every graph of an alphabet in a single pass.
 
@@ -207,68 +301,156 @@ class ViewInterner:
         everyone produces the same view of ``p``), so each distinct row is
         interned once.  This is the inner loop of prefix-space layer
         construction.
+
+        With ``memo=True`` every ``(level, graph)`` result is stored in (and
+        served from) the extension cache, so repeated extensions — across
+        prefix spaces sharing this interner, as in the sweep engine — are a
+        single dict lookup.  The cache grows by one entry per distinct
+        extension; streaming/evicting spaces leave ``memo`` off to keep
+        depth-10+ runs frontier-bounded.
         """
-        table = self._table
-        table_get = table.get
+        if memo:
+            level_table = self._level_table
+            level_id = level_table.get(level)
+            if level_id is None:
+                level_id = len(level_table)
+                level_table[level] = level_id
+            graph_ids = self._graph_ids
+            ext_cache = self._ext_cache
+            base = level_id << 32
+            results: list = []
+            missing: list[tuple[int, Digraph, int]] = []
+            for i, graph in enumerate(graphs):
+                gid = graph_ids.get(graph)
+                if gid is None:
+                    gid = len(graph_ids)
+                    graph_ids[graph] = gid
+                key = base | gid
+                cached = ext_cache.get(key)
+                results.append(cached)
+                if cached is None:
+                    missing.append((i, graph, key))
+            if not missing:
+                return results
+            fresh = self._extend_batch(level, [graph for _, graph, _ in missing])
+            for (i, _, key), out in zip(missing, fresh):
+                ext_cache[key] = out
+                results[i] = out
+            return results
+        return self._extend_batch(level, graphs)
+
+    def _alphabet_plan(self, graphs: Sequence[Digraph]) -> tuple:
+        """The distinct ``(p, in-neighborhood)`` patterns of an alphabet.
+
+        Alphabets repeat in-rows across their graphs (e.g. every graph in
+        which ``p`` hears everyone shares a row); which rows coincide is a
+        property of the *alphabet alone*, so the dedup is hoisted out of
+        the per-parent hot loop and cached per graphs-tuple.  Returns
+        ``(patterns, layouts)``: the distinct patterns in first-occurrence
+        order, and per graph the pattern indices assembling its level.
+
+        The cache holds one entry per distinct graphs-tuple ever extended —
+        the adversary alphabets plus, on the memo path, their partial-miss
+        subsets.  Real families use a handful of alphabets, so the cache
+        stays small; it is not evicted.
+        """
+        key = tuple(graphs)
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            patterns: list[tuple[int, tuple[int, ...]]] = []
+            index_of: dict = {}
+            layouts = []
+            for graph in key:
+                layout = []
+                for p, in_list in enumerate(graph.in_neighbor_lists):
+                    pattern = (p, in_list)
+                    i = index_of.get(pattern)
+                    if i is None:
+                        i = len(patterns)
+                        index_of[pattern] = i
+                        patterns.append(pattern)
+                    layout.append(i)
+                layouts.append(layout)
+            plan = (patterns, layouts)
+            self._plan_cache[key] = plan
+        return plan
+
+    def _extend_batch(
+        self, level: tuple[int, ...], graphs: Sequence[Digraph]
+    ) -> list[tuple[int, ...]]:
+        """Uncached batched extension (the columnar interning hot loop)."""
+        patterns, layouts = self._alphabet_plan(graphs)
+        node_slots = self._node_slots
+        slots_extend = node_slots.extend
+        empty_row = self._empty_row
+        row_setdefault = self._row_table.setdefault
+        rows = self._rows
+        rows_append = self._rows.append
+        row_masks = self._row_masks
+        row_masks_append = row_masks.append
         pids = self._pid
-        depths = self._depth
-        payloads = self._payload
+        pids_append = pids.append
+        depths_append = self._depth.append
+        row_col_append = self._row.append
         masks = self._origin_mask
-        values = self._origin_values
-        depth = depths[level[0]] + 1
+        masks_append = masks.append
+        values_append = self._origin_values.append
+        depth = self._depth[level[0]] + 1
         n = self.n
         sorted_level: tuple[int, ...] | None = None
-        row_cache: dict = {}
-        row_get = row_cache.get
-        results = []
-        for graph in graphs:
-            out = []
-            for p, in_list in enumerate(graph.in_neighbor_lists):
-                row_key = (p, in_list)
-                vid = row_get(row_key)
-                if vid is None:
-                    size = len(in_list)
-                    if size == 2:
-                        a = level[in_list[0]]
-                        b = level[in_list[1]]
-                        kids = (a, b) if a < b else (b, a)
-                    elif size == 1:
-                        kids = (level[in_list[0]],)
-                    elif size == n:
-                        # Dense row: every graph in which p hears everyone
-                        # shares the sorted full level.
-                        if sorted_level is None:
-                            sorted_level = tuple(sorted(level))
-                        kids = sorted_level
-                    else:
-                        kids = tuple(sorted([level[q] for q in in_list]))
-                    key = (~p, kids)
-                    vid = table_get(key)
-                    if vid is None:
-                        mask = 0
-                        for c in kids:
-                            mask |= masks[c]
-                        vid = len(pids)
-                        table[key] = vid
-                        pids.append(p)
-                        depths.append(depth)
-                        payloads.append(kids)
-                        masks.append(mask)
-                        values.append(None)
-                    row_cache[row_key] = vid
-                out.append(vid)
-            results.append(tuple(out))
-        return results
-
-    def _store(self, key, *, pid, depth, payload, origin_mask, origin_values) -> int:
-        vid = len(self._pid)
-        self._table[key] = vid
-        self._pid.append(pid)
-        self._depth.append(depth)
-        self._payload.append(payload)
-        self._origin_mask.append(origin_mask)
-        self._origin_values.append(origin_values)
-        return vid
+        vids = []
+        vids_append = vids.append
+        for p, in_list in patterns:
+            size = len(in_list)
+            if size == 2:
+                a = level[in_list[0]]
+                b = level[in_list[1]]
+                kids = (a, b) if a < b else (b, a)
+            elif size == 1:
+                kids = (level[in_list[0]],)
+            elif size == n:
+                # Dense row: every pattern in which p hears everyone
+                # shares the sorted full level.
+                if sorted_level is None:
+                    sorted_level = tuple(sorted(level))
+                kids = sorted_level
+            else:
+                kids = tuple(sorted([level[q] for q in in_list]))
+            nrows = len(rows)
+            rid = row_setdefault(kids, nrows)
+            if rid == nrows:
+                # Fresh row: the view cannot exist yet — allocate row and
+                # view without re-reading the slot, folding the row mask
+                # once for every future owner.
+                rows_append(kids)
+                slots_extend(empty_row)
+                mask = 0
+                for c in kids:
+                    mask |= masks[c]
+                row_masks_append(mask)
+                vid = len(pids)
+                node_slots[rid * n + p] = vid
+                pids_append(p)
+                depths_append(depth)
+                row_col_append(rid)
+                masks_append(mask)
+                values_append(None)
+            else:
+                slot = rid * n + p
+                vid = node_slots[slot]
+                if vid < 0:
+                    # Every row-creation path stores the row mask, so a
+                    # known row always has its mask on hand.
+                    mask = row_masks[rid]
+                    vid = len(pids)
+                    node_slots[slot] = vid
+                    pids_append(p)
+                    depths_append(depth)
+                    row_col_append(rid)
+                    masks_append(mask)
+                    values_append(None)
+            vids_append(vid)
+        return [tuple([vids[i] for i in layout]) for layout in layouts]
 
     def _check_pid(self, p: int) -> None:
         if not 0 <= p < self.n:
@@ -294,13 +476,19 @@ class ViewInterner:
         """The input value of a time-0 view."""
         if not self.is_leaf(vid):
             raise AnalysisError(f"view {vid} is not a leaf")
-        return self._payload[vid]
+        return self._leaf_values[self._row[vid]]
 
     def children(self, vid: int) -> frozenset[int]:
         """The previous-round views visible in ``vid`` (empty for leaves)."""
         if self.is_leaf(vid):
             return frozenset()
-        return frozenset(self._payload[vid])
+        return frozenset(self._rows[self._row[vid]])
+
+    def child_row(self, vid: int) -> tuple[int, ...]:
+        """The sorted interned child tuple of a non-leaf view."""
+        if self.is_leaf(vid):
+            raise AnalysisError(f"view {vid} is a leaf and has no child row")
+        return self._rows[self._row[vid]]
 
     def origin_mask(self, vid: int) -> int:
         """Bitmask of processes whose initial node lies in the causal past."""
@@ -321,6 +509,8 @@ class ViewInterner:
         union suffices.
         """
         values = self._origin_values
+        rows = self._rows
+        row_col = self._row
         merged: dict[int, object] = {}
         stack = [vid]
         seen = {vid}
@@ -329,7 +519,7 @@ class ViewInterner:
             current = stack.pop()
             if values[current] is None:
                 pending.append(current)
-                for child in self._payload[current]:
+                for child in rows[row_col[current]]:
                     if child not in seen:
                         seen.add(child)
                         stack.append(child)
@@ -356,9 +546,45 @@ class ViewInterner:
         raise AnalysisError(f"view {vid} has not heard of process {q}")
 
     def stats(self) -> ViewStats:
-        """Summary statistics of the interner's contents."""
-        max_depth = max(self._depth, default=0)
-        return ViewStats(len(self._pid), self._leaf_count, max_depth)
+        """Summary statistics and table geometry of the interner's contents."""
+        total = len(self._pid)
+        max_depth = max(self._depth) if total else 0
+        getsizeof = sys.getsizeof
+        approx = (
+            getsizeof(self._pid)
+            + getsizeof(self._depth)
+            + getsizeof(self._row)
+            + getsizeof(self._origin_mask)
+            + getsizeof(self._origin_values)
+            + getsizeof(self._leaf_table)
+            + getsizeof(self._leaf_values)
+            + getsizeof(self._node_slots)
+            + getsizeof(self._rows)
+            + getsizeof(self._row_table)
+            + getsizeof(self._row_masks)
+            + getsizeof(self._level_table)
+            + getsizeof(self._graph_ids)
+            + getsizeof(self._ext_cache)
+        )
+        # Interned row/level tuples (8 bytes per slot + tuple header), and
+        # the forced origin-value tuples; child ids themselves are shared
+        # small ints and are not charged.
+        tuple_header = getsizeof(())
+        for row in self._rows:
+            approx += tuple_header + 8 * len(row)
+        for lvl in self._level_table:
+            approx += tuple_header + 8 * len(lvl)
+        for entry in self._origin_values:
+            if entry is not None:
+                approx += tuple_header + len(entry) * (tuple_header + 16)
+        return ViewStats(
+            total,
+            self._leaf_count,
+            max_depth,
+            rows=len(self._rows),
+            cached_extensions=len(self._ext_cache),
+            approx_bytes=approx,
+        )
 
     def __len__(self) -> int:
         return len(self._pid)

@@ -25,6 +25,29 @@ tuple of interned view ids per prefix, no per-prefix Python objects.  The
 (and cached) when a consumer asks for them, with full-history
 :class:`~repro.core.ptg.PTGPrefix` objects whose construction is amortized
 O(1) per node through parent-history sharing.
+
+Streaming and eviction
+----------------------
+Deep spaces are consumed frontier-by-frontier through
+:meth:`PrefixSpace.iter_layers`, which constructs (and yields) one
+:class:`LayerStore` at a time.  With the opt-in ``retain="frontier"``
+eviction mode, only the newest layer keeps its heavy columns; as the
+frontier advances, historical layers are *condensed* down to the columnar
+history the layered analyses actually touch — parent links and input
+indices.  The contract:
+
+* ``parents``, ``input_idx``, and ``len(store)`` stay valid at every depth;
+* ``levels``, ``graphs``, and ``states`` are only available on the frontier
+  layer; touching them on a condensed layer raises
+  :class:`~repro.errors.AnalysisError`;
+* :class:`PrefixNode` / :class:`~repro.core.ptg.PTGPrefix` materialization
+  needs the graph history of *every* ancestor layer, so it is unavailable
+  in frontier mode altogether (it raises once any ancestor is condensed);
+* frontier-mode extension skips the interner's ``(level, graph)`` memo so
+  depth-10+ runs hold the frontier plus the interner's view tables and
+  nothing else.
+
+``retain="all"`` (the default) keeps every layer, exactly as before.
 """
 
 from __future__ import annotations
@@ -105,19 +128,33 @@ class LayerStore:
         Per prefix, the adversary's reachable state set.
     """
 
-    __slots__ = ("levels", "parents", "input_idx", "graphs", "states", "nodes")
+    __slots__ = ("levels", "parents", "input_idx", "graphs", "states", "nodes", "count")
 
     def __init__(self, levels, parents, input_idx, graphs, states) -> None:
-        self.levels: list[tuple[int, ...]] = levels
+        self.levels: list[tuple[int, ...]] | None = levels
         self.parents: list[int] = parents
         self.input_idx: list[int] = input_idx
-        self.graphs: list = graphs
-        self.states: list[frozenset] = states
+        self.graphs: list | None = graphs
+        self.states: list[frozenset] | None = states
         #: Lazy cache of materialized :class:`PrefixNode` wrappers.
-        self.nodes: list[PrefixNode | None] = [None] * len(levels)
+        self.nodes: list[PrefixNode | None] | None = [None] * len(levels)
+        #: Layer size; survives :meth:`condense`.
+        self.count: int = len(levels)
 
     def __len__(self) -> int:
-        return len(self.levels)
+        return self.count
+
+    @property
+    def condensed(self) -> bool:
+        """Whether the heavy columns have been evicted (``retain="frontier"``)."""
+        return self.levels is None
+
+    def condense(self) -> None:
+        """Drop the heavy columns, keeping parents/input indices and the size."""
+        self.levels = None
+        self.graphs = None
+        self.states = None
+        self.nodes = None
 
 
 class LayerView(Sequence):
@@ -171,6 +208,17 @@ class PrefixSpace:
     max_nodes:
         Safety valve: :meth:`extend` raises once a layer would exceed this
         many prefixes.
+    retain:
+        ``"all"`` (default) keeps every constructed layer; ``"frontier"``
+        condenses historical layers to parents + input indices as the
+        frontier advances (see module docstring for the eviction contract).
+    memo_extensions:
+        Whether layer extension populates the interner's ``(level, graph)``
+        memo so other spaces sharing the interner reuse the work.  Defaults
+        to ``None`` = "memoize exactly when an interner was passed in and
+        layers are retained" (a shared interner signals cross-space reuse,
+        e.g. the sweep engine; frontier mode keeps the memo off so memory
+        stays frontier-bounded).
 
     Examples
     --------
@@ -187,9 +235,19 @@ class PrefixSpace:
         input_vectors: Iterable[Sequence] | None = None,
         interner: ViewInterner | None = None,
         max_nodes: int = 2_000_000,
+        retain: str = "all",
+        memo_extensions: bool | None = None,
     ) -> None:
         self.adversary = adversary
-        self.interner = interner or ViewInterner(adversary.n)
+        if retain not in ("all", "frontier"):
+            raise AnalysisError(f"retain must be 'all' or 'frontier', got {retain!r}")
+        self.retain = retain
+        if memo_extensions is None:
+            memo_extensions = interner is not None and retain == "all"
+        self.memo_extensions = memo_extensions
+        # Not ``interner or ...``: an empty interner is falsy via __len__
+        # and must still be adopted (the sweep engine shares fresh ones).
+        self.interner = ViewInterner(adversary.n) if interner is None else interner
         if self.interner.n != adversary.n:
             raise AnalysisError("interner and adversary disagree on n")
         if input_vectors is None:
@@ -245,10 +303,13 @@ class PrefixSpace:
         one batched call; children are plain column appends.
         """
         current = self._stores[-1]
+        if current.condensed:
+            raise AnalysisError("cannot extend: the frontier layer was condensed")
         adversary = self.adversary
         extensions = adversary.admissible_extensions
         alphabet_of = adversary.extension_alphabet
         extend_multi = self.interner.extend_level_multi
+        memo = self.memo_extensions
         max_nodes = self.max_nodes
         levels: list[tuple[int, ...]] = []
         parents: list[int] = []
@@ -265,7 +326,7 @@ class PrefixSpace:
         count = 0
         for i, node_states in enumerate(current.states):
             exts = extensions(node_states)
-            new_levels = extend_multi(cur_levels[i], alphabet_of(node_states))
+            new_levels = extend_multi(cur_levels[i], alphabet_of(node_states), memo)
             count += len(exts)
             if count > max_nodes:
                 raise AnalysisError(
@@ -286,11 +347,42 @@ class PrefixSpace:
         self._stores.append(
             LayerStore(levels, parents, input_idx, graphs, states_col)
         )
+        if self.retain == "frontier":
+            self._stores[-2].condense()
 
     def ensure_depth(self, t: int) -> None:
         """Construct layers up to depth ``t``."""
         while self.depth < t:
             self.extend()
+
+    def iter_layers(
+        self, max_depth: int | None = None
+    ) -> Iterator[tuple[int, LayerStore]]:
+        """Stream ``(depth, LayerStore)`` pairs, constructing on demand.
+
+        Yields layer 0, then extends one round at a time up to ``max_depth``
+        (unbounded when ``None`` — the caller breaks out of the loop).
+        Already-constructed layers are yielded first, so resuming iteration
+        on a partially built space is cheap.  In ``retain="frontier"`` mode
+        each yielded store is condensed as soon as the next layer is built,
+        so consumers must finish with a layer before advancing — and
+        re-iterating a space whose early layers were already condensed
+        raises :class:`~repro.errors.AnalysisError` instead of silently
+        yielding gutted stores.
+        """
+        t = 0
+        while max_depth is None or t <= max_depth:
+            if t > self.depth:
+                self.extend()
+            store = self._stores[t]
+            if store.condensed:
+                raise AnalysisError(
+                    f"layer {t} was condensed (retain='frontier'); "
+                    "iteration can only resume from the frontier layer "
+                    f"(depth {self.depth})"
+                )
+            yield t, store
+            t += 1
 
     # ------------------------------------------------------------------ #
     # Access
@@ -304,7 +396,13 @@ class PrefixSpace:
         instead of materializing :class:`PrefixNode` objects.
         """
         self.ensure_depth(t)
-        return self._stores[t]
+        store = self._stores[t]
+        if store.condensed:
+            raise AnalysisError(
+                f"layer {t} was condensed (retain='frontier'); only the "
+                f"frontier layer (depth {self.depth}) retains its columns"
+            )
+        return store
 
     def layer(self, t: int) -> LayerView:
         """All admissible prefixes of depth ``t`` (constructing if needed)."""
@@ -319,6 +417,11 @@ class PrefixSpace:
     def _materialize(self, t: int, index: int) -> PrefixNode:
         """Build (and cache) the node wrapper for one columnar entry."""
         store = self._stores[t]
+        if store.condensed:
+            raise AnalysisError(
+                f"cannot materialize a node of condensed layer {t} "
+                "(retain='frontier' drops levels/graphs below the frontier)"
+            )
         node = store.nodes[index]
         if node is not None:
             return node

@@ -121,7 +121,7 @@ def render_census(rows) -> str:
 
     for row in rows:
         lines.append(
-            f"{row.adversary.name:32s} {row.result.status.name:11s} "
+            f"{row.adversary.name:32s} {row.status.name:11s} "
             f"{row.certificate:28s} {verdict(row.oracle):8s} "
             f"{verdict(row.cgp):8s}"
             + ("" if row.cgp_agrees in (True, None) else "  <-- CGP disagrees")

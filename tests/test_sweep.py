@@ -1,0 +1,165 @@
+"""Tests for the sharded sweep engine and its census/CLI consumers."""
+
+import json
+import random
+
+import pytest
+
+from repro.adversaries import (
+    random_rooted_family,
+    two_process_oblivious_family,
+)
+from repro.consensus import check_consensus
+from repro.consensus.census import random_rooted_census, two_process_census
+from repro.errors import AnalysisError
+from repro.sweep import (
+    SweepJob,
+    SweepRecord,
+    certificate_summary,
+    jobs_for,
+    read_jsonl,
+    run_sweep,
+    write_jsonl,
+)
+
+
+def _fingerprint(records):
+    return [(r.index, r.adversary, r.status, r.certificate, r.certified_depth) for r in records]
+
+
+class TestSerialEngine:
+    def test_matches_direct_check_consensus(self):
+        family = two_process_oblivious_family()
+        records = run_sweep(jobs_for(family, max_depth=6))
+        assert len(records) == 15
+        for adversary, record in zip(family, records):
+            result = check_consensus(adversary, max_depth=6)
+            assert record.status == result.status.value
+            assert record.certificate == certificate_summary(result)
+            assert record.certified_depth == result.certified_depth
+            assert record.n == 2
+            assert record.alphabet == len(adversary.graphs)
+            assert record.shard == 0
+            assert record.elapsed_s >= 0
+
+    def test_shared_interner_reuses_views_across_jobs(self):
+        family = two_process_oblivious_family()
+        records = run_sweep(jobs_for(family, max_depth=6))
+        solvable_after_first = [
+            r for r in records[1:] if r.status == "solvable"
+        ]
+        # Later same-n jobs hit the shared tables: at least one interned
+        # strictly fewer views than the first solvable job.
+        first_views = next(r.views_interned for r in records if r.status == "solvable")
+        assert any(r.views_interned < first_views for r in solvable_after_first)
+
+    def test_duplicate_indices_rejected(self):
+        family = two_process_oblivious_family()[:2]
+        jobs = [SweepJob(0, family[0]), SweepJob(0, family[1])]
+        with pytest.raises(AnalysisError):
+            run_sweep(jobs)
+
+    def test_tags_carried_through(self):
+        jobs = jobs_for(two_process_oblivious_family()[:3], max_depth=4,
+                        tags={"family": "two-process"})
+        records = run_sweep(jobs)
+        assert all(record.tags == {"family": "two-process"} for record in records)
+
+
+class TestParallelEngine:
+    def test_two_workers_match_serial(self):
+        jobs = jobs_for(two_process_oblivious_family(), max_depth=5)
+        serial = run_sweep(jobs, workers=1)
+        parallel = run_sweep(jobs, workers=2)
+        assert _fingerprint(parallel) == _fingerprint(serial)
+
+    def test_deterministic_strided_chunking(self):
+        jobs = jobs_for(two_process_oblivious_family(), max_depth=4)
+        records = run_sweep(jobs, workers=3)
+        for record in records:
+            assert record.shard == record.index % 3
+
+    def test_workers_capped_by_job_count(self):
+        jobs = jobs_for(two_process_oblivious_family()[:2], max_depth=4)
+        records = run_sweep(jobs, workers=8)
+        assert _fingerprint(records) == _fingerprint(run_sweep(jobs, workers=1))
+
+
+class TestJsonl:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "out" / "sweep.jsonl"
+        jobs = jobs_for(two_process_oblivious_family()[:5], max_depth=4)
+        records = run_sweep(jobs, jsonl_path=path)
+        loaded = list(read_jsonl(path))
+        assert [r.to_dict() for r in loaded] == [r.to_dict() for r in records]
+        # One JSON object per line, indices in order.
+        lines = path.read_text().strip().splitlines()
+        assert [json.loads(line)["index"] for line in lines] == [0, 1, 2, 3, 4]
+
+    def test_write_read_helpers(self, tmp_path):
+        record = SweepRecord(
+            index=0, adversary="X", n=2, alphabet=1, max_depth=3,
+            status="solvable", certified_depth=1, certificate="decision-table@1",
+            elapsed_s=0.1, views_interned=7, shard=0, tags={"k": "v"},
+        )
+        path = tmp_path / "one.jsonl"
+        write_jsonl([record], path)
+        loaded = next(iter(read_jsonl(path)))
+        assert loaded.to_dict() == record.to_dict()
+        assert loaded.solvable is True
+
+
+class TestCensusOnEngine:
+    def test_two_process_census_parallel_matches_serial(self):
+        serial = two_process_census(max_depth=5)
+        parallel = two_process_census(max_depth=5, workers=2)
+        assert [
+            (r.adversary.name, r.status, r.certificate, r.oracle, r.cgp)
+            for r in serial
+        ] == [
+            (r.adversary.name, r.status, r.certificate, r.oracle, r.cgp)
+            for r in parallel
+        ]
+        # Serial rows keep the full result; engine rows are record-backed.
+        assert all(row.result is not None for row in serial)
+        assert all(row.result is None for row in parallel)
+
+    def test_rooted_census_is_seed_deterministic(self):
+        rows_a = random_rooted_census(random.Random(11), samples=6, max_depth=3)
+        rows_b = random_rooted_census(random.Random(11), samples=6, max_depth=3)
+        assert [(r.adversary, r.status) for r in rows_a] == [
+            (r.adversary, r.status) for r in rows_b
+        ]
+
+    def test_rooted_family_generator_is_deterministic(self):
+        family_a = random_rooted_family(random.Random(5), 3, 8)
+        family_b = random_rooted_family(random.Random(5), 3, 8)
+        assert [a.graphs for a in family_a] == [b.graphs for b in family_b]
+
+
+class TestSweepCli:
+    def test_sweep_command_writes_jsonl(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "two_process.jsonl"
+        assert main([
+            "sweep", "--family", "two-process", "--max-depth", "4",
+            "--workers", "2", "--out", str(out),
+        ]) == 0
+        records = list(read_jsonl(out))
+        assert len(records) == 15
+        assert {r.status for r in records} == {"solvable", "impossible"}
+        text = capsys.readouterr().out
+        assert "15 jobs on 2 worker(s)" in text
+
+    def test_sweep_rooted_family_seeded(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "rooted.jsonl"
+        assert main([
+            "sweep", "--family", "rooted", "--n", "3", "--samples", "4",
+            "--max-depth", "3", "--seed", "9", "--out", str(out),
+        ]) == 0
+        records = list(read_jsonl(out))
+        assert len(records) == 4
+        assert all(r.tags == {"family": "rooted", "seed": 9} for r in records)

@@ -84,6 +84,101 @@ class TestStructure:
             assert words == expected
 
 
+class TestStreaming:
+    def test_iter_layers_matches_ensure_depth(self):
+        materialized = PrefixSpace(lossy_link_full())
+        materialized.ensure_depth(4)
+        streamed = PrefixSpace(lossy_link_full())
+        seen = []
+        for depth, store in streamed.iter_layers(max_depth=4):
+            seen.append((depth, len(store)))
+            assert store.levels == materialized.layer_store(depth).levels
+            assert store.parents == materialized.layer_store(depth).parents
+        assert seen == [(t, len(materialized.layer_store(t))) for t in range(5)]
+
+    def test_iter_layers_resumes_on_partially_built_space(self):
+        space = PrefixSpace(lossy_link_no_hub())
+        space.ensure_depth(2)
+        depths = [depth for depth, _ in space.iter_layers(max_depth=5)]
+        assert depths == [0, 1, 2, 3, 4, 5]
+        assert space.depth == 5
+
+    def test_frontier_mode_matches_materialized_at_depth_6(self):
+        """Streaming equality: the frontier columns agree with retain='all'."""
+        materialized = PrefixSpace(lossy_link_full())
+        materialized.ensure_depth(6)
+        frontier = PrefixSpace(lossy_link_full(), retain="frontier")
+        frontier.ensure_depth(6)
+        full_store = materialized.layer_store(6)
+        store = frontier.layer_store(6)
+        assert store.levels == full_store.levels
+        assert store.parents == full_store.parents
+        assert store.input_idx == full_store.input_idx
+        assert store.graphs == full_store.graphs
+        assert store.states == full_store.states
+        # Historical layers keep sizes, parents, and input indices only.
+        assert frontier.layer_sizes() == materialized.layer_sizes()
+        for t in range(6):
+            condensed = frontier._stores[t]
+            assert condensed.condensed
+            assert condensed.parents == materialized.layer_store(t).parents
+            assert condensed.input_idx == materialized.layer_store(t).input_idx
+
+    def test_frontier_mode_reiteration_raises_instead_of_gutted_stores(self):
+        space = PrefixSpace(lossy_link_no_hub(), retain="frontier")
+        for _ in space.iter_layers(max_depth=3):
+            pass
+        with pytest.raises(AnalysisError):
+            next(iter(space.iter_layers(max_depth=3)))
+
+    def test_frontier_mode_evicted_access_raises(self):
+        space = PrefixSpace(lossy_link_no_hub(), retain="frontier")
+        space.ensure_depth(3)
+        with pytest.raises(AnalysisError):
+            space.layer_store(1)
+        with pytest.raises(AnalysisError):
+            space.node(3, 0)  # materialization needs evicted ancestors
+        # The frontier columns themselves stay available.
+        assert len(space.layer_store(3).levels) == 4 * 2**3
+
+    def test_frontier_mode_component_analysis_at_frontier(self):
+        from repro.topology.components import ComponentAnalysis
+
+        plain = PrefixSpace(lossy_link_no_hub())
+        frontier = PrefixSpace(lossy_link_no_hub(), retain="frontier")
+        expected = ComponentAnalysis(plain, 4).summary()
+        got = ComponentAnalysis(frontier, 4).summary()
+        assert got == expected
+
+    def test_retain_validated(self):
+        with pytest.raises(AnalysisError):
+            PrefixSpace(lossy_link_no_hub(), retain="sometimes")
+
+    def test_shared_interner_memoizes_extensions_across_spaces(self):
+        from repro.core.views import ViewInterner
+
+        interner = ViewInterner(2)
+        first = PrefixSpace(lossy_link_full(), interner=interner)
+        assert first.memo_extensions is True
+        first.ensure_depth(3)
+        cached = interner.stats().cached_extensions
+        assert cached > 0
+        second = PrefixSpace(lossy_link_full(), interner=interner)
+        second.ensure_depth(3)
+        assert second.layer_store(3).levels == first.layer_store(3).levels
+        # The second space reuses the memo instead of growing it.
+        assert interner.stats().cached_extensions == cached
+
+    def test_frontier_mode_skips_extension_memo(self):
+        from repro.core.views import ViewInterner
+
+        interner = ViewInterner(2)
+        space = PrefixSpace(lossy_link_full(), interner=interner, retain="frontier")
+        assert space.memo_extensions is False
+        space.ensure_depth(3)
+        assert interner.stats().cached_extensions == 0
+
+
 class TestLivenessPruning:
     def test_noncompact_adversary_prefixes_are_safety_prefixes(self):
         # For eventually-> the transient phase is unconstrained over {<-,->}.
