@@ -23,7 +23,9 @@ import time
 import pytest
 from conftest import emit
 
-from repro.adversaries import random_rooted_family
+from repro.adversaries import random_rooted_family, two_process_oblivious_family
+from repro.analysis import render_report, summarize
+from repro.backends import SerialBackend, _run_jobs
 from repro.consensus.census import two_process_census
 from repro.sweep import jobs_for, run_sweep
 from repro.viz import render_census
@@ -45,6 +47,10 @@ def test_two_process_census_table(benchmark):
         f"totals: {solvable} solvable, {len(rows) - solvable} impossible; "
         "oracle and CGP agree on every row"
     )
+    # Census rows are RunRecord-backed, so the sweep report layer renders
+    # them directly.
+    lines.append("")
+    lines.append(render_report(summarize([row.record for row in rows])))
     emit(benchmark, "two-process census (exhaustive)", lines)
 
     assert len(rows) == 15
@@ -52,6 +58,39 @@ def test_two_process_census_table(benchmark):
     for row in rows:
         assert row.oracle_agrees is True
         assert row.cgp_agrees is True
+
+
+def test_backend_dispatch_overhead(benchmark):
+    """Backend-layer dispatch vs the bare shard executor.
+
+    The API redesign routes ``run_sweep`` through a pluggable
+    :class:`~repro.backends.SweepBackend`; this entry records what the
+    dispatch layer (job validation, backend object, index sort) costs on
+    top of the raw ``_run_jobs`` loop — the engine shape of the previous
+    revision.  The workload is the full two-process family, so the ratio
+    is measured against real checker work, not an empty loop.
+    """
+    jobs = jobs_for(two_process_oblivious_family(), max_depth=6)
+    bare_elapsed = float("inf")
+    for _ in range(5):
+        start = time.perf_counter()
+        bare_records = _run_jobs(0, jobs)
+        bare_elapsed = min(bare_elapsed, time.perf_counter() - start)
+
+    records = benchmark(lambda: run_sweep(jobs, backend=SerialBackend()))
+    assert [(r.index, r.status) for r in records] == [
+        (r.index, r.status) for r in bare_records
+    ]
+    dispatched = benchmark.stats.stats.min
+    emit(
+        benchmark,
+        "backend dispatch overhead (serial, two-process family)",
+        [
+            f"bare _run_jobs best {bare_elapsed * 1e3:.2f} ms vs dispatched "
+            f"best {dispatched * 1e3:.2f} ms "
+            f"({dispatched / bare_elapsed:.2f}x)",
+        ],
+    )
 
 
 @pytest.mark.bench_deep

@@ -23,6 +23,7 @@ from repro.adversaries import (
 )
 from repro.consensus import SolvabilityStatus, check_consensus
 from repro.core.digraph import arrow
+from repro.records import certificate_summary
 
 TO, FRO, BOTH = arrow("->"), arrow("<-"), arrow("<->")
 
@@ -66,14 +67,7 @@ def test_section6_verdict_table(benchmark):
         f"{'adversary':32s} {'paper':10s} {'checker':10s} {'certificate':28s} source"
     ]
     for label, result, expected, source in rows:
-        if result.decision_table is not None:
-            certificate = f"decision-table@{result.certified_depth}"
-        elif result.broadcaster is not None:
-            certificate = f"broadcaster p{result.broadcaster.process}"
-        elif result.impossibility is not None:
-            certificate = result.impossibility.kind
-        else:
-            certificate = "-"
+        certificate = certificate_summary(result)
         lines.append(
             f"{label:32s} {'SOLVABLE' if expected else 'IMPOSSIBLE':10s} "
             f"{result.status.name:10s} {certificate:28s} {source}"

@@ -24,6 +24,7 @@ from repro.consensus import (
     two_process_oblivious_verdict,
 )
 from repro.core.digraph import arrow
+from repro.records import certificate_summary
 
 
 def main() -> None:
@@ -42,15 +43,7 @@ def main() -> None:
             literature = two_process_oblivious_verdict(adversary)
             cgp = cgp_predicts_solvable(adversary)
 
-            if result.decision_table is not None:
-                certificate = f"decision-table@{result.certified_depth}"
-            elif result.broadcaster is not None:
-                certificate = f"broadcaster p{result.broadcaster.process}"
-            elif result.impossibility is not None:
-                certificate = result.impossibility.kind
-            else:
-                certificate = "-"
-
+            certificate = certificate_summary(result)
             agree = result.solvable == literature == cgp
             disagreements += 0 if agree else 1
             name = "{" + ",".join(g.name for g in sorted(subset)) + "}"

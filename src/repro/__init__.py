@@ -16,7 +16,13 @@ arXiv:1905.09590).  The library provides:
   Theorems 5.5/5.11/6.6/6.7, broadcastability analysis, decision-table
   universal algorithms, impossibility provers and literature baselines;
 * :mod:`repro.simulation` — a synchronous lock-step simulator that runs the
-  universal algorithm (and others) against admissible graph sequences.
+  universal algorithm (and others) against admissible graph sequences;
+* :mod:`repro.api` — the stable experiment surface: serializable
+  :class:`~repro.specs.AdversarySpec` scenario descriptions,
+  :class:`~repro.consensus.solvability.CheckOptions`,
+  :class:`~repro.api.Session`, pluggable sweep backends
+  (:mod:`repro.backends`), the unified :class:`~repro.records.RunRecord`
+  schema, and the :mod:`repro.analysis` report layer.
 
 Quickstart
 ----------
@@ -24,6 +30,13 @@ Quickstart
 >>> solvable = check_consensus(ObliviousAdversary(2, [arrow("->"), arrow("<-")]))
 >>> solvable.status.name
 'SOLVABLE'
+
+Or, through the session API:
+
+>>> from repro import AdversarySpec, CheckOptions, Session
+>>> session = Session(CheckOptions(max_depth=6))
+>>> session.check(AdversarySpec("oblivious", {"n": 2, "graphs": [2, 4]})).solvable
+True
 """
 
 from repro._version import __version__
@@ -42,9 +55,13 @@ from repro.core import (
 )
 
 __all__ = [
+    "AdversarySpec",
+    "CheckOptions",
     "Digraph",
     "GraphWord",
     "PTGPrefix",
+    "RunRecord",
+    "Session",
     "ViewInterner",
     "all_assignments",
     "arrow",
@@ -55,6 +72,28 @@ __all__ = [
     "unanimous",
     "__version__",
 ]
+
+#: Names lazily re-exported from the high-level API (avoids import cycles
+#: and keeps ``import repro`` light).
+_API_NAMES = {
+    "AdversarySpec",
+    "CheckOptions",
+    "Session",
+    "RunRecord",
+    "SweepJob",
+    "SweepBackend",
+    "SerialBackend",
+    "ProcessBackend",
+    "ManifestBackend",
+    "run_sweep",
+    "jobs_for",
+    "read_jsonl",
+    "write_jsonl",
+    "register_family",
+    "families",
+    "summarize",
+    "render_report",
+}
 
 
 def __getattr__(name: str):
@@ -67,8 +106,13 @@ def __getattr__(name: str):
         import repro.consensus as _cons
 
         return getattr(_cons, name)
-    if name in {"SweepJob", "SweepRecord", "run_sweep"}:
-        import repro.sweep as _sweep
+    if name == "SweepRecord":
+        # Deprecation alias: the unified RunRecord schema.
+        import repro.records as _records
 
-        return getattr(_sweep, name)
+        return _records.RunRecord
+    if name in _API_NAMES:
+        import repro.api as _api
+
+        return getattr(_api, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

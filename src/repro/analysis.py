@@ -1,0 +1,236 @@
+"""Aggregation and reporting over sweep record streams.
+
+A million-scenario census is only as useful as the questions you can ask
+of its output.  This module turns any stream of
+:class:`~repro.records.RunRecord` — a fresh in-memory sweep, a merged
+manifest run, an archived JSONL file from an earlier revision — into a
+:class:`SweepReport`: status and certificate histograms, per-family and
+per-``(n, |D|)`` pivot tables, the undecided frontier (the scenarios that
+exhausted their depth budget, i.e. where to spend more compute next), and
+the slowest jobs.  ``repro-consensus report records.jsonl`` renders it
+from the command line; :func:`repro.consensus.census` rows and
+:func:`~repro.sweep.run_sweep` results feed it directly.
+
+>>> from repro.records import RunRecord
+>>> record = RunRecord(index=0, adversary="X", n=2, alphabet=2, max_depth=4,
+...     status="solvable", certified_depth=1, certificate="decision-table@1",
+...     elapsed_s=0.01, views_interned=5, shard=0)
+>>> summarize([record]).status_counts["solvable"]
+1
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter
+from pathlib import Path
+from typing import Iterable
+
+from repro.records import RunRecord, read_jsonl
+
+__all__ = [
+    "SweepReport",
+    "certificate_kind",
+    "summarize",
+    "render_report",
+    "report_jsonl",
+]
+
+
+def _explored_depth(record: RunRecord) -> int:
+    """Deepest explored depth of an undecided record.
+
+    Undecided results carry it only in the certificate string
+    (``undecided@6`` — ``certified_depth`` is None by definition); legacy
+    ``"-"`` certificates report -1, sorting after every annotated record.
+    """
+    certificate = record.certificate or ""
+    if "@" in certificate:
+        _, _, depth = certificate.partition("@")
+        try:
+            return int(depth)
+        except ValueError:
+            return -1
+    return -1
+
+
+def certificate_kind(certificate: str | None) -> str:
+    """The certificate family of a record's certificate string.
+
+    Strips instance detail: ``decision-table@3`` → ``decision-table``,
+    ``broadcaster p1`` → ``broadcaster``, ``undecided@6`` → ``undecided``;
+    the impossibility witness kinds and the legacy ``"-"`` placeholder
+    pass through unchanged.
+    """
+    if not certificate:
+        return "-"
+    return certificate.split("@", 1)[0].split(" ", 1)[0]
+
+
+class SweepReport:
+    """Aggregated view of one record stream (see :func:`summarize`)."""
+
+    __slots__ = (
+        "total",
+        "status_counts",
+        "certificate_counts",
+        "by_family",
+        "by_shape",
+        "undecided",
+        "slowest",
+        "total_elapsed_s",
+        "top",
+    )
+
+    def __init__(
+        self,
+        total: int,
+        status_counts: Counter,
+        certificate_counts: Counter,
+        by_family: dict[str, Counter],
+        by_shape: dict[tuple[int, int], Counter],
+        undecided: list[RunRecord],
+        slowest: list[RunRecord],
+        total_elapsed_s: float,
+        top: int,
+    ) -> None:
+        self.total = total
+        self.status_counts = status_counts
+        self.certificate_counts = certificate_counts
+        #: family label -> status counter (label falls back to the
+        #: ``family`` tag of records without a spec, then ``"-"``).
+        self.by_family = by_family
+        #: (n, alphabet size) -> status counter.
+        self.by_shape = by_shape
+        #: Undecided records, deepest-explored first: the frontier where a
+        #: bigger depth budget (or a new prover) would earn new verdicts.
+        self.undecided = undecided
+        self.slowest = slowest
+        self.total_elapsed_s = total_elapsed_s
+        self.top = top
+
+    def __repr__(self) -> str:
+        counts = ", ".join(
+            f"{count} {status}" for status, count in sorted(self.status_counts.items())
+        )
+        return f"SweepReport({self.total} records: {counts})"
+
+
+def summarize(records: Iterable[RunRecord], top: int = 5) -> SweepReport:
+    """Aggregate a record stream into a :class:`SweepReport`.
+
+    Works on any iterable of records — lists, generators, or the lazy
+    stream of :func:`~repro.records.read_jsonl` — in one pass.  ``top``
+    bounds the slowest-jobs listing; the undecided frontier is kept in
+    full (it is the report's actionable output).
+    """
+    status_counts: Counter = Counter()
+    certificate_counts: Counter = Counter()
+    by_family: dict[str, Counter] = {}
+    by_shape: dict[tuple[int, int], Counter] = {}
+    undecided: list[RunRecord] = []
+    total = 0
+    total_elapsed = 0.0
+    # Only the top-N slowest are retained (heap of (elapsed, tiebreak)),
+    # so summarizing a million-record stream stays O(undecided + top) in
+    # memory, not O(total).
+    slow_heap: list[tuple[float, int, RunRecord]] = []
+    for record in records:
+        total += 1
+        total_elapsed += record.elapsed_s
+        status_counts[record.status] += 1
+        certificate_counts[certificate_kind(record.certificate)] += 1
+        by_family.setdefault(record.family_label, Counter())[record.status] += 1
+        by_shape.setdefault((record.n, record.alphabet), Counter())[record.status] += 1
+        if record.status == "undecided":
+            undecided.append(record)
+        if top > 0:
+            entry = (record.elapsed_s, -total, record)
+            if len(slow_heap) < top:
+                heapq.heappush(slow_heap, entry)
+            else:
+                heapq.heappushpop(slow_heap, entry)
+    undecided.sort(
+        key=lambda r: (-_explored_depth(r), -r.max_depth, r.n, r.index)
+    )
+    slowest = [entry[2] for entry in sorted(slow_heap, key=lambda e: (-e[0], -e[1]))]
+    return SweepReport(
+        total=total,
+        status_counts=status_counts,
+        certificate_counts=certificate_counts,
+        by_family=by_family,
+        by_shape=by_shape,
+        undecided=undecided,
+        slowest=slowest,
+        total_elapsed_s=total_elapsed,
+        top=top,
+    )
+
+
+def _histogram(title: str, counts: Counter, width: int = 32) -> list[str]:
+    lines = [title]
+    if not counts:
+        return lines + ["  (no records)"]
+    peak = max(counts.values())
+    for key, count in sorted(counts.items(), key=lambda kv: (-kv[1], kv[0])):
+        bar = "#" * max(1, round(width * count / peak))
+        lines.append(f"  {key:28s} {count:>6d} {bar}")
+    return lines
+
+
+def _pivot(title: str, rows: dict, statuses: list[str], label_width: int = 24) -> list[str]:
+    header = "  " + "label".ljust(label_width) + "".join(
+        f"{status:>12s}" for status in statuses
+    ) + f"{'total':>12s}"
+    lines = [title, header, "  " + "-" * (len(header) - 2)]
+    for label in sorted(rows, key=str):
+        counter = rows[label]
+        cells = "".join(f"{counter.get(status, 0):>12d}" for status in statuses)
+        lines.append(
+            "  " + str(label).ljust(label_width) + cells
+            + f"{sum(counter.values()):>12d}"
+        )
+    return lines
+
+
+def render_report(report: SweepReport) -> str:
+    """Render a :class:`SweepReport` as a monospaced text block."""
+    statuses = sorted(report.status_counts)
+    lines = [
+        f"{report.total} records, total checker time "
+        f"{report.total_elapsed_s:.3f}s",
+        "",
+    ]
+    lines += _histogram("status histogram", report.status_counts)
+    lines.append("")
+    lines += _histogram("certificate histogram", report.certificate_counts)
+    lines.append("")
+    lines += _pivot("per-family statuses", report.by_family, statuses)
+    lines.append("")
+    shape_rows = {
+        f"n={n} |D|={alphabet}": counter
+        for (n, alphabet), counter in report.by_shape.items()
+    }
+    lines += _pivot("per-(n, |D|) statuses", shape_rows, statuses)
+    if report.undecided:
+        lines.append("")
+        lines.append(f"undecided frontier ({len(report.undecided)} records)")
+        for record in report.undecided:
+            lines.append(
+                f"  #{record.index:<4d} {record.adversary:32s} "
+                f"{record.certificate:16s} budget max_depth={record.max_depth}"
+            )
+    if report.slowest and report.total_elapsed_s > 0:
+        lines.append("")
+        lines.append(f"slowest jobs (top {len(report.slowest)})")
+        for record in report.slowest:
+            lines.append(
+                f"  #{record.index:<4d} {record.adversary:32s} "
+                f"{record.status:11s} {record.elapsed_s * 1e3:>9.1f}ms"
+            )
+    return "\n".join(lines)
+
+
+def report_jsonl(path: str | Path, top: int = 5) -> str:
+    """Summarize and render a JSONL record file (any schema version)."""
+    return render_report(summarize(read_jsonl(path), top=top))

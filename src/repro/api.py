@@ -1,0 +1,212 @@
+"""The stable public experiment API: sessions, specs, backends, records.
+
+This module is the one import an experiment script needs.  It groups the
+library's workflow around four ideas:
+
+* :class:`~repro.specs.AdversarySpec` — a *serializable* description of a
+  message adversary (family name + JSON params + optional seed) that any
+  worker can rebuild; the unit sweep manifests are made of.
+* :class:`~repro.consensus.solvability.CheckOptions` — the checker's
+  tuning knobs as one value object, instead of a pile of kwargs.
+* :class:`Session` — owns per-``n`` view interners plus default options,
+  so consecutive checks share view tables and memoized level extensions
+  the way a sweep shard does; ``session.check(...)`` accepts specs or
+  live adversaries, ``session.sweep(...)`` fans a family out through any
+  :class:`~repro.backends.SweepBackend`.
+* :class:`~repro.records.RunRecord` — the single versioned result schema
+  every sweep, census, and benchmark writes, with :mod:`repro.analysis`
+  reports on top.
+
+Quickstart
+----------
+>>> from repro.api import AdversarySpec, CheckOptions, Session
+>>> session = Session(CheckOptions(max_depth=6))
+>>> spec = AdversarySpec("oblivious", {"n": 2, "graphs": [2, 4]})
+>>> session.check(spec).status.name
+'SOLVABLE'
+>>> [r.status for r in session.sweep([spec])]
+['solvable']
+
+The compatibility wrappers (:func:`repro.consensus.check_consensus` with
+keywords, ``repro.sweep.SweepRecord``, headerless JSONL reading) remain in
+place; see README "Public API" for the old → new migration table.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.adversaries.base import MessageAdversary
+from repro.analysis import (
+    SweepReport,
+    render_report,
+    report_jsonl,
+    summarize,
+)
+from repro.backends import (
+    ManifestBackend,
+    ProcessBackend,
+    SerialBackend,
+    SweepBackend,
+    SweepJob,
+    jobs_for,
+    load_manifest,
+    run_manifest,
+    write_manifest,
+)
+from repro.consensus.solvability import (
+    CheckOptions,
+    SolvabilityResult,
+    check_consensus,
+    check_consensus_with_options,
+)
+from repro.consensus.spec import ConsensusSpec
+from repro.core.views import ViewInterner
+from repro.records import (
+    RunRecord,
+    certificate_summary,
+    read_jsonl,
+    write_jsonl,
+)
+from repro.specs import (
+    AdversarySpec,
+    build_adversary,
+    families,
+    random_rooted_specs,
+    register_family,
+)
+from repro.sweep import run_sweep
+
+__all__ = [
+    "AdversarySpec",
+    "CheckOptions",
+    "Session",
+    "RunRecord",
+    "SweepJob",
+    "SweepBackend",
+    "SerialBackend",
+    "ProcessBackend",
+    "ManifestBackend",
+    "SweepReport",
+    "build_adversary",
+    "certificate_summary",
+    "check_consensus",
+    "check_consensus_with_options",
+    "families",
+    "jobs_for",
+    "load_manifest",
+    "random_rooted_specs",
+    "read_jsonl",
+    "register_family",
+    "render_report",
+    "report_jsonl",
+    "run_manifest",
+    "run_sweep",
+    "summarize",
+    "write_jsonl",
+    "write_manifest",
+]
+
+
+class Session:
+    """A reusable checking context: per-``n`` view interners + options.
+
+    Views depend only on inputs and in-neighborhoods, never on the
+    adversary, so every check the session runs for the same process count
+    shares one :class:`~repro.core.views.ViewInterner` — including its
+    memoized ``(level, graph)`` extension cache.  Checking a family
+    through one session therefore costs what one sweep shard costs,
+    instead of rebuilding view tables per call.
+
+    Parameters
+    ----------
+    options:
+        Default :class:`CheckOptions` for every check (individual calls
+        may override).
+    memo_extensions:
+        Default for the interner-sharing memo when the per-call options
+        leave it ``None``; the session shares interners by design, so the
+        default here is ``True``.
+    """
+
+    def __init__(
+        self,
+        options: CheckOptions | None = None,
+        memo_extensions: bool = True,
+    ) -> None:
+        self.options = options or CheckOptions()
+        if self.options.memo_extensions is None:
+            self.options = self.options.replace(memo_extensions=memo_extensions)
+        self._interners: dict[int, ViewInterner] = {}
+
+    def interner(self, n: int) -> ViewInterner:
+        """The session's shared view interner for ``n`` processes."""
+        interner = self._interners.get(n)
+        if interner is None:
+            interner = self._interners[n] = ViewInterner(n)
+        return interner
+
+    @staticmethod
+    def _resolve(target: AdversarySpec | MessageAdversary) -> MessageAdversary:
+        if isinstance(target, AdversarySpec):
+            return target.build()
+        return target
+
+    def check(
+        self,
+        target: AdversarySpec | MessageAdversary,
+        options: CheckOptions | None = None,
+        spec: ConsensusSpec | None = None,
+    ) -> SolvabilityResult:
+        """Check one adversary (or spec) with the session's shared tables."""
+        adversary = self._resolve(target)
+        return check_consensus_with_options(
+            adversary,
+            options or self.options,
+            spec=spec,
+            interner=self.interner(adversary.n),
+        )
+
+    def sweep(
+        self,
+        targets: Iterable[AdversarySpec | MessageAdversary] | Sequence[SweepJob],
+        backend: SweepBackend | None = None,
+        workers: int = 1,
+        jsonl_path: str | Path | None = None,
+        tags: dict | None = None,
+        options: CheckOptions | None = None,
+    ) -> list[RunRecord]:
+        """Classify a family of specs/adversaries on a sweep backend.
+
+        ``targets`` may be ready-made :class:`SweepJob` lists or plain
+        iterables of specs/adversaries (indexed in order, with the
+        effective options' ``max_depth`` as each job's depth budget).
+        Backend selection matches :func:`repro.sweep.run_sweep`; shards
+        use their own interners — process boundaries cannot share the
+        session's tables.
+        """
+        effective = options or self.options
+        targets = list(targets)
+        if targets and all(isinstance(item, SweepJob) for item in targets):
+            jobs = targets
+        else:
+            jobs = jobs_for(targets, max_depth=effective.max_depth, tags=tags)
+        return run_sweep(
+            jobs,
+            workers=workers,
+            jsonl_path=jsonl_path,
+            backend=backend,
+            options=effective,
+        )
+
+    def stats(self) -> dict[int, object]:
+        """Per-``n`` view-table statistics of the session's interners."""
+        return {n: interner.stats() for n, interner in sorted(self._interners.items())}
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(
+            f"n={n}:{len(interner)} views"
+            for n, interner in sorted(self._interners.items())
+        )
+        return f"Session({self.options!r}{'; ' + sizes if sizes else ''})"

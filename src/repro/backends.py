@@ -1,0 +1,482 @@
+"""Pluggable sweep backends: serial, process pool, and file-based manifests.
+
+The sweep engine classifies a family of adversaries by fanning independent
+:func:`~repro.consensus.solvability.check_consensus` calls somewhere.  The
+*where* is a :class:`SweepBackend`:
+
+* :class:`SerialBackend` — everything inline in this process; the fully
+  deterministic reference path the other backends are pinned against.
+* :class:`ProcessBackend` — the strided ``multiprocessing`` fan-out (shard
+  ``k`` runs jobs ``k, k + w, k + 2w, ...``), as introduced by the sharded
+  engine revision.
+* :class:`ManifestBackend` — the distributed-runner interface: jobs are
+  written to per-shard *manifest* files (JSON lists of serializable
+  :class:`~repro.specs.AdversarySpec` descriptions — never pickled live
+  objects), each shard is executed by an independent
+  ``repro-consensus sweep --manifest shard_k.json`` subprocess, and the
+  per-shard JSONL outputs are merged.  Because the manifest is plain JSON
+  and the shard runner is a CLI invocation, the same three files (manifest
+  in, JSONL out, merge) are exactly what a remote fleet needs — nothing in
+  a shard run refers back to this process.
+
+All backends return the same :class:`~repro.records.RunRecord` list,
+sorted by job index, and accept ``record_timing=False`` to zero the
+wall-clock field — with identical shard striding this makes equal-spec
+runs byte-identical across backends, which the tests assert.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Iterable, Protocol, Sequence, runtime_checkable
+
+from repro.adversaries.base import MessageAdversary
+from repro.consensus.solvability import CheckOptions
+from repro.core.views import ViewInterner
+from repro.errors import AnalysisError
+from repro.records import RunRecord, certificate_summary, read_jsonl, write_jsonl
+from repro.specs import AdversarySpec
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "SweepJob",
+    "SweepBackend",
+    "SerialBackend",
+    "ProcessBackend",
+    "ManifestBackend",
+    "jobs_for",
+    "write_manifest",
+    "load_manifest",
+    "run_manifest",
+]
+
+#: Schema tag of shard manifest files.
+MANIFEST_SCHEMA = "repro.sweep-manifest/1"
+
+
+class SweepJob:
+    """One unit of sweep work: classify an adversary up to ``max_depth``.
+
+    A job carries a live ``adversary``, a serializable ``spec``
+    (:class:`~repro.specs.AdversarySpec`), or both.  Spec-carrying jobs
+    build their adversary lazily — on whichever worker runs them — which
+    is what lets :class:`ManifestBackend` ship jobs as JSON.
+    """
+
+    __slots__ = ("index", "max_depth", "tags", "spec", "_adversary")
+
+    def __init__(
+        self,
+        index: int,
+        adversary: MessageAdversary | None = None,
+        max_depth: int = 6,
+        tags: dict | None = None,
+        spec: AdversarySpec | None = None,
+    ) -> None:
+        if adversary is None and spec is None:
+            raise AnalysisError("a sweep job needs an adversary or a spec")
+        self.index = index
+        self.max_depth = max_depth
+        #: JSON-able metadata carried through to the record (e.g. family
+        #: name, sample seed).
+        self.tags = tags or {}
+        self.spec = spec
+        self._adversary = adversary
+
+    @property
+    def adversary(self) -> MessageAdversary:
+        """The live adversary (built from the spec on first access)."""
+        if self._adversary is None:
+            self._adversary = self.spec.build()
+        return self._adversary
+
+    def resolved_spec(self) -> AdversarySpec:
+        """The job's spec, deriving one from the live adversary if needed.
+
+        Raises :class:`~repro.errors.AdversaryError` for adversary types
+        with no canonical serialization — those jobs cannot cross a
+        manifest boundary.
+        """
+        if self.spec is None:
+            self.spec = AdversarySpec.from_adversary(self._adversary)
+        return self.spec
+
+    def to_dict(self) -> dict:
+        """Manifest form of the job (requires a resolvable spec)."""
+        return {
+            "index": self.index,
+            "max_depth": self.max_depth,
+            "tags": self.tags,
+            "spec": self.resolved_spec().to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepJob":
+        return cls(
+            data["index"],
+            max_depth=data["max_depth"],
+            tags=data.get("tags"),
+            spec=AdversarySpec.from_dict(data["spec"]),
+        )
+
+    def __repr__(self) -> str:
+        described = (
+            self._adversary.name if self._adversary is not None else repr(self.spec)
+        )
+        return f"SweepJob(#{self.index}, {described}, max_depth={self.max_depth})"
+
+
+def jobs_for(
+    adversaries: Iterable[MessageAdversary | AdversarySpec],
+    max_depth: int = 6,
+    tags: dict | None = None,
+) -> list[SweepJob]:
+    """Wrap a family of adversaries (or specs) as indexed sweep jobs."""
+    jobs = []
+    for index, item in enumerate(adversaries):
+        if isinstance(item, AdversarySpec):
+            jobs.append(
+                SweepJob(
+                    index, max_depth=max_depth,
+                    tags=dict(tags) if tags else None, spec=item,
+                )
+            )
+        else:
+            jobs.append(
+                SweepJob(index, item, max_depth, dict(tags) if tags else None)
+            )
+    return jobs
+
+
+def _validate_jobs(jobs: Sequence[SweepJob]) -> list[SweepJob]:
+    jobs = list(jobs)
+    if len({job.index for job in jobs}) != len(jobs):
+        raise AnalysisError("sweep jobs must carry distinct indices")
+    return jobs
+
+
+def _run_jobs(
+    shard: int,
+    jobs: Sequence[SweepJob],
+    options: CheckOptions | None = None,
+    record_timing: bool = True,
+) -> list[RunRecord]:
+    """Run one shard's jobs inline, sharing interners per process count."""
+    from repro.consensus.solvability import check_consensus_with_options
+
+    base = options or CheckOptions()
+    interners: dict[int, ViewInterner] = {}
+    records = []
+    for job in jobs:
+        adversary = job.adversary
+        interner = interners.get(adversary.n)
+        if interner is None:
+            interner = interners[adversary.n] = ViewInterner(adversary.n)
+        before = len(interner)
+        start = time.perf_counter()
+        result = check_consensus_with_options(
+            adversary, base.replace(max_depth=job.max_depth), interner=interner
+        )
+        elapsed = time.perf_counter() - start
+        spec = job.spec
+        records.append(
+            RunRecord(
+                index=job.index,
+                adversary=adversary.name,
+                n=adversary.n,
+                alphabet=len(adversary.alphabet()),
+                max_depth=job.max_depth,
+                status=result.status.value,
+                certified_depth=result.certified_depth,
+                certificate=certificate_summary(result),
+                elapsed_s=elapsed if record_timing else 0.0,
+                views_interned=len(interner) - before,
+                shard=shard,
+                tags=job.tags,
+                family=spec.family if spec is not None else None,
+                seed=spec.seed if spec is not None else None,
+                spec=spec.to_dict() if spec is not None else None,
+            )
+        )
+    return records
+
+
+@runtime_checkable
+class SweepBackend(Protocol):
+    """Anything that can execute a list of sweep jobs.
+
+    Implementations return one :class:`~repro.records.RunRecord` per job,
+    sorted by job index.  ``options`` carries the checker configuration
+    shared by all jobs (each job's ``max_depth`` still wins for its own
+    depth bound, preserving per-job deepening limits).
+    """
+
+    def run(
+        self,
+        jobs: Sequence[SweepJob],
+        options: CheckOptions | None = None,
+    ) -> list[RunRecord]:
+        ...
+
+
+class SerialBackend:
+    """Run every job inline in this process (the reference backend)."""
+
+    def __init__(self, record_timing: bool = True) -> None:
+        self.record_timing = record_timing
+
+    def run(
+        self,
+        jobs: Sequence[SweepJob],
+        options: CheckOptions | None = None,
+    ) -> list[RunRecord]:
+        jobs = _validate_jobs(jobs)
+        records = _run_jobs(0, jobs, options, self.record_timing)
+        records.sort(key=lambda record: record.index)
+        return records
+
+
+def _pool_context():
+    """Prefer fork on Linux (cheap, shares the graph intern table).
+
+    Elsewhere use the platform default: fork is unsafe with threads on
+    macOS (CPython itself switched that default to spawn), and spawn
+    requires only that jobs and records pickle, which they do.
+    """
+    if sys.platform == "linux":
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _run_shard(payload) -> list[RunRecord]:
+    """Top-level worker entry point (must be picklable for spawn contexts)."""
+    shard, jobs, options, record_timing = payload
+    return _run_jobs(shard, jobs, options, record_timing)
+
+
+class ProcessBackend:
+    """Fan shards across a local ``multiprocessing`` pool.
+
+    Shard ``k`` runs jobs ``k, k + workers, k + 2*workers, ...`` — strided,
+    deterministic: a sweep's record set is a pure function of
+    ``(jobs, workers)``.  Jobs cross the process boundary by pickling; jobs
+    that carry only a spec ship the spec and build on the worker.
+    """
+
+    def __init__(self, workers: int, record_timing: bool = True) -> None:
+        if workers < 1:
+            raise AnalysisError("ProcessBackend needs workers >= 1")
+        self.workers = workers
+        self.record_timing = record_timing
+
+    def run(
+        self,
+        jobs: Sequence[SweepJob],
+        options: CheckOptions | None = None,
+    ) -> list[RunRecord]:
+        jobs = _validate_jobs(jobs)
+        workers = min(self.workers, len(jobs))
+        if workers <= 1:
+            records = _run_jobs(0, jobs, options, self.record_timing)
+        else:
+            shards = [
+                (k, jobs[k::workers], options, self.record_timing)
+                for k in range(workers)
+            ]
+            with _pool_context().Pool(workers) as pool:
+                shard_records = pool.map(_run_shard, shards)
+            records = [record for shard in shard_records for record in shard]
+        records.sort(key=lambda record: record.index)
+        return records
+
+
+# --------------------------------------------------------------------- #
+# Manifest backend: the file-based interface for distributed runners
+# --------------------------------------------------------------------- #
+
+
+def write_manifest(
+    jobs: Sequence[SweepJob],
+    path: str | Path,
+    shard: int = 0,
+    options: CheckOptions | None = None,
+    record_timing: bool = True,
+) -> Path:
+    """Write one shard's jobs as a self-contained JSON manifest.
+
+    The manifest embeds everything an independent runner needs: the shard
+    id (stamped into the records), the full checker options, and one
+    serializable spec per job.  Jobs holding only live adversaries are
+    converted via :meth:`SweepJob.resolved_spec`, which fails loudly for
+    adversary types without a canonical serialization.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schema": MANIFEST_SCHEMA,
+        "shard": shard,
+        "options": (options or CheckOptions()).to_dict(),
+        "record_timing": record_timing,
+        "jobs": [job.to_dict() for job in _validate_jobs(jobs)],
+    }
+    path.write_text(json.dumps(payload, sort_keys=True, indent=1) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def load_manifest(path: str | Path) -> dict:
+    """Parse and validate a shard manifest; jobs come back as ``SweepJob``."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if data.get("schema") != MANIFEST_SCHEMA:
+        raise AnalysisError(
+            f"{path}: not a sweep manifest (schema {data.get('schema')!r}, "
+            f"expected {MANIFEST_SCHEMA!r})"
+        )
+    return {
+        "shard": data.get("shard", 0),
+        "options": CheckOptions.from_dict(data.get("options", {})),
+        "record_timing": data.get("record_timing", True),
+        "jobs": [SweepJob.from_dict(job) for job in data["jobs"]],
+    }
+
+
+def run_manifest(path: str | Path, out: str | Path | None = None) -> list[RunRecord]:
+    """Execute a shard manifest inline and write its JSONL output.
+
+    This is what ``repro-consensus sweep --manifest shard.json`` calls; the
+    default output path replaces the manifest's suffix with ``.jsonl``.
+    """
+    manifest = load_manifest(path)
+    records = _run_jobs(
+        manifest["shard"],
+        manifest["jobs"],
+        manifest["options"],
+        manifest["record_timing"],
+    )
+    records.sort(key=lambda record: record.index)
+    out = Path(out) if out is not None else Path(path).with_suffix(".jsonl")
+    write_jsonl(records, out)
+    return records
+
+
+class ManifestBackend:
+    """Run shards as independent ``repro-consensus sweep --manifest`` CLIs.
+
+    ``run`` writes ``shard_k.json`` manifests under ``workdir``, launches
+    one subprocess per shard (all concurrently), and merges the per-shard
+    ``shard_k.jsonl`` outputs.  No pickled object ever crosses the process
+    boundary — shard runners rebuild every adversary from its spec — so
+    the same manifest files can be executed by workers on other machines
+    and their JSONL merged identically.
+
+    Parameters
+    ----------
+    workdir:
+        Directory for manifests and shard outputs (created; files are left
+        in place afterwards as the sweep's audit trail).
+    shards:
+        Number of shard manifests (capped by the job count).  Striding
+        matches :class:`ProcessBackend`, so equal-spec runs of both
+        backends produce identical record sets.
+    python:
+        Interpreter for shard subprocesses (default: this interpreter).
+    record_timing:
+        Forwarded into the manifests; ``False`` zeroes per-record timings,
+        making same-seed runs byte-identical across backends.
+    """
+
+    def __init__(
+        self,
+        workdir: str | Path,
+        shards: int = 2,
+        python: str | None = None,
+        record_timing: bool = True,
+    ) -> None:
+        if shards < 1:
+            raise AnalysisError("ManifestBackend needs shards >= 1")
+        self.workdir = Path(workdir)
+        self.shards = shards
+        self.python = python or sys.executable
+        self.record_timing = record_timing
+
+    def _subprocess_env(self) -> dict:
+        # Shard runners import repro via ``-m repro.cli``; make sure the
+        # package that spawned them is importable even from a source tree
+        # that was never pip-installed.
+        import repro
+
+        package_root = str(Path(repro.__file__).resolve().parents[1])
+        env = os.environ.copy()
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            package_root if not existing else package_root + os.pathsep + existing
+        )
+        return env
+
+    def shard_paths(self, shard: int) -> tuple[Path, Path]:
+        """The (manifest, jsonl) file pair of one shard."""
+        return (
+            self.workdir / f"shard_{shard}.json",
+            self.workdir / f"shard_{shard}.jsonl",
+        )
+
+    def run(
+        self,
+        jobs: Sequence[SweepJob],
+        options: CheckOptions | None = None,
+    ) -> list[RunRecord]:
+        jobs = _validate_jobs(jobs)
+        if not jobs:
+            return []
+        shards = min(self.shards, len(jobs))
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        pairs = []
+        for k in range(shards):
+            manifest_path, out_path = self.shard_paths(k)
+            write_manifest(
+                jobs[k::shards],
+                manifest_path,
+                shard=k,
+                options=options,
+                record_timing=self.record_timing,
+            )
+            pairs.append((manifest_path, out_path))
+        env = self._subprocess_env()
+        processes = [
+            subprocess.Popen(
+                [
+                    self.python, "-m", "repro.cli", "sweep",
+                    "--manifest", str(manifest_path), "--out", str(out_path),
+                ],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                env=env,
+                text=True,
+            )
+            for manifest_path, out_path in pairs
+        ]
+        failures = []
+        for (manifest_path, _), process in zip(pairs, processes):
+            _, stderr = process.communicate()
+            if process.returncode != 0:
+                failures.append(
+                    f"shard {manifest_path.name} exited "
+                    f"{process.returncode}:\n{stderr.strip()}"
+                )
+        if failures:
+            raise AnalysisError(
+                "manifest shard run(s) failed:\n" + "\n".join(failures)
+            )
+        records = [
+            record
+            for _, out_path in pairs
+            for record in read_jsonl(out_path)
+        ]
+        records.sort(key=lambda record: record.index)
+        return records

@@ -4,17 +4,22 @@ Subcommands:
 
 * ``check`` — run the solvability checker on a named adversary;
 * ``census`` — classify two-process (or random rooted) oblivious adversaries;
-* ``sweep`` — fan a family of check jobs across worker processes (JSONL out);
+* ``sweep`` — fan a family of check jobs across a sweep backend (JSONL
+  out); ``--manifest shard.json`` executes one serialized shard manifest,
+  which is how :class:`~repro.backends.ManifestBackend` (and any external
+  distributed runner) drives this process;
+* ``report`` — render status/certificate histograms and pivot tables from
+  a sweep JSONL file (old headerless or new versioned format);
 * ``simulate`` — run the universal algorithm against sampled sequences;
 * ``ptg`` — print the Figure 2 process-time graph.
 
 All randomized subcommands take an explicit ``--seed`` and thread a local
 ``random.Random`` through — nothing mutates the global ``random`` state.
 
-Named adversaries (``--adversary``): ``lossy-full``, ``no-hub``,
-``silence``, ``to-and-both``, ``only-to``, ``eventually-to``,
-``eventually-to-full-base``, ``sw-n3-1``, ``sw-n3-2``, ``stars-n3``,
-``stabilizing-w2``.
+Named adversaries (``--adversary``, the ``named`` spec family):
+``lossy-full``, ``no-hub``, ``silence``, ``to-and-both``, ``only-to``,
+``eventually-to``, ``eventually-to-full-base``, ``sw-n3-1``, ``sw-n3-2``,
+``stars-n3``, ``stabilizing-w2``.
 """
 
 from __future__ import annotations
@@ -23,40 +28,13 @@ import argparse
 import random
 import sys
 from collections import Counter
-from typing import Callable
 
-from repro.adversaries import (
-    EventuallyForeverAdversary,
-    ObliviousAdversary,
-    StabilizingAdversary,
-    eventually_one_direction,
-    lossy_link_full,
-    lossy_link_no_hub,
-    lossy_link_with_silence,
-    one_directional_and_both,
-    directed_only,
-    out_star_set,
-    santoro_widmayer_family,
-)
-from repro.core.digraph import Digraph, arrow
+from repro.core.digraph import Digraph
+from repro.specs import NAMED_ADVERSARIES
 
-ADVERSARIES: dict[str, Callable] = {
-    "lossy-full": lossy_link_full,
-    "no-hub": lossy_link_no_hub,
-    "silence": lossy_link_with_silence,
-    "to-and-both": lambda: one_directional_and_both("->"),
-    "only-to": lambda: directed_only("->"),
-    "eventually-to": lambda: eventually_one_direction("->"),
-    "eventually-to-full-base": lambda: EventuallyForeverAdversary(
-        2, [arrow("<-"), arrow("<->"), arrow("->")], [arrow("->")]
-    ),
-    "sw-n3-1": lambda: santoro_widmayer_family(3, 1),
-    "sw-n3-2": lambda: santoro_widmayer_family(3, 2),
-    "stars-n3": lambda: ObliviousAdversary(3, out_star_set(3)),
-    "stabilizing-w2": lambda: StabilizingAdversary(
-        2, [arrow("<-"), arrow("->")], window=2
-    ),
-}
+#: Backwards-compatible alias: the named table now lives in ``repro.specs``
+#: so sweep manifests (the ``named`` family) and the CLI share it.
+ADVERSARIES = NAMED_ADVERSARIES
 
 
 def _resolve(name: str):
@@ -116,32 +94,77 @@ def cmd_census(args: argparse.Namespace) -> int:
     return 0 if agreements == len(rows) else 1
 
 
-def cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.adversaries import (
-        random_rooted_family,
-        santoro_widmayer_family,
-        two_process_oblivious_family,
-    )
-    from repro.sweep import jobs_for, run_sweep
+def _sweep_specs(args: argparse.Namespace) -> list:
+    """The CLI family as serializable specs (manifest-ready jobs)."""
+    from repro.adversaries import two_process_oblivious_family
+    from repro.specs import AdversarySpec, random_rooted_specs
 
-    rng = random.Random(args.seed)
     if args.family == "two-process":
-        adversaries = two_process_oblivious_family()
-    elif args.family == "rooted":
-        adversaries = random_rooted_family(
-            rng, args.n, args.samples, sizes=tuple(args.sizes)
+        return [
+            AdversarySpec("two-process", {"index": index})
+            for index in range(len(two_process_oblivious_family()))
+        ]
+    if args.family == "rooted":
+        return random_rooted_specs(
+            args.seed, args.n, args.samples, sizes=tuple(args.sizes)
         )
-    else:  # sw
-        adversaries = tuple(
-            santoro_widmayer_family(args.n, losses)
-            for losses in range(1, args.losses + 1)
+    # sw
+    return [
+        AdversarySpec("santoro-widmayer", {"n": args.n, "losses": losses})
+        for losses in range(1, args.losses + 1)
+    ]
+
+
+def _sweep_backend(args: argparse.Namespace):
+    """Resolve --backend/--workers into a backend (None = worker default)."""
+    from pathlib import Path
+
+    from repro.backends import ManifestBackend, ProcessBackend, SerialBackend
+
+    if args.backend == "serial":
+        return SerialBackend()
+    if args.backend == "process":
+        return ProcessBackend(max(args.workers, 1))
+    if args.backend == "manifest":
+        workdir = args.manifest_dir
+        if workdir is None:
+            workdir = (
+                Path(args.out).parent / "shards" if args.out else Path("sweep-shards")
+            )
+        return ManifestBackend(workdir, shards=max(args.workers, 1))
+    return None
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sweep import jobs_for, run_manifest, run_sweep
+
+    if args.manifest:
+        # Shard-runner mode: execute one serialized manifest and exit.
+        # This is the subprocess entry point of ManifestBackend — and of
+        # any external runner that distributes shard files.
+        from pathlib import Path
+
+        records = run_manifest(args.manifest, out=args.out)
+        by_status = Counter(record.status for record in records)
+        summary = ", ".join(
+            f"{count} {status}" for status, count in sorted(by_status.items())
         )
+        # Mirror run_manifest's default output path exactly.
+        out = args.out or Path(args.manifest).with_suffix(".jsonl")
+        print(f"manifest {args.manifest}: {len(records)} jobs ({summary}) -> {out}")
+        return 0
+
     jobs = jobs_for(
-        adversaries,
+        _sweep_specs(args),
         max_depth=args.max_depth,
         tags={"family": args.family, "seed": args.seed},
     )
-    records = run_sweep(jobs, workers=args.workers, jsonl_path=args.out)
+    records = run_sweep(
+        jobs,
+        workers=args.workers,
+        jsonl_path=args.out,
+        backend=_sweep_backend(args),
+    )
     header = (
         f"{'#':>3s} {'adversary':32s} {'status':11s} {'certificate':28s} "
         f"{'time':>9s} {'shard':>5s}"
@@ -164,6 +187,13 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     )
     if args.out:
         print(f"records written to {args.out}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis import report_jsonl
+
+    print(report_jsonl(args.records, top=args.top))
     return 0
 
 
@@ -315,7 +345,17 @@ def main(argv: list[str] | None = None) -> int:
     )
     sweep.add_argument("--family", choices=["two-process", "rooted", "sw"],
                        default="two-process")
-    sweep.add_argument("--workers", type=int, default=1)
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="process/manifest shard count (ignored with "
+                            "--backend serial)")
+    sweep.add_argument("--backend", choices=["serial", "process", "manifest"],
+                       help="sweep backend (default: serial for --workers 1, "
+                            "process pool otherwise)")
+    sweep.add_argument("--manifest",
+                       help="run one serialized shard manifest and exit "
+                            "(the ManifestBackend subprocess entry point)")
+    sweep.add_argument("--manifest-dir",
+                       help="shard file directory for --backend manifest")
     sweep.add_argument("--max-depth", type=int, default=6)
     sweep.add_argument("--out", help="write one JSON record per job to this file")
     sweep.add_argument("--seed", type=int, default=0,
@@ -329,6 +369,14 @@ def main(argv: list[str] | None = None) -> int:
     sweep.add_argument("--losses", type=int, default=1,
                        help="max losses for the Santoro-Widmayer family")
     sweep.set_defaults(func=cmd_sweep)
+
+    report = sub.add_parser(
+        "report", help="aggregate a sweep JSONL file into histograms/tables"
+    )
+    report.add_argument("records", help="sweep JSONL file (v1 or v2 schema)")
+    report.add_argument("--top", type=int, default=5,
+                        help="how many slowest jobs to list")
+    report.set_defaults(func=cmd_report)
 
     simulate = sub.add_parser("simulate", help="simulate the certified algorithm")
     simulate.add_argument("--adversary", required=True)

@@ -29,6 +29,7 @@ bound or an adversary outside the library's certified classes).
 
 from __future__ import annotations
 
+from dataclasses import asdict, dataclass, replace
 from enum import Enum
 from typing import Iterable, Sequence
 
@@ -48,12 +49,61 @@ from repro.topology.prefixspace import PrefixSpace
 
 __all__ = [
     "SolvabilityStatus",
+    "CheckOptions",
     "DepthReport",
     "ImpossibilityWitness",
     "BroadcasterCertificate",
     "SolvabilityResult",
     "check_consensus",
+    "check_consensus_with_options",
 ]
+
+
+@dataclass(frozen=True)
+class CheckOptions:
+    """Tuning knobs of the solvability checker, as one value object.
+
+    Absorbs what used to be a flat pile of ``check_consensus`` keyword
+    arguments, so sessions, sweep backends, and manifests can carry,
+    serialize, and compare checker configurations as a whole.
+
+    Attributes
+    ----------
+    max_depth:
+        Iterative-deepening bound for the decision-table search.
+    max_nodes:
+        Prefix-space node budget; exceeding it aborts the deepening.
+    use_impossibility_provers / use_broadcaster_certificate:
+        Allow disabling individual certificates (useful for ablations).
+    memo_extensions:
+        Forwarded to :class:`~repro.topology.prefixspace.PrefixSpace`;
+        ``None`` keeps its default (memoize exactly when the interner is
+        shared).  ``False`` when the interner is provided only for
+        observability, not cross-space reuse.
+    """
+
+    max_depth: int = 10
+    max_nodes: int = 2_000_000
+    use_impossibility_provers: bool = True
+    use_broadcaster_certificate: bool = True
+    memo_extensions: bool | None = None
+
+    def replace(self, **changes) -> "CheckOptions":
+        """A copy with the given fields changed."""
+        return replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        """JSON-able form (sweep manifests embed this)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CheckOptions":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected by name."""
+        known = {field: data[field] for field in cls.__dataclass_fields__ if field in data}
+        unknown = set(data) - set(known)
+        if unknown:
+            raise AnalysisError(f"unknown CheckOptions fields: {sorted(unknown)}")
+        return cls(**known)
 
 
 class SolvabilityStatus(Enum):
@@ -233,18 +283,30 @@ class SolvabilityResult:
         )
 
 
+_UNSET = object()
+
+
 def check_consensus(
     adversary: MessageAdversary,
     spec: ConsensusSpec | None = None,
     input_vectors: Iterable[Sequence] | None = None,
-    max_depth: int = 10,
+    max_depth: int | object = _UNSET,
     interner: ViewInterner | None = None,
-    max_nodes: int = 2_000_000,
-    use_impossibility_provers: bool = True,
-    use_broadcaster_certificate: bool = True,
-    memo_extensions: bool | None = None,
+    max_nodes: int | object = _UNSET,
+    use_impossibility_provers: bool | object = _UNSET,
+    use_broadcaster_certificate: bool | object = _UNSET,
+    memo_extensions: bool | None | object = _UNSET,
+    options: CheckOptions | None = None,
 ) -> SolvabilityResult:
     """Decide consensus solvability under a message adversary.
+
+    This is the keyword-compatibility wrapper over
+    :func:`check_consensus_with_options`: the tuning keywords
+    (``max_depth=10``, ``max_nodes=2_000_000``, the certificate toggles,
+    ``memo_extensions`` — defaults as in :class:`CheckOptions`) are folded
+    into a :class:`CheckOptions`, overriding ``options`` field-by-field
+    when both are given.  New code should pass ``options`` (or use
+    :class:`repro.api.Session`).
 
     Parameters
     ----------
@@ -255,15 +317,8 @@ def check_consensus(
     input_vectors:
         Restrict the input assignments (default: the full assignment space
         of the spec's domain, as in the paper).
-    max_depth:
-        Iterative-deepening bound for the decision-table search.
-    use_impossibility_provers / use_broadcaster_certificate:
-        Allow disabling individual certificates (useful for ablations).
-    memo_extensions:
-        Forwarded to :class:`~repro.topology.prefixspace.PrefixSpace`;
-        ``None`` keeps its default (memoize exactly when ``interner`` is
-        shared).  Pass ``False`` when the interner is provided only for
-        observability, not cross-space reuse.
+    options:
+        A :class:`CheckOptions` bundle; explicit keywords win over it.
 
     Returns
     -------
@@ -273,6 +328,42 @@ def check_consensus(
         :class:`BroadcasterCertificate`, or an
         :class:`ImpossibilityWitness`; UNDECIDED carries the depth history.
     """
+    overrides = {
+        name: value
+        for name, value in (
+            ("max_depth", max_depth),
+            ("max_nodes", max_nodes),
+            ("use_impossibility_provers", use_impossibility_provers),
+            ("use_broadcaster_certificate", use_broadcaster_certificate),
+            ("memo_extensions", memo_extensions),
+        )
+        if value is not _UNSET
+    }
+    effective = options or CheckOptions()
+    if overrides:
+        effective = effective.replace(**overrides)
+    return check_consensus_with_options(
+        adversary,
+        effective,
+        spec=spec,
+        input_vectors=input_vectors,
+        interner=interner,
+    )
+
+
+def check_consensus_with_options(
+    adversary: MessageAdversary,
+    options: CheckOptions,
+    spec: ConsensusSpec | None = None,
+    input_vectors: Iterable[Sequence] | None = None,
+    interner: ViewInterner | None = None,
+) -> SolvabilityResult:
+    """The options-driven checker core behind :func:`check_consensus`."""
+    max_depth = options.max_depth
+    max_nodes = options.max_nodes
+    use_impossibility_provers = options.use_impossibility_provers
+    use_broadcaster_certificate = options.use_broadcaster_certificate
+    memo_extensions = options.memo_extensions
     spec = spec or ConsensusSpec()
     if input_vectors is None:
         input_vectors = all_assignments(adversary.n, spec.domain)

@@ -278,6 +278,29 @@ class Digraph:
     # ------------------------------------------------------------------ #
 
     @property
+    def key(self) -> int:
+        """The packed non-self edge bitmask (bit ``u * n + v`` = edge u→v).
+
+        Together with ``n`` this is the graph's canonical identity:
+        ``Digraph.from_key(g.n, g.key) is g`` for interned sizes.  The key
+        is a plain non-negative integer, which makes it the JSON-portable
+        graph encoding used by adversary specs and sweep manifests.
+        """
+        return self._key
+
+    @classmethod
+    def from_key(cls, n: int, key: int) -> "Digraph":
+        """The graph for a packed edge key (the inverse of :attr:`key`)."""
+        if key < 0 or key >> (n * n):
+            raise InvalidGraphError(f"edge key {key} out of range for n={n}")
+        for u in range(n):
+            if key >> (u * n + u) & 1:
+                raise InvalidGraphError(
+                    f"edge key {key} has a self-loop bit set (node {u})"
+                )
+        return cls._from_key(n, key)
+
+    @property
     def edges(self) -> frozenset[tuple[int, int]]:
         """The non-self edges as a frozenset of ``(u, v)`` pairs."""
         cached = self._edges

@@ -1,0 +1,226 @@
+"""The unified experiment record schema and its versioned JSONL format.
+
+Every classification the library performs — a sweep job, a census row, a
+benchmark run — produces one :class:`RunRecord`: a compact, JSON-able
+summary of a single :func:`~repro.consensus.solvability.check_consensus`
+call.  Earlier revisions carried two divergent shapes (``SweepRecord`` for
+the sweep engine, ``CensusRow`` for the census); this module is the single
+schema both now share, so any JSONL stream — local sweep, manifest shard,
+census artifact — feeds the same :mod:`repro.analysis` report layer.
+
+JSONL format
+------------
+Version 2 files start with a header line ``{"schema": "repro.run-record/2"}``
+followed by one record object per line.  :func:`read_jsonl` also accepts the
+headerless version-1 files written before the header existed (PR-2-era
+sweeps), defaulting the fields that did not exist then, so archived
+artifacts keep loading.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = [
+    "SCHEMA",
+    "RunRecord",
+    "certificate_summary",
+    "write_jsonl",
+    "read_jsonl",
+]
+
+#: Schema tag written on the header line of version-2 JSONL files.
+SCHEMA = "repro.run-record/2"
+
+
+def certificate_summary(result) -> str:
+    """Short description of a solvability result's certificate.
+
+    SOLVABLE results name their decision table or broadcaster, IMPOSSIBLE
+    results their witness kind.  UNDECIDED results report the deepest depth
+    the iterative deepening actually explored (``undecided@6``) — or
+    ``undecided@-`` when not even depth 0 was analyzable (e.g. the node
+    budget was exhausted building the first layer) — so sweep records show
+    how far the search got rather than a bare ``"-"``.
+    """
+    if result.decision_table is not None:
+        return f"decision-table@{result.certified_depth}"
+    if result.broadcaster is not None:
+        return f"broadcaster p{result.broadcaster.process}"
+    if result.impossibility is not None:
+        return result.impossibility.kind
+    if result.history:
+        return f"undecided@{result.history[-1].depth}"
+    return "undecided@-"
+
+
+class RunRecord:
+    """Compact, JSON-able outcome of one solvability check.
+
+    The first twelve fields are the version-1 ``SweepRecord`` layout; the
+    remaining ones were added by the schema unification:
+
+    ``family`` / ``seed``
+        The adversary-spec family and sampling seed (None for records of
+        live adversaries without a spec).
+    ``oracle`` / ``cgp``
+        Cross-validation verdicts attached by the census (None elsewhere).
+    ``spec``
+        The full serialized :class:`~repro.specs.AdversarySpec` dict, when
+        the job carried one — enough to rebuild and re-run the adversary
+        from the record alone.
+    """
+
+    __slots__ = (
+        "index",
+        "adversary",
+        "n",
+        "alphabet",
+        "max_depth",
+        "status",
+        "certified_depth",
+        "certificate",
+        "elapsed_s",
+        "views_interned",
+        "shard",
+        "tags",
+        "family",
+        "seed",
+        "oracle",
+        "cgp",
+        "spec",
+    )
+
+    #: Fields present in version-1 (headerless) files; everything after
+    #: them defaults to None when reading old artifacts.
+    _V1_FIELDS = (
+        "index",
+        "adversary",
+        "n",
+        "alphabet",
+        "max_depth",
+        "status",
+        "certified_depth",
+        "certificate",
+        "elapsed_s",
+        "views_interned",
+        "shard",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        adversary: str,
+        n: int,
+        alphabet: int,
+        max_depth: int,
+        status: str,
+        certified_depth: int | None,
+        certificate: str,
+        elapsed_s: float,
+        views_interned: int,
+        shard: int,
+        tags: dict | None = None,
+        family: str | None = None,
+        seed: int | None = None,
+        oracle: bool | None = None,
+        cgp: bool | None = None,
+        spec: dict | None = None,
+    ) -> None:
+        self.index = index
+        self.adversary = adversary
+        self.n = n
+        self.alphabet = alphabet
+        self.max_depth = max_depth
+        self.status = status
+        self.certified_depth = certified_depth
+        self.certificate = certificate
+        self.elapsed_s = elapsed_s
+        self.views_interned = views_interned
+        self.shard = shard
+        self.tags = tags or {}
+        self.family = family
+        self.seed = seed
+        self.oracle = oracle
+        self.cgp = cgp
+        self.spec = spec
+
+    @property
+    def solvable(self) -> bool | None:
+        """Checker verdict (None when undecided)."""
+        if self.status == "undecided":
+            return None
+        return self.status == "solvable"
+
+    @property
+    def family_label(self) -> str:
+        """Best-effort family name: the spec family, a family tag, or '-'."""
+        if self.family:
+            return self.family
+        tag = self.tags.get("family")
+        return tag if isinstance(tag, str) and tag else "-"
+
+    def to_dict(self) -> dict:
+        return {key: getattr(self, key) for key in self.__slots__}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunRecord":
+        # Version-1 fields stay required — a KeyError points at the bad
+        # line rather than yielding half-None records that misread
+        # downstream.  Everything newer defaults.
+        kwargs = {key: data[key] for key in cls._V1_FIELDS}
+        for key in cls.__slots__:
+            if key not in cls._V1_FIELDS:
+                kwargs[key] = data.get(key)
+        return cls(**kwargs)
+
+    def __repr__(self) -> str:
+        return (
+            f"RunRecord(#{self.index}, {self.adversary}, "
+            f"{self.status.upper()}, certificate={self.certificate!r})"
+        )
+
+
+def write_jsonl(records: Iterable[RunRecord], path: str | Path) -> None:
+    """Write a version-2 JSONL file: header line, then one record per line.
+
+    Parent directories are created.  Keys are sorted and floats are emitted
+    by ``json.dumps`` defaults, so two runs producing equal record dicts
+    produce byte-identical files.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(json.dumps({"schema": SCHEMA}, sort_keys=True) + "\n")
+        for record in records:
+            handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+
+
+def read_jsonl(path: str | Path) -> Iterator[RunRecord]:
+    """Yield the records of a sweep JSONL file, any schema version.
+
+    Accepts both version-2 files (leading ``{"schema": ...}`` header) and
+    the headerless version-1 files of earlier revisions; unknown newer
+    schema tags raise rather than misparse.
+    """
+    with Path(path).open("r", encoding="utf-8") as handle:
+        first = True
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            if first:
+                first = False
+                schema = data.get("schema")
+                if schema is not None:
+                    if schema != SCHEMA:
+                        raise ValueError(
+                            f"unsupported record schema {schema!r} "
+                            f"(this reader understands {SCHEMA!r} and "
+                            "headerless v1 files)"
+                        )
+                    continue
+            yield RunRecord.from_dict(data)

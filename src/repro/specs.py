@@ -1,0 +1,412 @@
+"""Serializable adversary specifications: the family registry.
+
+A sweep that fans across processes — or machines — must ship *descriptions*
+of adversaries, not pickled live objects.  An :class:`AdversarySpec` is that
+description: a registered family name, a dict of JSON-able parameters, and
+an optional sampling seed.  ``spec.build()`` reconstructs the adversary
+anywhere the library is importable; ``to_dict``/``from_dict`` round-trip
+through JSON, which is what sweep manifests and
+:class:`~repro.backends.ManifestBackend` shards are made of.
+
+Communication graphs are encoded by their packed integer edge keys
+(:attr:`repro.core.digraph.Digraph.key`), the graphs' canonical identity.
+
+Registered families (see :func:`families`):
+
+``oblivious``
+    Explicit graph set ``D`` (Section 6.2): ``{"n", "graphs", "name"?}``.
+``two-process``
+    Member ``index`` of the canonical 15-element two-process enumeration.
+``santoro-widmayer``
+    Bounded message loss [21]: ``{"n", "losses"}``.
+``heard-of``
+    HO communication predicates [7]: ``{"n", "predicate", "k"?}`` with
+    predicate in ``kernel`` / ``no-split`` / ``rooted`` / ``min-degree``.
+``named``
+    The named literature adversaries of the CLI: ``{"name"}``.
+``eventually-forever``
+    Non-compact ``B^* E^ω`` stabilization (Section 6.3):
+    ``{"n", "base", "eventual", "name"?}``.
+``stabilizing``
+    VSSC-style window stabilization [23]:
+    ``{"n", "graphs", "window", "require_rooted"?, "name"?}``.
+``random-rooted`` / ``random-oblivious``
+    Seeded sampling families: the spec's ``seed`` feeds a private
+    ``random.Random(seed)``, so the sampled adversary is a pure function
+    of the spec — rebuilding on another worker yields the same graphs.
+
+New families are added with :func:`register_family`.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from typing import Callable, Iterable, Mapping
+
+from repro.adversaries.generators import (
+    random_oblivious_adversary,
+    santoro_widmayer_family,
+    two_process_oblivious_family,
+)
+from repro.adversaries.heardof import (
+    min_degree_adversary,
+    no_split_adversary,
+    nonempty_kernel_adversary,
+    rooted_adversary,
+)
+from repro.adversaries.lossylink import (
+    directed_only,
+    eventually_one_direction,
+    lossy_link_full,
+    lossy_link_no_hub,
+    lossy_link_with_silence,
+    one_directional_and_both,
+)
+from repro.adversaries.oblivious import ObliviousAdversary
+from repro.adversaries.stabilizing import (
+    EventuallyForeverAdversary,
+    StabilizingAdversary,
+)
+from repro.adversaries.base import MessageAdversary
+from repro.adversaries.generators import out_star_set
+from repro.core.digraph import Digraph, arrow
+from repro.errors import AdversaryError
+
+__all__ = [
+    "AdversarySpec",
+    "register_family",
+    "families",
+    "build_adversary",
+    "NAMED_ADVERSARIES",
+    "random_rooted_specs",
+]
+
+#: Named literature adversaries (previously a private table of the CLI).
+NAMED_ADVERSARIES: dict[str, Callable[[], MessageAdversary]] = {
+    "lossy-full": lossy_link_full,
+    "no-hub": lossy_link_no_hub,
+    "silence": lossy_link_with_silence,
+    "to-and-both": lambda: one_directional_and_both("->"),
+    "only-to": lambda: directed_only("->"),
+    "eventually-to": lambda: eventually_one_direction("->"),
+    "eventually-to-full-base": lambda: EventuallyForeverAdversary(
+        2, [arrow("<-"), arrow("<->"), arrow("->")], [arrow("->")]
+    ),
+    "sw-n3-1": lambda: santoro_widmayer_family(3, 1),
+    "sw-n3-2": lambda: santoro_widmayer_family(3, 2),
+    "stars-n3": lambda: ObliviousAdversary(3, out_star_set(3)),
+    "stabilizing-w2": lambda: StabilizingAdversary(
+        2, [arrow("<-"), arrow("->")], window=2
+    ),
+}
+
+
+class _Family:
+    """One registered adversary family."""
+
+    __slots__ = ("name", "builder", "requires_seed")
+
+    def __init__(self, name: str, builder, requires_seed: bool) -> None:
+        self.name = name
+        self.builder = builder
+        self.requires_seed = requires_seed
+
+
+_REGISTRY: dict[str, _Family] = {}
+
+
+def register_family(
+    name: str,
+    builder: Callable[..., MessageAdversary],
+    requires_seed: bool = False,
+) -> None:
+    """Register an adversary family under ``name``.
+
+    ``builder(params, rng)`` receives the spec's params dict and — for
+    seeded families — a ``random.Random`` initialized from the spec's seed
+    (``None`` otherwise).  Builders must be pure: the same params and seed
+    must produce the same adversary on every worker.
+    """
+    if name in _REGISTRY:
+        raise AdversaryError(f"adversary family {name!r} already registered")
+    _REGISTRY[name] = _Family(name, builder, requires_seed)
+
+
+def families() -> tuple[str, ...]:
+    """The registered family names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def _graphs_from_keys(n: int, keys: Iterable[int]) -> list[Digraph]:
+    return [Digraph.from_key(n, key) for key in keys]
+
+
+def _keys_of(graphs: Iterable[Digraph]) -> list[int]:
+    return sorted(g.key for g in graphs)
+
+
+class AdversarySpec:
+    """A serializable description of one message adversary.
+
+    Parameters
+    ----------
+    family:
+        A name registered via :func:`register_family`.
+    params:
+        JSON-able parameters of the family (validated eagerly: anything
+        ``json.dumps`` rejects is rejected here).
+    seed:
+        Sampling seed for randomized families; those families require it,
+        deterministic families ignore it.
+
+    Examples
+    --------
+    >>> spec = AdversarySpec("santoro-widmayer", {"n": 3, "losses": 1})
+    >>> spec.build().name
+    'SantoroWidmayer(n=3, losses=1)'
+    >>> AdversarySpec.from_dict(spec.to_dict()) == spec
+    True
+    """
+
+    __slots__ = ("family", "params", "seed", "_canonical")
+
+    def __init__(
+        self,
+        family: str,
+        params: Mapping | None = None,
+        seed: int | None = None,
+    ) -> None:
+        if family not in _REGISTRY:
+            raise AdversaryError(
+                f"unknown adversary family {family!r}; registered: "
+                f"{', '.join(families())}"
+            )
+        if seed is not None and not isinstance(seed, int):
+            raise AdversaryError("spec seed must be an int (or None)")
+        if _REGISTRY[family].requires_seed and seed is None:
+            raise AdversaryError(f"family {family!r} requires a seed")
+        self.family = family
+        self.params = dict(params or {})
+        self.seed = seed
+        try:
+            self._canonical = json.dumps(
+                {"family": family, "params": self.params, "seed": seed},
+                sort_keys=True,
+            )
+        except (TypeError, ValueError) as exc:
+            raise AdversaryError(
+                f"spec params for {family!r} are not JSON-serializable: {exc}"
+            ) from None
+
+    def build(self) -> MessageAdversary:
+        """Reconstruct the adversary this spec describes."""
+        entry = _REGISTRY[self.family]
+        rng = random.Random(self.seed) if entry.requires_seed else None
+        return entry.builder(self.params, rng)
+
+    def to_dict(self) -> dict:
+        return {"family": self.family, "params": dict(self.params), "seed": self.seed}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "AdversarySpec":
+        return cls(data["family"], data.get("params"), data.get("seed"))
+
+    @classmethod
+    def from_adversary(cls, adversary: MessageAdversary) -> "AdversarySpec":
+        """Derive a spec from a live adversary, where a faithful one exists.
+
+        Oblivious, eventually-forever, and stabilizing adversaries are
+        fully described by their graph sets (plus window), so they
+        round-trip exactly — including the name.  Other adversary types
+        (explicit safety/Büchi tables, combinators) have no canonical
+        JSON form and raise; build them from a registered family instead.
+        """
+        if type(adversary) is ObliviousAdversary:
+            return cls(
+                "oblivious",
+                {
+                    "n": adversary.n,
+                    "graphs": _keys_of(adversary.graphs),
+                    "name": adversary.name,
+                },
+            )
+        if type(adversary) is EventuallyForeverAdversary:
+            return cls(
+                "eventually-forever",
+                {
+                    "n": adversary.n,
+                    "base": _keys_of(adversary.base),
+                    "eventual": _keys_of(adversary.eventual),
+                    "name": adversary.name,
+                },
+            )
+        if type(adversary) is StabilizingAdversary:
+            return cls(
+                "stabilizing",
+                {
+                    "n": adversary.n,
+                    "graphs": _keys_of(adversary.graphs),
+                    "window": adversary.window,
+                    "require_rooted": all(g.is_rooted for g in adversary.graphs),
+                    "name": adversary.name,
+                },
+            )
+        raise AdversaryError(
+            f"cannot derive a serializable spec from {type(adversary).__name__}"
+            f" {adversary.name!r}; construct it from a registered family"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AdversarySpec):
+            return NotImplemented
+        return self._canonical == other._canonical
+
+    def __hash__(self) -> int:
+        return hash(self._canonical)
+
+    def __repr__(self) -> str:
+        seed = f", seed={self.seed}" if self.seed is not None else ""
+        return f"AdversarySpec({self.family!r}, {self.params!r}{seed})"
+
+
+def build_adversary(data: Mapping | AdversarySpec) -> MessageAdversary:
+    """Build an adversary from a spec or its dict form (manifest helper)."""
+    spec = data if isinstance(data, AdversarySpec) else AdversarySpec.from_dict(data)
+    return spec.build()
+
+
+# --------------------------------------------------------------------- #
+# Built-in families
+# --------------------------------------------------------------------- #
+
+
+def _build_oblivious(params: Mapping, rng) -> MessageAdversary:
+    n = params["n"]
+    return ObliviousAdversary(
+        n, _graphs_from_keys(n, params["graphs"]), name=params.get("name")
+    )
+
+
+def _build_two_process(params: Mapping, rng) -> MessageAdversary:
+    family = two_process_oblivious_family()
+    index = params["index"]
+    if not 0 <= index < len(family):
+        raise AdversaryError(
+            f"two-process index {index} out of range 0..{len(family) - 1}"
+        )
+    return family[index]
+
+
+def _build_santoro_widmayer(params: Mapping, rng) -> MessageAdversary:
+    return santoro_widmayer_family(params["n"], params["losses"])
+
+
+_HEARD_OF = {
+    "kernel": nonempty_kernel_adversary,
+    "no-split": no_split_adversary,
+    "rooted": rooted_adversary,
+}
+
+
+def _build_heard_of(params: Mapping, rng) -> MessageAdversary:
+    predicate = params["predicate"]
+    if predicate == "min-degree":
+        return min_degree_adversary(params["n"], params["k"])
+    try:
+        return _HEARD_OF[predicate](params["n"])
+    except KeyError:
+        raise AdversaryError(
+            f"unknown heard-of predicate {predicate!r}; choose from "
+            f"{sorted(_HEARD_OF)} or 'min-degree'"
+        ) from None
+
+
+def _build_named(params: Mapping, rng) -> MessageAdversary:
+    name = params["name"]
+    try:
+        return NAMED_ADVERSARIES[name]()
+    except KeyError:
+        raise AdversaryError(
+            f"unknown named adversary {name!r}; choose from "
+            f"{sorted(NAMED_ADVERSARIES)}"
+        ) from None
+
+
+def _build_eventually_forever(params: Mapping, rng) -> MessageAdversary:
+    n = params["n"]
+    return EventuallyForeverAdversary(
+        n,
+        _graphs_from_keys(n, params["base"]),
+        _graphs_from_keys(n, params["eventual"]),
+        name=params.get("name"),
+    )
+
+
+def _build_stabilizing(params: Mapping, rng) -> MessageAdversary:
+    n = params["n"]
+    return StabilizingAdversary(
+        n,
+        _graphs_from_keys(n, params["graphs"]),
+        window=params["window"],
+        require_rooted=params.get("require_rooted", True),
+        name=params.get("name"),
+    )
+
+
+def _build_random_rooted(params: Mapping, rng: random.Random) -> MessageAdversary:
+    return random_oblivious_adversary(
+        rng,
+        params["n"],
+        size=params["size"],
+        rooted_only=True,
+        p=params.get("p", 0.4),
+    )
+
+
+def _build_random_oblivious(params: Mapping, rng: random.Random) -> MessageAdversary:
+    return random_oblivious_adversary(
+        rng,
+        params["n"],
+        size=params["size"],
+        rooted_only=params.get("rooted_only", False),
+        p=params.get("p", 0.4),
+    )
+
+
+register_family("oblivious", _build_oblivious)
+register_family("two-process", _build_two_process)
+register_family("santoro-widmayer", _build_santoro_widmayer)
+register_family("heard-of", _build_heard_of)
+register_family("named", _build_named)
+register_family("eventually-forever", _build_eventually_forever)
+register_family("stabilizing", _build_stabilizing)
+register_family("random-rooted", _build_random_rooted, requires_seed=True)
+register_family("random-oblivious", _build_random_oblivious, requires_seed=True)
+
+
+def random_rooted_specs(
+    seed: int,
+    n: int,
+    samples: int,
+    sizes: tuple[int, ...] = (1, 2, 3),
+    p: float = 0.4,
+) -> list[AdversarySpec]:
+    """``samples`` seeded random-rooted specs, derived from one master seed.
+
+    A master ``random.Random(seed)`` draws each sample's alphabet size and
+    an independent 63-bit sub-seed; each spec then owns its sub-seed, so a
+    single sample can be rebuilt on any worker without replaying the
+    stream.  The whole list is a pure function of ``(seed, n, samples,
+    sizes, p)`` — the property the backend-equivalence tests pin down.
+    """
+    master = random.Random(seed)
+    sizes = tuple(sizes)
+    return [
+        AdversarySpec(
+            "random-rooted",
+            {"n": n, "size": master.choice(sizes), "p": p},
+            seed=master.getrandbits(63),
+        )
+        for _ in range(samples)
+    ]

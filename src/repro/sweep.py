@@ -1,280 +1,102 @@
-"""Sharded sweep engine: fan (adversary, depth) check jobs across processes.
+"""Sweep convenience layer over the pluggable backends (compat surface).
 
 The census instruments of Section 6.2 — and the oblivious-adversary studies
 they follow (Winkler et al., arXiv:2202.12397) — classify *families* of
 adversaries, not single instances.  Each classification is an independent
 :func:`~repro.consensus.solvability.check_consensus` call, so a family sweep
-is embarrassingly parallel.  This module is the engine under
-:func:`~repro.consensus.census.two_process_census`,
-:func:`~repro.consensus.census.random_rooted_census`, the
-``repro-consensus sweep`` CLI subcommand, and the census benchmarks.
+is embarrassingly parallel.  Since the API redesign the machinery lives in
+three focused modules, all re-exported here:
 
-Design:
+* :mod:`repro.backends` — the :class:`~repro.backends.SweepBackend`
+  protocol with serial / process-pool / manifest-subprocess
+  implementations, and :class:`~repro.backends.SweepJob`;
+* :mod:`repro.records` — the unified :class:`~repro.records.RunRecord`
+  schema and its versioned JSONL format;
+* :mod:`repro.specs` — serializable :class:`~repro.specs.AdversarySpec`
+  job descriptions.
 
-* **Deterministic chunking.**  Job ``i`` of a ``w``-worker sweep always runs
-  on shard ``i % w`` (strided assignment balances families whose hard
-  instances cluster).  Records carry their shard id, and the returned list
-  is sorted by job index, so a sweep's output is a pure function of
-  ``(jobs, workers)``.
-* **Per-shard interners.**  Views depend only on inputs and
-  in-neighborhoods, never on the adversary, so each shard shares one
-  :class:`~repro.core.views.ViewInterner` per process count across all its
-  jobs.  Together with the interner's memoized ``(level, graph)`` extension
-  cache this makes same-``n`` families reuse each other's view tables.
-* **Compact records.**  Workers return :class:`SweepRecord` summaries
-  (status, certificate, depth, timing, table stats), not full
-  :class:`~repro.consensus.solvability.SolvabilityResult` objects — records
-  cross process boundaries cheaply and serialize to JSONL, one line per
-  job, via :func:`write_jsonl` (written once, after the sweep completes).
-
-``workers <= 1`` runs inline (no subprocess), which is also the fully
-deterministic reference path the tests pin the parallel path against.
+:func:`run_sweep` is the stable entry point: pick a backend explicitly, or
+let ``workers`` choose between the serial reference path and the strided
+process pool exactly as before the redesign.  ``SweepRecord`` remains as a
+deprecation alias of :class:`~repro.records.RunRecord`, and
+:func:`read_jsonl` still loads the headerless JSONL files written by
+earlier revisions.
 """
 
 from __future__ import annotations
 
-import json
-import multiprocessing
-import sys
-import time
 from pathlib import Path
-from typing import Iterable, Iterator, Sequence
+from typing import Sequence
 
-from repro.adversaries.base import MessageAdversary
-from repro.core.views import ViewInterner
-from repro.errors import AnalysisError
+from repro.backends import (
+    ManifestBackend,
+    ProcessBackend,
+    SerialBackend,
+    SweepBackend,
+    SweepJob,
+    jobs_for,
+    load_manifest,
+    run_manifest,
+    write_manifest,
+)
+from repro.consensus.solvability import CheckOptions
+from repro.records import (
+    RunRecord,
+    certificate_summary,
+    read_jsonl,
+    write_jsonl,
+)
 
 __all__ = [
     "SweepJob",
     "SweepRecord",
+    "RunRecord",
+    "SweepBackend",
+    "SerialBackend",
+    "ProcessBackend",
+    "ManifestBackend",
     "run_sweep",
     "jobs_for",
     "certificate_summary",
     "write_jsonl",
     "read_jsonl",
+    "write_manifest",
+    "load_manifest",
+    "run_manifest",
 ]
 
-
-def certificate_summary(result) -> str:
-    """Short description of a solvability result's certificate."""
-    if result.decision_table is not None:
-        return f"decision-table@{result.certified_depth}"
-    if result.broadcaster is not None:
-        return f"broadcaster p{result.broadcaster.process}"
-    if result.impossibility is not None:
-        return result.impossibility.kind
-    return "-"
-
-
-class SweepJob:
-    """One unit of sweep work: classify ``adversary`` up to ``max_depth``."""
-
-    __slots__ = ("index", "adversary", "max_depth", "tags")
-
-    def __init__(
-        self,
-        index: int,
-        adversary: MessageAdversary,
-        max_depth: int = 6,
-        tags: dict | None = None,
-    ) -> None:
-        self.index = index
-        self.adversary = adversary
-        self.max_depth = max_depth
-        #: JSON-able metadata carried through to the record (e.g. family
-        #: name, sample seed).
-        self.tags = tags or {}
-
-    def __repr__(self) -> str:
-        return (
-            f"SweepJob(#{self.index}, {self.adversary.name}, "
-            f"max_depth={self.max_depth})"
-        )
-
-
-class SweepRecord:
-    """Compact, JSON-able outcome of one sweep job."""
-
-    __slots__ = (
-        "index",
-        "adversary",
-        "n",
-        "alphabet",
-        "max_depth",
-        "status",
-        "certified_depth",
-        "certificate",
-        "elapsed_s",
-        "views_interned",
-        "shard",
-        "tags",
-    )
-
-    def __init__(
-        self,
-        index: int,
-        adversary: str,
-        n: int,
-        alphabet: int,
-        max_depth: int,
-        status: str,
-        certified_depth: int | None,
-        certificate: str,
-        elapsed_s: float,
-        views_interned: int,
-        shard: int,
-        tags: dict | None = None,
-    ) -> None:
-        self.index = index
-        self.adversary = adversary
-        self.n = n
-        self.alphabet = alphabet
-        self.max_depth = max_depth
-        self.status = status
-        self.certified_depth = certified_depth
-        self.certificate = certificate
-        self.elapsed_s = elapsed_s
-        self.views_interned = views_interned
-        self.shard = shard
-        self.tags = tags or {}
-
-    @property
-    def solvable(self) -> bool | None:
-        """Checker verdict (None when undecided)."""
-        if self.status == "undecided":
-            return None
-        return self.status == "solvable"
-
-    def to_dict(self) -> dict:
-        return {key: getattr(self, key) for key in self.__slots__}
-
-    @classmethod
-    def from_dict(cls, data: dict) -> "SweepRecord":
-        # Required fields raise KeyError at the bad line rather than
-        # yielding half-None records that misread downstream.
-        return cls(
-            **{key: data[key] for key in cls.__slots__ if key != "tags"},
-            tags=data.get("tags"),
-        )
-
-    def __repr__(self) -> str:
-        return (
-            f"SweepRecord(#{self.index}, {self.adversary}, "
-            f"{self.status.upper()}, certificate={self.certificate!r})"
-        )
-
-
-def jobs_for(
-    adversaries: Iterable[MessageAdversary],
-    max_depth: int = 6,
-    tags: dict | None = None,
-) -> list[SweepJob]:
-    """Wrap a family of adversaries as indexed sweep jobs."""
-    return [
-        SweepJob(index, adversary, max_depth, dict(tags) if tags else None)
-        for index, adversary in enumerate(adversaries)
-    ]
-
-
-def _run_jobs(shard: int, jobs: Sequence[SweepJob]) -> list[SweepRecord]:
-    """Run one shard's jobs inline, sharing interners per process count."""
-    from repro.consensus.solvability import check_consensus
-
-    interners: dict[int, ViewInterner] = {}
-    records = []
-    for job in jobs:
-        adversary = job.adversary
-        interner = interners.get(adversary.n)
-        if interner is None:
-            interner = interners[adversary.n] = ViewInterner(adversary.n)
-        before = len(interner)
-        start = time.perf_counter()
-        result = check_consensus(
-            adversary, max_depth=job.max_depth, interner=interner
-        )
-        elapsed = time.perf_counter() - start
-        records.append(
-            SweepRecord(
-                index=job.index,
-                adversary=adversary.name,
-                n=adversary.n,
-                alphabet=len(adversary.alphabet()),
-                max_depth=job.max_depth,
-                status=result.status.value,
-                certified_depth=result.certified_depth,
-                certificate=certificate_summary(result),
-                elapsed_s=elapsed,
-                views_interned=len(interner) - before,
-                shard=shard,
-                tags=job.tags,
-            )
-        )
-    return records
-
-
-def _run_shard(payload: tuple[int, list[SweepJob]]) -> list[SweepRecord]:
-    """Top-level worker entry point (must be picklable for spawn contexts)."""
-    shard, jobs = payload
-    return _run_jobs(shard, jobs)
-
-
-def _pool_context():
-    """Prefer fork on Linux (cheap, shares the graph intern table).
-
-    Elsewhere use the platform default: fork is unsafe with threads on
-    macOS (CPython itself switched that default to spawn), and spawn
-    requires only that jobs and records pickle, which they do.
-    """
-    if sys.platform == "linux":
-        return multiprocessing.get_context("fork")
-    return multiprocessing.get_context()
+#: Deprecation alias: the sweep engine's record type is now the unified
+#: :class:`~repro.records.RunRecord` schema shared with the census.
+SweepRecord = RunRecord
 
 
 def run_sweep(
     jobs: Sequence[SweepJob],
     workers: int = 1,
     jsonl_path: str | Path | None = None,
-) -> list[SweepRecord]:
-    """Classify every job, fanning shards across ``workers`` processes.
+    backend: SweepBackend | None = None,
+    options: CheckOptions | None = None,
+) -> list[RunRecord]:
+    """Classify every job on a sweep backend.
 
-    Shard ``k`` runs jobs ``k, k + workers, k + 2*workers, ...`` (strided,
-    deterministic); ``workers <= 1`` runs everything inline in this process.
-    The returned records are sorted by job index regardless of completion
-    order, and — when ``jsonl_path`` is given — are then written to disk in
-    that order, one JSON object per line (:func:`read_jsonl` round-trips
-    the file; the write happens after all shards complete, so an
+    With an explicit ``backend`` the ``workers`` count is ignored;
+    otherwise ``workers <= 1`` runs the inline
+    :class:`~repro.backends.SerialBackend` (the fully deterministic
+    reference path) and ``workers > 1`` the strided
+    :class:`~repro.backends.ProcessBackend`.  The returned records are
+    sorted by job index regardless of completion order, and — when
+    ``jsonl_path`` is given — are then written to disk in that order via
+    :func:`~repro.records.write_jsonl` (one JSON object per line after the
+    schema header; the write happens after the backend completes, so an
     interrupted sweep leaves no partial file).
     """
     jobs = list(jobs)
-    if len({job.index for job in jobs}) != len(jobs):
-        raise AnalysisError("sweep jobs must carry distinct indices")
-    if workers <= 1 or len(jobs) <= 1:
-        records = _run_jobs(0, jobs)
-    else:
-        workers = min(workers, len(jobs))
-        shards = [(k, jobs[k::workers]) for k in range(workers)]
-        with _pool_context().Pool(workers) as pool:
-            shard_records = pool.map(_run_shard, shards)
-        records = [record for shard in shard_records for record in shard]
-    records.sort(key=lambda record: record.index)
+    if backend is None:
+        if workers <= 1 or len(jobs) <= 1:
+            backend = SerialBackend()
+        else:
+            backend = ProcessBackend(min(workers, len(jobs)))
+    records = backend.run(jobs, options)
     if jsonl_path is not None:
         write_jsonl(records, jsonl_path)
     return records
-
-
-def write_jsonl(records: Iterable[SweepRecord], path: str | Path) -> None:
-    """Write records as one JSON object per line (parents created)."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w", encoding="utf-8") as handle:
-        for record in records:
-            handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
-
-
-def read_jsonl(path: str | Path) -> Iterator[SweepRecord]:
-    """Yield the records of a sweep JSONL file."""
-    with Path(path).open("r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                yield SweepRecord.from_dict(json.loads(line))

@@ -1,0 +1,128 @@
+"""Tests for the report layer over record streams (fresh and archived)."""
+
+import json
+
+from repro.analysis import certificate_kind, render_report, report_jsonl, summarize
+from repro.records import RunRecord
+from repro.specs import AdversarySpec
+from repro.sweep import jobs_for, run_sweep
+
+
+def _record(index, status="solvable", certificate="decision-table@1", **kw):
+    defaults = dict(
+        index=index, adversary=f"A{index}", n=2, alphabet=2, max_depth=4,
+        status=status, certified_depth=1, certificate=certificate,
+        elapsed_s=0.001 * (index + 1), views_interned=3, shard=0,
+    )
+    defaults.update(kw)
+    return RunRecord(**defaults)
+
+
+class TestCertificateKind:
+    def test_strips_instance_detail(self):
+        assert certificate_kind("decision-table@3") == "decision-table"
+        assert certificate_kind("broadcaster p1") == "broadcaster"
+        assert certificate_kind("undecided@6") == "undecided"
+        assert certificate_kind("nonbroadcastable-lasso") == "nonbroadcastable-lasso"
+        assert certificate_kind("-") == "-"
+        assert certificate_kind(None) == "-"
+
+
+class TestSummarize:
+    def test_counts_and_pivots(self):
+        records = [
+            _record(0),
+            _record(1, status="impossible", certificate="nonbroadcastable-lasso"),
+            _record(2, status="undecided", certificate="undecided@4",
+                    certified_depth=None, family="rooted"),
+            _record(3, n=3, alphabet=5, family="rooted"),
+        ]
+        report = summarize(records, top=2)
+        assert report.total == 4
+        assert report.status_counts == {
+            "solvable": 2, "impossible": 1, "undecided": 1,
+        }
+        assert report.certificate_counts["decision-table"] == 2
+        assert report.by_family["rooted"]["undecided"] == 1
+        assert report.by_shape[(2, 2)]["solvable"] == 1
+        assert report.by_shape[(3, 5)] == {"solvable": 1}
+        assert [r.index for r in report.undecided] == [2]
+        # Slowest listing is elapsed-descending and bounded by top.
+        assert [r.index for r in report.slowest] == [3, 2]
+
+    def test_family_falls_back_to_tags(self):
+        report = summarize([_record(0, tags={"family": "tagged"})])
+        assert "tagged" in report.by_family
+
+    def test_undecided_frontier_orders_by_explored_depth(self):
+        records = [
+            _record(0, status="undecided", certificate="undecided@2",
+                    certified_depth=None, max_depth=6),
+            _record(1, status="undecided", certificate="undecided@6",
+                    certified_depth=None, max_depth=6),
+            _record(2, status="undecided", certificate="-",  # legacy records
+                    certified_depth=None, max_depth=6),
+        ]
+        report = summarize(records)
+        # Deepest-explored first; legacy "-" certificates sort last.
+        assert [r.index for r in report.undecided] == [1, 0, 2]
+
+    def test_summarize_streams_without_buffering(self):
+        def stream():
+            for index in range(2000):
+                yield _record(index)
+
+        report = summarize(stream(), top=3)
+        assert report.total == 2000
+        # elapsed_s grows with index, so the slowest are the last three.
+        assert [r.index for r in report.slowest] == [1999, 1998, 1997]
+
+    def test_summarize_top_zero_skips_slowest(self):
+        assert summarize([_record(0)], top=0).slowest == []
+
+
+class TestRenderReport:
+    def test_sections_present(self):
+        records = [
+            _record(0),
+            _record(1, status="undecided", certificate="undecided@4",
+                    certified_depth=None),
+        ]
+        text = render_report(summarize(records))
+        assert "status histogram" in text
+        assert "certificate histogram" in text
+        assert "per-family statuses" in text
+        assert "per-(n, |D|) statuses" in text
+        assert "undecided frontier (1 records)" in text
+        assert "undecided@4" in text
+
+    def test_report_from_fresh_sweep(self, tmp_path):
+        path = tmp_path / "fresh.jsonl"
+        specs = [AdversarySpec("two-process", {"index": i}) for i in range(15)]
+        run_sweep(jobs_for(specs, max_depth=4), jsonl_path=path)
+        text = report_jsonl(path)
+        assert "15 records" in text
+        assert "two-process" in text
+        assert "n=2 |D|=4" in text
+
+    def test_report_from_pr2_era_headerless_jsonl(self, tmp_path):
+        """Old artifacts (no header, no family/spec fields) still report."""
+        path = tmp_path / "archived.jsonl"
+        lines = []
+        for index, (status, certificate) in enumerate([
+            ("solvable", "decision-table@1"),
+            ("impossible", "single-component-induction"),
+            ("undecided", "-"),  # old records used "-" for undecided
+        ]):
+            lines.append(json.dumps({
+                "index": index, "adversary": f"Old{index}", "n": 2,
+                "alphabet": 2, "max_depth": 6, "status": status,
+                "certified_depth": None, "certificate": certificate,
+                "elapsed_s": 0.01, "views_interned": 4, "shard": 0,
+                "tags": {"family": "two-process"},
+            }))
+        path.write_text("\n".join(lines) + "\n")
+        text = report_jsonl(path)
+        assert "3 records" in text
+        assert "undecided frontier (1 records)" in text
+        assert "two-process" in text

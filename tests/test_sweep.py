@@ -92,9 +92,10 @@ class TestJsonl:
         records = run_sweep(jobs, jsonl_path=path)
         loaded = list(read_jsonl(path))
         assert [r.to_dict() for r in loaded] == [r.to_dict() for r in records]
-        # One JSON object per line, indices in order.
+        # Schema header first, then one JSON object per line, indices in order.
         lines = path.read_text().strip().splitlines()
-        assert [json.loads(line)["index"] for line in lines] == [0, 1, 2, 3, 4]
+        assert json.loads(lines[0]) == {"schema": "repro.run-record/2"}
+        assert [json.loads(line)["index"] for line in lines[1:]] == [0, 1, 2, 3, 4]
 
     def test_write_read_helpers(self, tmp_path):
         record = SweepRecord(
@@ -163,3 +164,46 @@ class TestSweepCli:
         records = list(read_jsonl(out))
         assert len(records) == 4
         assert all(r.tags == {"family": "rooted", "seed": 9} for r in records)
+        # Jobs now travel as specs: every record carries its own sub-seed
+        # and the full spec needed to rebuild the sampled adversary.
+        assert all(r.family == "random-rooted" and r.seed is not None
+                   for r in records)
+
+    def test_sweep_manifest_backend_and_shard_runner(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "two_process.jsonl"
+        shard_dir = tmp_path / "shards"
+        assert main([
+            "sweep", "--family", "two-process", "--max-depth", "4",
+            "--workers", "2", "--backend", "manifest",
+            "--manifest-dir", str(shard_dir), "--out", str(out),
+        ]) == 0
+        assert len(list(read_jsonl(out))) == 15
+        assert (shard_dir / "shard_0.json").exists()
+        assert (shard_dir / "shard_1.jsonl").exists()
+        capsys.readouterr()
+
+        # The shard runner entry point re-runs one manifest standalone.
+        rerun_out = tmp_path / "shard_0_rerun.jsonl"
+        assert main([
+            "sweep", "--manifest", str(shard_dir / "shard_0.json"),
+            "--out", str(rerun_out),
+        ]) == 0
+        rerun = list(read_jsonl(rerun_out))
+        assert rerun and all(r.shard == 0 for r in rerun)
+        assert "jobs" in capsys.readouterr().out
+
+    def test_report_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "two_process.jsonl"
+        assert main([
+            "sweep", "--family", "two-process", "--max-depth", "4",
+            "--out", str(out),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["report", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "status histogram" in text
+        assert "per-family statuses" in text
