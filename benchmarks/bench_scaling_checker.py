@@ -20,8 +20,21 @@ from repro.adversaries import (
     santoro_widmayer_family,
 )
 from repro.consensus import check_consensus
+from repro.core.views import numpy_available
 from repro.topology.components import ComponentAnalysis
 from repro.topology.prefixspace import PrefixSpace
+
+#: Layer-kernel backends measurable in this environment; the numpy leg is
+#: skipped (not failed) where numpy is absent.
+KERNEL_BACKENDS = [
+    "python",
+    pytest.param(
+        "numpy",
+        marks=pytest.mark.skipif(
+            not numpy_available(), reason="numpy not installed"
+        ),
+    ),
+]
 
 
 @pytest.mark.parametrize("depth", [2, 4, 6])
@@ -187,6 +200,124 @@ def test_scaling_full_check_n6_sw(benchmark):
     emit(
         benchmark,
         "scaling: full check, n=6 |D|=31 (new scenario)",
+        [f"{result.status.name}, certified depth {result.certified_depth}"],
+    )
+    assert result.status.name == "SOLVABLE"
+
+
+# --------------------------------------------------------------------- #
+# Whole-layer extension kernel scenarios (PR 4)
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("backend", KERNEL_BACKENDS)
+def test_scaling_layer_kernel_quick(benchmark, backend):
+    """Smoke-gate kernel scenario: depth-6 streaming on each backend.
+
+    Small enough for the CI quick run, large enough that the whole-layer
+    batch (not per-call overhead) dominates — this is the entry that keeps
+    both kernel backends honest between full re-recordings.
+    """
+
+    def kernel():
+        space = PrefixSpace(
+            lossy_link_full(), retain="frontier", layer_backend=backend
+        )
+        for depth, store in space.iter_layers(max_depth=6):
+            pass
+        return len(store)
+
+    size = benchmark(kernel)
+    emit(
+        benchmark,
+        f"scaling: layer kernel smoke, depth=6, backend={backend}",
+        [f"|layer 6| = {size} prefixes (4 * 3^6)"],
+    )
+    assert size == 4 * 3**6
+
+
+@pytest.mark.bench_deep
+@pytest.mark.parametrize("backend", KERNEL_BACKENDS)
+def test_scaling_layer_construction_depth12_streaming(benchmark, backend):
+    """Depth-12 lossy link streamed: 4 * 3^12 = 2125764 prefixes.
+
+    The scenario the whole-layer kernel was built for — one layer beyond
+    the PR-2/PR-3 interactive ceiling (the per-parent path needed ~13 s
+    here; see ``pr3_mean_s`` in the committed baseline).  ``max_nodes`` is
+    raised above the 2M default, which the final layer alone exceeds.
+    """
+
+    def kernel():
+        space = PrefixSpace(
+            lossy_link_full(),
+            retain="frontier",
+            max_nodes=4_000_000,
+            layer_backend=backend,
+        )
+        for depth, store in space.iter_layers(max_depth=12):
+            pass
+        return len(store), space.interner.stats()
+
+    size, stats = benchmark.pedantic(kernel, rounds=2, iterations=1)
+    emit(
+        benchmark,
+        f"scaling: streaming layer construction, depth=12, backend={backend}",
+        [
+            f"|layer 12| = {size} prefixes (4 * 3^12)",
+            f"interner: {stats.total} views, {stats.rows} child rows, "
+            f"~{stats.approx_bytes / 1e6:.1f} MB resident",
+        ],
+    )
+    assert size == 4 * 3**12
+
+
+@pytest.mark.bench_deep
+@pytest.mark.parametrize("backend", KERNEL_BACKENDS)
+def test_scaling_n7_rooted_space(benchmark, backend):
+    """Depth-3 streaming space of a random rooted n=7 oblivious adversary.
+
+    128 input assignments x |D|=8 rooted graphs: 65536 seven-process
+    prefixes at depth 3 — the first n=7 layer workload inside the suite's
+    budget (recorded on both kernel backends).
+    """
+    rng = random.Random(2026)
+    adversary = random_oblivious_adversary(rng, 7, size=8, rooted_only=True)
+
+    def kernel():
+        space = PrefixSpace(
+            adversary, retain="frontier", layer_backend=backend
+        )
+        space.ensure_depth(3)
+        return len(space.layer_store(3)), space.interner.stats()
+
+    size, stats = benchmark.pedantic(kernel, rounds=3, iterations=1)
+    emit(
+        benchmark,
+        f"scaling: n=7 rooted |D|=8 depth-3 space, backend={backend}",
+        [
+            f"|layer 3| = {size} prefixes (128 * 8^3)",
+            f"interner: {stats.total} views interned",
+        ],
+    )
+    assert size == 128 * 8**3
+
+
+@pytest.mark.bench_deep
+def test_scaling_full_check_n7_sw(benchmark):
+    """Full check of the n=7 Santoro-Widmayer family with one loss.
+
+    |D| = 43 rooted graphs over 128 input assignments, certified at depth
+    2 through a layer of 128 * 43^2 = 236672 seven-process prefixes — the
+    first full n=7 classification inside the suite's budget.
+    """
+    result = benchmark.pedantic(
+        lambda: check_consensus(santoro_widmayer_family(7, 1), max_depth=2),
+        rounds=3,
+        iterations=1,
+    )
+    emit(
+        benchmark,
+        "scaling: full check, n=7 |D|=43 (new scenario)",
         [f"{result.status.name}, certified depth {result.certified_depth}"],
     )
     assert result.status.name == "SOLVABLE"

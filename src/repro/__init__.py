@@ -87,6 +87,7 @@ _API_NAMES = {
     "ManifestBackend",
     "run_sweep",
     "jobs_for",
+    "retry_jobs",
     "read_jsonl",
     "write_jsonl",
     "register_family",

@@ -29,6 +29,7 @@ from typing import Iterable
 from repro.records import RunRecord, read_jsonl
 
 __all__ = [
+    "CrossValidation",
     "SweepReport",
     "certificate_kind",
     "summarize",
@@ -67,6 +68,57 @@ def certificate_kind(certificate: str | None) -> str:
     return certificate.split("@", 1)[0].split(" ", 1)[0]
 
 
+class CrossValidation:
+    """Agreement mining for one baseline column (``cgp`` or ``oracle``).
+
+    Census records carry the verdict of a baseline next to the checker's
+    certified status; this accumulator counts where they coincide and
+    keeps every disagreeing record — for the CGP reconstruction heuristic
+    the disagreements *are* the census's scientific output (Section 6.2:
+    exactly where the heuristic diverges from the certified checker).
+    """
+
+    __slots__ = ("label", "checked", "agree", "unresolved", "disagreements")
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+        #: Records carrying this baseline's verdict at all.
+        self.checked = 0
+        #: Checker decided and matches the baseline.
+        self.agree = 0
+        #: Baseline present but the checker ran out of budget (undecided).
+        self.unresolved = 0
+        #: Records where a decided checker contradicts the baseline.
+        self.disagreements: list[RunRecord] = []
+
+    @property
+    def disagree(self) -> int:
+        return len(self.disagreements)
+
+    def add(self, record: RunRecord, verdict: bool | None) -> None:
+        if verdict is None:
+            return
+        self.checked += 1
+        solvable = record.solvable
+        if solvable is None:
+            self.unresolved += 1
+        elif solvable == verdict:
+            self.agree += 1
+        else:
+            self.disagreements.append(record)
+
+    def disagreements_by_family(self) -> Counter:
+        """Family label -> number of disagreeing records."""
+        return Counter(record.family_label for record in self.disagreements)
+
+    def __repr__(self) -> str:
+        return (
+            f"CrossValidation({self.label}: checked={self.checked}, "
+            f"agree={self.agree}, disagree={self.disagree}, "
+            f"unresolved={self.unresolved})"
+        )
+
+
 class SweepReport:
     """Aggregated view of one record stream (see :func:`summarize`)."""
 
@@ -80,6 +132,8 @@ class SweepReport:
         "slowest",
         "total_elapsed_s",
         "top",
+        "cgp",
+        "oracle",
     )
 
     def __init__(
@@ -93,6 +147,8 @@ class SweepReport:
         slowest: list[RunRecord],
         total_elapsed_s: float,
         top: int,
+        cgp: CrossValidation | None = None,
+        oracle: CrossValidation | None = None,
     ) -> None:
         self.total = total
         self.status_counts = status_counts
@@ -108,6 +164,10 @@ class SweepReport:
         self.slowest = slowest
         self.total_elapsed_s = total_elapsed_s
         self.top = top
+        #: Cross-validation against the CGP reconstruction heuristic and
+        #: the literature oracle (census streams carry both in-record).
+        self.cgp = cgp if cgp is not None else CrossValidation("cgp")
+        self.oracle = oracle if oracle is not None else CrossValidation("oracle")
 
     def __repr__(self) -> str:
         counts = ", ".join(
@@ -129,6 +189,8 @@ def summarize(records: Iterable[RunRecord], top: int = 5) -> SweepReport:
     by_family: dict[str, Counter] = {}
     by_shape: dict[tuple[int, int], Counter] = {}
     undecided: list[RunRecord] = []
+    cgp = CrossValidation("cgp")
+    oracle = CrossValidation("oracle")
     total = 0
     total_elapsed = 0.0
     # Only the top-N slowest are retained (heap of (elapsed, tiebreak)),
@@ -142,6 +204,8 @@ def summarize(records: Iterable[RunRecord], top: int = 5) -> SweepReport:
         certificate_counts[certificate_kind(record.certificate)] += 1
         by_family.setdefault(record.family_label, Counter())[record.status] += 1
         by_shape.setdefault((record.n, record.alphabet), Counter())[record.status] += 1
+        cgp.add(record, record.cgp)
+        oracle.add(record, record.oracle)
         if record.status == "undecided":
             undecided.append(record)
         if top > 0:
@@ -164,6 +228,8 @@ def summarize(records: Iterable[RunRecord], top: int = 5) -> SweepReport:
         slowest=slowest,
         total_elapsed_s=total_elapsed,
         top=top,
+        cgp=cgp,
+        oracle=oracle,
     )
 
 
@@ -212,6 +278,37 @@ def render_report(report: SweepReport) -> str:
         for (n, alphabet), counter in report.by_shape.items()
     }
     lines += _pivot("per-(n, |D|) statuses", shape_rows, statuses)
+    for validation in (report.oracle, report.cgp):
+        if validation.checked == 0:
+            continue
+        title = (
+            "CGP reconstruction cross-validation"
+            if validation.label == "cgp"
+            else "literature-oracle cross-validation"
+        )
+        lines.append("")
+        lines.append(title)
+        lines.append(
+            f"  checked {validation.checked}: {validation.agree} agree, "
+            f"{validation.disagree} disagree, "
+            f"{validation.unresolved} unresolved (checker undecided)"
+        )
+        if validation.disagreements:
+            by_family = validation.disagreements_by_family()
+            lines.append(
+                "  disagreements by family: "
+                + ", ".join(
+                    f"{family}: {count}"
+                    for family, count in sorted(by_family.items())
+                )
+            )
+            for record in validation.disagreements:
+                predicted = "solvable" if record.solvable is False else "unsolvable"
+                lines.append(
+                    f"  #{record.index:<4d} {record.adversary:32s} "
+                    f"checker={record.status:11s} "
+                    f"{validation.label} predicted {predicted}"
+                )
     if report.undecided:
         lines.append("")
         lines.append(f"undecided frontier ({len(report.undecided)} records)")

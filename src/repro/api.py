@@ -52,6 +52,7 @@ from repro.backends import (
     SweepJob,
     jobs_for,
     load_manifest,
+    retry_jobs,
     run_manifest,
     write_manifest,
 )
@@ -101,6 +102,7 @@ __all__ = [
     "register_family",
     "render_report",
     "report_jsonl",
+    "retry_jobs",
     "run_manifest",
     "run_sweep",
     "summarize",
@@ -141,10 +143,16 @@ class Session:
         self._interners: dict[int, ViewInterner] = {}
 
     def interner(self, n: int) -> ViewInterner:
-        """The session's shared view interner for ``n`` processes."""
+        """The session's shared view interner for ``n`` processes.
+
+        Created with the session options' ``layer_backend``, so one switch
+        configures the whole-layer kernel for every check the session runs.
+        """
         interner = self._interners.get(n)
         if interner is None:
-            interner = self._interners[n] = ViewInterner(n)
+            interner = self._interners[n] = ViewInterner(
+                n, layer_backend=self.options.layer_backend
+            )
         return interner
 
     @staticmethod

@@ -51,6 +51,7 @@ __all__ = [
     "ProcessBackend",
     "ManifestBackend",
     "jobs_for",
+    "retry_jobs",
     "write_manifest",
     "load_manifest",
     "run_manifest",
@@ -154,6 +155,60 @@ def jobs_for(
     return jobs
 
 
+def retry_jobs(
+    records: Iterable[RunRecord],
+    extra_depth: int | None = None,
+    max_depth: int | None = None,
+    statuses: tuple[str, ...] = ("undecided",),
+) -> tuple[list[SweepJob], list[RunRecord]]:
+    """Re-queue the undecided frontier of a sweep at a deeper budget.
+
+    ``undecided@d`` records are exactly the scenarios where more depth (or
+    a new prover) could earn a verdict; this turns them back into jobs.
+    Pass exactly one of ``extra_depth`` (new budget = record's
+    ``max_depth`` + ``extra_depth``, the ``--max-depth +2`` CLI form) or
+    ``max_depth`` (absolute new budget).  Only records whose status is in
+    ``statuses`` are re-queued, and only when the retry can tell the
+    checker something new: records without a serialized spec cannot be
+    rebuilt, and records whose new budget would not exceed their original
+    one would just reproduce the same undecided verdict — both land in
+    ``skipped`` instead of a job.  Returns ``(jobs, skipped)``: the retry
+    jobs (original indices and tags preserved, retry provenance added to
+    the tags) and the matching records that were not re-queued, so
+    callers can report rather than silently drop them.
+    """
+    if (extra_depth is None) == (max_depth is None):
+        raise AnalysisError(
+            "retry_jobs needs exactly one of extra_depth or max_depth"
+        )
+    if extra_depth is not None and extra_depth <= 0:
+        raise AnalysisError("retry_jobs extra_depth must deepen the budget")
+    jobs: list[SweepJob] = []
+    skipped: list[RunRecord] = []
+    for record in records:
+        if record.status not in statuses:
+            continue
+        depth = (
+            record.max_depth + extra_depth
+            if extra_depth is not None
+            else max_depth
+        )
+        if record.spec is None or depth <= record.max_depth:
+            skipped.append(record)
+            continue
+        tags = dict(record.tags)
+        tags["retry_of_max_depth"] = record.max_depth
+        jobs.append(
+            SweepJob(
+                record.index,
+                max_depth=depth,
+                tags=tags,
+                spec=AdversarySpec.from_dict(record.spec),
+            )
+        )
+    return jobs, skipped
+
+
 def _validate_jobs(jobs: Sequence[SweepJob]) -> list[SweepJob]:
     jobs = list(jobs)
     if len({job.index for job in jobs}) != len(jobs):
@@ -177,7 +232,9 @@ def _run_jobs(
         adversary = job.adversary
         interner = interners.get(adversary.n)
         if interner is None:
-            interner = interners[adversary.n] = ViewInterner(adversary.n)
+            interner = interners[adversary.n] = ViewInterner(
+                adversary.n, layer_backend=base.layer_backend
+            )
         before = len(interner)
         start = time.perf_counter()
         result = check_consensus_with_options(

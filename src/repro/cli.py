@@ -7,7 +7,9 @@ Subcommands:
 * ``sweep`` — fan a family of check jobs across a sweep backend (JSONL
   out); ``--manifest shard.json`` executes one serialized shard manifest,
   which is how :class:`~repro.backends.ManifestBackend` (and any external
-  distributed runner) drives this process;
+  distributed runner) drives this process; ``--retry records.jsonl
+  --max-depth +2`` re-queues only the undecided records of an earlier
+  sweep at a deeper budget;
 * ``report`` — render status/certificate histograms and pivot tables from
   a sweep JSONL file (old headerless or new versioned format);
 * ``simulate`` — run the universal algorithm against sampled sequences;
@@ -99,12 +101,13 @@ def _sweep_specs(args: argparse.Namespace) -> list:
     from repro.adversaries import two_process_oblivious_family
     from repro.specs import AdversarySpec, random_rooted_specs
 
-    if args.family == "two-process":
+    family = args.family or "two-process"
+    if family == "two-process":
         return [
             AdversarySpec("two-process", {"index": index})
             for index in range(len(two_process_oblivious_family()))
         ]
-    if args.family == "rooted":
+    if family == "rooted":
         return random_rooted_specs(
             args.seed, args.n, args.samples, sizes=tuple(args.sizes)
         )
@@ -135,6 +138,61 @@ def _sweep_backend(args: argparse.Namespace):
     return None
 
 
+def _parse_sweep_depth(args: argparse.Namespace) -> tuple[int | None, int | None]:
+    """Resolve ``--max-depth`` into ``(absolute, extra)``.
+
+    A leading ``+`` means "deepen relative to each retried record's old
+    budget" and is only meaningful with ``--retry``; a bare integer is an
+    absolute budget.  Defaults: 6 for fresh sweeps, ``+2`` for retries.
+    """
+    value = args.max_depth
+    if value is None:
+        return (6, None) if not args.retry else (None, 2)
+    value = value.strip()
+    if value.startswith("+"):
+        if not args.retry:
+            raise SystemExit("--max-depth +N is only valid with --retry")
+        try:
+            extra = int(value[1:])
+        except ValueError:
+            raise SystemExit(f"invalid --max-depth {value!r}")
+        if extra <= 0:
+            raise SystemExit("--max-depth +N must deepen the budget (N >= 1)")
+        return None, extra
+    try:
+        return int(value), None
+    except ValueError:
+        raise SystemExit(f"invalid --max-depth {value!r}")
+
+
+def _print_sweep_records(records, workers: int, out) -> None:
+    """The sweep subcommand's classification table + summary footer."""
+    header = (
+        f"{'#':>3s} {'adversary':32s} {'status':11s} {'certificate':28s} "
+        f"{'time':>9s} {'shard':>5s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for record in records:
+        print(
+            f"{record.index:>3d} {record.adversary:32s} "
+            f"{record.status.upper():11s} {record.certificate:28s} "
+            f"{record.elapsed_s * 1e3:>7.1f}ms {record.shard:>5d}"
+        )
+    by_status = Counter(record.status for record in records)
+    summary = ", ".join(
+        f"{count} {status}" for status, count in sorted(by_status.items())
+    )
+    workers = max(1, min(workers, len(records)))
+    print("-" * len(header))
+    print(
+        f"{len(records)} jobs on {workers} worker(s): {summary}; "
+        f"total checker time {sum(r.elapsed_s for r in records):.3f}s"
+    )
+    if out:
+        print(f"records written to {out}")
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.sweep import jobs_for, run_manifest, run_sweep
 
@@ -154,39 +212,44 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(f"manifest {args.manifest}: {len(records)} jobs ({summary}) -> {out}")
         return 0
 
-    jobs = jobs_for(
-        _sweep_specs(args),
-        max_depth=args.max_depth,
-        tags={"family": args.family, "seed": args.seed},
-    )
+    absolute, extra = _parse_sweep_depth(args)
+    if args.retry:
+        # Re-queue the undecided frontier of an earlier sweep at a deeper
+        # budget; everything decided stays decided and is not re-run.
+        from repro.sweep import read_jsonl, retry_jobs
+
+        if args.family is not None:
+            # The retried records define the family; a combined
+            # --family/--retry invocation would silently drop one of them.
+            raise SystemExit(
+                "--retry re-runs the records' own specs; "
+                "it cannot be combined with --family"
+            )
+        jobs, skipped = retry_jobs(
+            read_jsonl(args.retry), extra_depth=extra, max_depth=absolute
+        )
+        if skipped:
+            print(
+                f"note: {len(skipped)} undecided record(s) skipped "
+                "(no serialized spec, or the new budget is not deeper "
+                "than the original)"
+            )
+        if not jobs:
+            print(f"{args.retry}: no undecided records to retry")
+            return 0
+    else:
+        jobs = jobs_for(
+            _sweep_specs(args),
+            max_depth=absolute,
+            tags={"family": args.family or "two-process", "seed": args.seed},
+        )
     records = run_sweep(
         jobs,
         workers=args.workers,
         jsonl_path=args.out,
         backend=_sweep_backend(args),
     )
-    header = (
-        f"{'#':>3s} {'adversary':32s} {'status':11s} {'certificate':28s} "
-        f"{'time':>9s} {'shard':>5s}"
-    )
-    print(header)
-    print("-" * len(header))
-    for record in records:
-        print(
-            f"{record.index:>3d} {record.adversary:32s} "
-            f"{record.status.upper():11s} {record.certificate:28s} "
-            f"{record.elapsed_s * 1e3:>7.1f}ms {record.shard:>5d}"
-        )
-    by_status = Counter(record.status for record in records)
-    summary = ", ".join(f"{count} {status}" for status, count in sorted(by_status.items()))
-    workers = max(1, min(args.workers, len(records)))
-    print("-" * len(header))
-    print(
-        f"{len(records)} jobs on {workers} worker(s): {summary}; "
-        f"total checker time {sum(r.elapsed_s for r in records):.3f}s"
-    )
-    if args.out:
-        print(f"records written to {args.out}")
+    _print_sweep_records(records, args.workers, args.out)
     return 0
 
 
@@ -344,7 +407,9 @@ def main(argv: list[str] | None = None) -> int:
         "sweep", help="sharded (adversary, depth) sweep with JSONL output"
     )
     sweep.add_argument("--family", choices=["two-process", "rooted", "sw"],
-                       default="two-process")
+                       default=None,
+                       help="scenario family (default two-process; "
+                            "incompatible with --retry)")
     sweep.add_argument("--workers", type=int, default=1,
                        help="process/manifest shard count (ignored with "
                             "--backend serial)")
@@ -356,7 +421,13 @@ def main(argv: list[str] | None = None) -> int:
                             "(the ManifestBackend subprocess entry point)")
     sweep.add_argument("--manifest-dir",
                        help="shard file directory for --backend manifest")
-    sweep.add_argument("--max-depth", type=int, default=6)
+    sweep.add_argument("--retry", metavar="RECORDS_JSONL",
+                       help="re-queue only the undecided records of an "
+                            "earlier sweep's JSONL at a deeper budget")
+    sweep.add_argument("--max-depth", default=None,
+                       help="depth budget: an integer (default 6), or +N "
+                            "with --retry to deepen each retried record's "
+                            "old budget by N (default +2)")
     sweep.add_argument("--out", help="write one JSON record per job to this file")
     sweep.add_argument("--seed", type=int, default=0,
                        help="PRNG seed for sampled families")

@@ -163,56 +163,95 @@ def check_kset_by_depth(
         if not consistent(view):
             return None
 
-    # Iterative backtracking, most-constrained variables first; values
-    # already used in a variable's prefixes are tried first to keep the
-    # per-execution value sets small.
-    order = sorted(
-        (v for v in domains if v not in assignment),
-        key=lambda v: (len(domains[v]), -len(constraints_of[v]), v),
-    )
+    # Forward-checking backtracking with dynamic most-constrained-first
+    # variable selection.  A static variable order is fragile — its
+    # tie-break depends on the view-id numbering, which the layer-kernel
+    # backends deliberately do not fix — so the search instead prunes as
+    # it assigns: once a prefix has ``k`` distinct assigned values, every
+    # unassigned view of that prefix is restricted to those values, and an
+    # emptied domain backtracks immediately.  Values already used in a
+    # variable's prefixes are tried first to keep the per-execution value
+    # sets small.
+    dom: dict[int, set] = {
+        v: set(domain) for v, domain in domains.items() if v not in assignment
+    }
+    budget = [2_000_000]
 
-    def candidate_values(view: int):
+    def propagate(view: int, log: list) -> bool:
+        """Forward-check one assignment; log restrictions for undo."""
+        for index in constraints_of[view]:
+            views = prefix_views[index]
+            used = {assignment[w] for w in views if w in assignment}
+            if len(used) > k:
+                return False
+            if len(used) == k:
+                for w in views:
+                    if w in assignment:
+                        continue
+                    d = dom[w]
+                    removed = d - used
+                    if removed:
+                        d -= removed
+                        log.append((w, removed))
+                        if not d:
+                            return False
+        return True
+
+    # Seed the domains from the forced views before searching.
+    seed_log: list = []
+    for view in list(assignment):
+        if not propagate(view, seed_log):
+            return None
+
+    def value_order(view: int) -> list:
         used = set()
         for index in constraints_of[view]:
-            for v in prefix_views[index]:
-                if v in assignment:
-                    used.add(assignment[v])
-        preferred = [value for value in domains[view] if value in used]
-        rest = [value for value in domains[view] if value not in used]
-        return preferred + sorted(rest, key=repr)
+            for w in prefix_views[index]:
+                if w in assignment:
+                    used.add(assignment[w])
+        ordered = sorted(dom[view], key=repr)
+        return [value for value in ordered if value in used] + [
+            value for value in ordered if value not in used
+        ]
 
-    stack: list[tuple[int, list]] = []
-    position = 0
-    steps = 0
-    step_limit = 2_000_000
-    while position < len(order):
-        steps += 1
-        if steps > step_limit:
-            raise AnalysisError(
-                "k-set backtracking exceeded its step budget; "
-                "reduce the depth or the input domain"
-            )
-        if len(stack) == position:
-            stack.append((position, candidate_values(order[position])))
-        _, values = stack[position]
-        advanced = False
+    def try_values(frame: list) -> bool:
+        """Advance one frame to its next propagating value."""
+        view, values, _ = frame
         while values:
-            value = values.pop(0)
-            view = order[position]
-            assignment[view] = value
-            if consistent(view):
-                advanced = True
-                break
+            if budget[0] <= 0:
+                raise AnalysisError(
+                    "k-set backtracking exceeded its step budget; "
+                    "reduce the depth or the input domain"
+                )
+            budget[0] -= 1
+            assignment[view] = values.pop(0)
+            log: list = []
+            if propagate(view, log):
+                frame[2] = log
+                return True
+            for w, removed in log:
+                dom[w] |= removed
             del assignment[view]
-        if advanced:
-            position += 1
-            continue
-        # Exhausted: backtrack.
-        stack.pop()
-        if position == 0:
-            return None
-        position -= 1
-        del assignment[order[position]]
+        return False
+
+    unassigned = set(dom)
+    frames: list[list] = []
+    while unassigned:
+        view = min(
+            unassigned,
+            key=lambda w: (len(dom[w]), -len(constraints_of[w]), w),
+        )
+        unassigned.discard(view)
+        frames.append([view, value_order(view), None])
+        while frames and not try_values(frames[-1]):
+            unassigned.add(frames.pop()[0])
+            if not frames:
+                return None
+            previous = frames[-1]
+            for w, removed in previous[2]:
+                dom[w] |= removed
+            previous[2] = None
+            del assignment[previous[0]]
     table = KSetTable(space, depth, k, spec, dict(assignment))
     table.validate()
     return table

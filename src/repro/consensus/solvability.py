@@ -80,6 +80,12 @@ class CheckOptions:
         ``None`` keeps its default (memoize exactly when the interner is
         shared).  ``False`` when the interner is provided only for
         observability, not cross-space reuse.
+    layer_backend:
+        Whole-layer extension kernel backend for interners created by the
+        checker (``"numpy"``/``"python"``; ``None`` = import-time
+        default).  Serializes with the options, so sweep manifests carry
+        the backend choice to shard runners.  Ignored when the caller
+        shares an interner — the interner's own backend wins.
     """
 
     max_depth: int = 10
@@ -87,6 +93,7 @@ class CheckOptions:
     use_impossibility_provers: bool = True
     use_broadcaster_certificate: bool = True
     memo_extensions: bool | None = None
+    layer_backend: str | None = None
 
     def replace(self, **changes) -> "CheckOptions":
         """A copy with the given fields changed."""
@@ -404,6 +411,7 @@ def check_consensus_with_options(
         interner=interner,
         max_nodes=max_nodes,
         memo_extensions=memo_extensions,
+        layer_backend=options.layer_backend,
     )
     table: DecisionTable | None = None
     certified_depth = None

@@ -38,10 +38,35 @@ The interner also maintains, per view, the bitmask of processes whose
 observed input values.  This is precisely the information needed to decide
 broadcastability (Definition 5.8): ``p`` has broadcast in a prefix iff the
 bit of ``p`` is set in every process's view mask.
+
+The whole-layer extension kernel
+--------------------------------
+:meth:`ViewInterner.extend_layer` interns the successors of an *entire*
+prefix-space layer in one call, instead of paying Python dispatch, tuple
+allocation, and dict probes per parent.  The kernel deduplicates parent
+levels, then works per distinct *in-neighborhood* of the alphabet (child
+rows depend on the in-list only, never on the owner): it builds every
+candidate child row of the layer, deduplicates rows across all parents at
+once, interns each distinct row a single time, and allocates new views at
+unique-row granularity.  Two backends implement the batch:
+
+* ``"numpy"`` — columns of the layer become one int64 matrix; candidate
+  rows are gathered/sorted/uniqued as packed key columns and view slots
+  resolve through vectorized gathers over the interner's buffer-backed
+  columns.  Selected by default when numpy imports (set
+  ``REPRO_PURE_PYTHON=1`` to veto at import time).
+* ``"python"`` — the same batched structure in pure Python, so
+  ``dependencies = []`` stays true and the kernel is always available.
+
+Both backends produce structurally identical views over the same shared
+row table, so they may be mixed freely with the per-parent
+:meth:`ViewInterner.extend_level_multi` path on one interner; only the
+view-id *numbering* may differ between backends.
 """
 
 from __future__ import annotations
 
+import os
 import sys
 from array import array
 from typing import Iterable, Sequence
@@ -49,11 +74,45 @@ from typing import Iterable, Sequence
 from repro.core.digraph import Digraph
 from repro.errors import AnalysisError
 
-__all__ = ["ViewInterner", "ViewStats"]
+try:  # Optional acceleration; REPRO_PURE_PYTHON=1 forces the fallback.
+    if os.environ.get("REPRO_PURE_PYTHON"):
+        _np = None
+    else:
+        import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    _np = None
+
+__all__ = [
+    "ViewInterner",
+    "ViewStats",
+    "LAYER_BACKENDS",
+    "DEFAULT_LAYER_BACKEND",
+    "numpy_available",
+]
 
 #: Origin masks are stored in a signed-64-bit array column when they fit;
 #: interners on more processes fall back to a plain list column.
 _MASK_ARRAY_MAX_N = 62
+
+#: The layer-kernel backends an interner can run on.
+LAYER_BACKENDS = ("numpy", "python")
+
+#: Backend used when a :class:`ViewInterner` is built without an explicit
+#: choice: ``"numpy"`` when numpy imported at module load, else ``"python"``.
+DEFAULT_LAYER_BACKEND = "python" if _np is None else "numpy"
+
+#: Below this many (parent, pattern) cells the numpy batch is not worth its
+#: fixed per-call overhead; tiny layers stay on the pure-Python kernel.
+_NUMPY_MIN_CELLS = 192
+
+#: Below this many cells even the batched Python kernel loses to the plain
+#: per-parent loop (batch bookkeeping dominates microscopic layers).
+_BATCH_MIN_CELLS = 48
+
+
+def numpy_available() -> bool:
+    """Whether the numpy layer-kernel backend can be selected."""
+    return _np is not None
 
 
 class ViewStats:
@@ -62,9 +121,12 @@ class ViewStats:
     Beyond the view counts, the stats expose the table geometry that the
     benchmarks and the CLI use to watch interner pressure: ``rows`` is the
     number of distinct interned child sets, ``cached_extensions`` the number
-    of memoized ``(level, graph)`` extensions, and ``approx_bytes`` an
-    estimate of the resident size of all tables (columns, side tables, and
-    cache keys; Python object headers of shared children are not counted).
+    of memoized ``(level, graph)`` extensions, ``cached_plans`` the number
+    of per-alphabet extension plans held (one per distinct graphs-tuple
+    ever extended — never evicted, so long-lived sessions can watch it
+    here), and ``approx_bytes`` an estimate of the resident size of all
+    tables (columns, side tables, cache and plan keys; Python object
+    headers of shared children are not counted).
     """
 
     __slots__ = (
@@ -73,6 +135,7 @@ class ViewStats:
         "max_depth",
         "rows",
         "cached_extensions",
+        "cached_plans",
         "approx_bytes",
     )
 
@@ -84,12 +147,14 @@ class ViewStats:
         rows: int = 0,
         cached_extensions: int = 0,
         approx_bytes: int = 0,
+        cached_plans: int = 0,
     ) -> None:
         self.total = total
         self.leaves = leaves
         self.max_depth = max_depth
         self.rows = rows
         self.cached_extensions = cached_extensions
+        self.cached_plans = cached_plans
         self.approx_bytes = approx_bytes
 
     def __repr__(self) -> str:
@@ -97,6 +162,7 @@ class ViewStats:
             f"ViewStats(total={self.total}, leaves={self.leaves}, "
             f"max_depth={self.max_depth}, rows={self.rows}, "
             f"cached_extensions={self.cached_extensions}, "
+            f"cached_plans={self.cached_plans}, "
             f"approx_bytes={self.approx_bytes})"
         )
 
@@ -111,6 +177,12 @@ class ViewInterner:
     *across* adversaries of the same ``n``, which is how the sweep engine
     reuses view tables between jobs of one shard.
 
+    ``layer_backend`` selects the whole-layer extension kernel backend:
+    ``"numpy"`` (vectorized; requires numpy), ``"python"`` (the batched
+    pure-Python fallback), or ``None`` for the import-time default
+    (:data:`DEFAULT_LAYER_BACKEND`).  The choice affects speed and view-id
+    numbering only, never the interned structure.
+
     Examples
     --------
     >>> interner = ViewInterner(2)
@@ -122,6 +194,7 @@ class ViewInterner:
 
     __slots__ = (
         "n",
+        "layer_backend",
         "_pid",
         "_depth",
         "_row",
@@ -141,9 +214,22 @@ class ViewInterner:
         "_plan_cache",
     )
 
-    def __init__(self, n: int) -> None:
+    def __init__(self, n: int, layer_backend: str | None = None) -> None:
         if n <= 0:
             raise AnalysisError("a view interner needs n >= 1 processes")
+        if layer_backend is None:
+            layer_backend = DEFAULT_LAYER_BACKEND
+        if layer_backend not in LAYER_BACKENDS:
+            raise AnalysisError(
+                f"unknown layer backend {layer_backend!r}; "
+                f"choose from {LAYER_BACKENDS}"
+            )
+        if layer_backend == "numpy" and _np is None:
+            raise AnalysisError(
+                "layer backend 'numpy' requested but numpy is not importable "
+                "(install numpy or pick the 'python' backend)"
+            )
+        self.layer_backend = layer_backend
         self.n = n
         # Parallel per-view columns.  Owners and depths are plain lists of
         # (interpreter-shared) small ints — same 8 bytes per slot as an
@@ -167,8 +253,9 @@ class ViewInterner:
         self._row_table: dict[tuple[int, ...], int] = {}
         # Per-row origin-mask cache: a view's mask is the union of its
         # children's masks, which depends on the row only — never on the
-        # owner — so views sharing a row skip the fold.
-        self._row_masks: list[int] = []
+        # owner — so views sharing a row skip the fold.  Machine-int array
+        # while masks fit so the numpy kernel can gather it by buffer.
+        self._row_masks = array("q") if n <= _MASK_ARRAY_MAX_N else []
         self._leaf_count = 0
         # (level, graph) extension memo, keyed ``level_id << 32 | graph_id``.
         self._level_table: dict[tuple[int, ...], int] = {}
@@ -346,13 +433,18 @@ class ViewInterner:
         which ``p`` hears everyone shares a row); which rows coincide is a
         property of the *alphabet alone*, so the dedup is hoisted out of
         the per-parent hot loop and cached per graphs-tuple.  Returns
-        ``(patterns, layouts)``: the distinct patterns in first-occurrence
-        order, and per graph the pattern indices assembling its level.
+        ``(patterns, layouts, inlists, pats_of_inlist)``: the distinct
+        patterns in first-occurrence order, per graph the pattern indices
+        assembling its level, the distinct in-neighborhoods of the
+        patterns, and per in-neighborhood the indices of the patterns it
+        serves — the layer kernels share candidate-row work across owners
+        through the last two.
 
         The cache holds one entry per distinct graphs-tuple ever extended —
         the adversary alphabets plus, on the memo path, their partial-miss
         subsets.  Real families use a handful of alphabets, so the cache
-        stays small; it is not evicted.
+        stays small; it is not evicted, and :class:`ViewStats` reports its
+        size as ``cached_plans``.
         """
         key = tuple(graphs)
         plan = self._plan_cache.get(key)
@@ -371,15 +463,33 @@ class ViewInterner:
                         patterns.append(pattern)
                     layout.append(i)
                 layouts.append(layout)
-            plan = (patterns, layouts)
+            # Child rows depend on the in-neighborhood only, never on the
+            # owner: group patterns by in-list so the layer kernels build
+            # and dedup each candidate-row column once per in-list.
+            inlist_index: dict = {}
+            inlists: list[tuple[int, ...]] = []
+            pats_of_inlist: list[list[int]] = []
+            for pi, (_, in_list) in enumerate(patterns):
+                s = inlist_index.get(in_list)
+                if s is None:
+                    s = inlist_index[in_list] = len(inlists)
+                    inlists.append(in_list)
+                    pats_of_inlist.append([])
+                pats_of_inlist[s].append(pi)
+            plan = (
+                patterns,
+                layouts,
+                tuple(inlists),
+                tuple(tuple(pis) for pis in pats_of_inlist),
+            )
             self._plan_cache[key] = plan
         return plan
 
     def _extend_batch(
         self, level: tuple[int, ...], graphs: Sequence[Digraph]
     ) -> list[tuple[int, ...]]:
-        """Uncached batched extension (the columnar interning hot loop)."""
-        patterns, layouts = self._alphabet_plan(graphs)
+        """Uncached batched extension (the per-parent columnar hot loop)."""
+        patterns, layouts, _, _ = self._alphabet_plan(graphs)
         node_slots = self._node_slots
         slots_extend = node_slots.extend
         empty_row = self._empty_row
@@ -451,6 +561,336 @@ class ViewInterner:
                     values_append(None)
             vids_append(vid)
         return [tuple([vids[i] for i in layout]) for layout in layouts]
+
+    # ------------------------------------------------------------------ #
+    # The whole-layer extension kernel
+    # ------------------------------------------------------------------ #
+
+    def extend_layer(
+        self,
+        levels: Sequence[tuple[int, ...]],
+        graphs: Sequence[Digraph],
+        memo: bool = False,
+    ) -> list[list[tuple[int, ...]]]:
+        """Intern the successors of an entire layer in one batched call.
+
+        ``levels`` are full view-id levels of one common depth (one per
+        parent prefix); ``graphs`` the alphabet to extend every parent by.
+        Returns one list per graph, aligned with ``levels``:
+        ``result[j][i]`` is ``levels[i]`` extended by ``graphs[j]`` —
+        element-wise equal to per-parent
+        ``extend_level_multi(levels[i], graphs)`` calls, but the batch
+        deduplicates parent levels, builds and dedups every candidate
+        child row of the layer per distinct in-neighborhood, interns each
+        distinct row once, and allocates new views at unique-row
+        granularity.  The backend (numpy or pure Python) follows
+        ``self.layer_backend``; tiny layers always run the Python kernel.
+
+        With ``memo=True`` results are served from — and stored into —
+        the same ``(level, graph)`` extension cache as
+        :meth:`extend_level`, so spaces sharing this interner reuse
+        whole-layer work across calls and across the per-parent path.
+
+        Levels must be full (length ``n``) view-id tuples of one common
+        depth, as produced by :meth:`leaf_level` or a previous extension;
+        this hot-path contract is checked only cheaply.  Duplicate levels
+        are fine: candidate rows dedup across the whole batch anyway.
+        """
+        graphs = tuple(graphs)
+        if not graphs:
+            return []
+        levels = [
+            level if type(level) is tuple else tuple(level) for level in levels
+        ]
+        if not levels:
+            return [[] for _ in graphs]
+        if len(levels[0]) != self.n:
+            raise AnalysisError(
+                f"level of length {len(levels[0])} for n={self.n} interner"
+            )
+        if memo:
+            return self._extend_layer_memo(levels, graphs)
+        return self._extend_layer_batch(levels, graphs)
+
+    def _extend_layer_memo(
+        self, levels: list[tuple[int, ...]], graphs: tuple[Digraph, ...]
+    ) -> list[list[tuple[int, ...]]]:
+        """Layer batch through the ``(level, graph)`` extension cache.
+
+        Only levels with at least one uncached ``(level, graph)`` pair
+        enter the batch; its results are stored per pair, so later layers,
+        other spaces, and the per-parent memo path all hit the same cache.
+        """
+        level_table = self._level_table
+        graph_ids = self._graph_ids
+        ext_cache = self._ext_cache
+        gids = []
+        for graph in graphs:
+            gid = graph_ids.get(graph)
+            if gid is None:
+                gid = len(graph_ids)
+                graph_ids[graph] = gid
+            gids.append(gid)
+        bases = []
+        missing: list[int] = []
+        seen_missing: set[int] = set()
+        for u, level in enumerate(levels):
+            lid = level_table.get(level)
+            if lid is None:
+                lid = len(level_table)
+                level_table[level] = lid
+            base = lid << 32
+            bases.append(base)
+            if base not in seen_missing and any(
+                base | gid not in ext_cache for gid in gids
+            ):
+                seen_missing.add(base)
+                missing.append(u)
+        if missing:
+            if len(missing) == len(levels):
+                fresh = self._extend_layer_batch(levels, graphs)
+            else:
+                fresh = self._extend_layer_batch(
+                    [levels[u] for u in missing], graphs
+                )
+            for j, gid in enumerate(gids):
+                column = fresh[j]
+                for mi, u in enumerate(missing):
+                    ext_cache.setdefault(bases[u] | gid, column[mi])
+        return [[ext_cache[base | gid] for base in bases] for gid in gids]
+
+    def _extend_layer_batch(
+        self, levels: list[tuple[int, ...]], graphs: tuple[Digraph, ...]
+    ) -> list[list[tuple[int, ...]]]:
+        """Dispatch one layer batch to the backend that wins at its size."""
+        plan = self._alphabet_plan(graphs)
+        cells = len(levels) * len(plan[0])
+        if cells < _BATCH_MIN_CELLS:
+            # Microscopic layers: batch bookkeeping costs more than the
+            # plain per-parent loop it replaces.
+            results = [self._extend_batch(level, graphs) for level in levels]
+            return [list(column) for column in zip(*results)]
+        if (
+            self.layer_backend == "numpy"
+            and self.n <= _MASK_ARRAY_MAX_N
+            and cells >= _NUMPY_MIN_CELLS
+        ):
+            return self._extend_layer_numpy(levels, plan)
+        return self._extend_layer_python(levels, plan)
+
+    def _extend_layer_python(
+        self, levels: list[tuple[int, ...]], plan: tuple
+    ) -> list[list[tuple[int, ...]]]:
+        """The batched pure-Python layer kernel.
+
+        Same structure as the numpy backend — candidate rows dedup per
+        in-neighborhood across the whole layer, views resolve at
+        unique-row granularity — in plain loops.
+        """
+        patterns, layouts, inlists, pats_of_inlist = plan
+        n = self.n
+        depth = self._depth[levels[0][0]] + 1
+        rows = self._rows
+        row_table = self._row_table
+        row_masks = self._row_masks
+        node_slots = self._node_slots
+        empty_row = self._empty_row
+        masks = self._origin_mask
+        pids = self._pid
+        depth_col = self._depth
+        row_col = self._row
+        values = self._origin_values
+        vid_cols: list = [None] * len(patterns)
+        for si, in_list in enumerate(inlists):
+            k = len(in_list)
+            # Column pass: candidate child row per parent, dedup in place.
+            uniq_index: dict = {}
+            uniq_rows: list[tuple[int, ...]] = []
+            inv: list[int] = []
+            uniq_setdefault = uniq_index.setdefault
+            inv_append = inv.append
+            uniq_append = uniq_rows.append
+            if k == 1:
+                q = in_list[0]
+                for level in levels:
+                    kids = (level[q],)
+                    u = uniq_setdefault(kids, len(uniq_rows))
+                    if u == len(uniq_rows):
+                        uniq_append(kids)
+                    inv_append(u)
+            elif k == 2:
+                qa, qb = in_list
+                for level in levels:
+                    a = level[qa]
+                    b = level[qb]
+                    kids = (a, b) if a < b else (b, a)
+                    u = uniq_setdefault(kids, len(uniq_rows))
+                    if u == len(uniq_rows):
+                        uniq_append(kids)
+                    inv_append(u)
+            elif k == n:
+                for level in levels:
+                    kids = tuple(sorted(level))
+                    u = uniq_setdefault(kids, len(uniq_rows))
+                    if u == len(uniq_rows):
+                        uniq_append(kids)
+                    inv_append(u)
+            else:
+                for level in levels:
+                    kids = tuple(sorted([level[q] for q in in_list]))
+                    u = uniq_setdefault(kids, len(uniq_rows))
+                    if u == len(uniq_rows):
+                        uniq_append(kids)
+                    inv_append(u)
+            # Intern the distinct rows of this column once.
+            urids: list[int] = []
+            urids_append = urids.append
+            row_setdefault = row_table.setdefault
+            for kids in uniq_rows:
+                nrows = len(rows)
+                rid = row_setdefault(kids, nrows)
+                if rid == nrows:
+                    rows.append(kids)
+                    node_slots.extend(empty_row)
+                    mask = 0
+                    for c in kids:
+                        mask |= masks[c]
+                    row_masks.append(mask)
+                urids_append(rid)
+            # Resolve (allocate) views per owner at unique-row scale.
+            for pi in pats_of_inlist[si]:
+                p = patterns[pi][0]
+                vid_u: list[int] = []
+                vid_u_append = vid_u.append
+                for rid in urids:
+                    slot = rid * n + p
+                    vid = node_slots[slot]
+                    if vid < 0:
+                        vid = len(pids)
+                        node_slots[slot] = vid
+                        pids.append(p)
+                        depth_col.append(depth)
+                        row_col.append(rid)
+                        masks.append(row_masks[rid])
+                        values.append(None)
+                    vid_u_append(vid)
+                vid_cols[pi] = [vid_u[u] for u in inv]
+        return [
+            list(zip(*[vid_cols[pi] for pi in layout])) for layout in layouts
+        ]
+
+    def _extend_layer_numpy(
+        self, levels: list[tuple[int, ...]], plan: tuple
+    ) -> list[list[tuple[int, ...]]]:
+        """The vectorized layer kernel (numpy backend).
+
+        Candidate rows of each in-neighborhood gather/sort as one int64
+        matrix and dedup via ``np.unique`` on packed key columns; only the
+        distinct rows touch the Python row table, and view allocation
+        happens in bulk on the interner's buffer-backed columns.  Views
+        over those columns are strictly transient: every ``frombuffer``
+        window is dropped before the underlying array can resize.
+        """
+        np = _np
+        patterns, layouts, inlists, pats_of_inlist = plan
+        n = self.n
+        depth = self._depth[levels[0][0]] + 1
+        rows = self._rows
+        row_table = self._row_table
+        row_masks = self._row_masks
+        node_slots = self._node_slots
+        pids = self._pid
+        depth_col = self._depth
+        level_matrix = np.array(levels, dtype=np.int64)
+        vid_cols: list = [None] * len(patterns)
+        for si, in_list in enumerate(inlists):
+            k = len(in_list)
+            cand = level_matrix[:, in_list]
+            if k > 1:
+                cand.sort(axis=1)
+                max_id = int(cand[:, -1].max())
+                bits = max(1, max_id.bit_length())
+                if k * bits <= 63:
+                    # Pack each sorted row into one int64 key: unique on
+                    # 1-D ints is far cheaper than row-wise unique.
+                    keys = cand[:, 0]
+                    for c in range(1, k):
+                        keys = (keys << bits) | cand[:, c]
+                    _, first_idx, inv = np.unique(
+                        keys, return_index=True, return_inverse=True
+                    )
+                    uniq = cand[first_idx]
+                else:
+                    uniq, inv = np.unique(cand, axis=0, return_inverse=True)
+            else:
+                _, first_idx, inv = np.unique(
+                    cand[:, 0], return_index=True, return_inverse=True
+                )
+                uniq = cand[first_idx]
+            # Intern the distinct rows; only fresh rows pay Python work.
+            count = len(uniq)
+            urids: list[int] = [0] * count
+            fresh: list[int] = []
+            nrows = len(rows)
+            rows_append = rows.append
+            row_setdefault = row_table.setdefault
+            fresh_append = fresh.append
+            if k > 1:
+                key_iter = zip(*[column.tolist() for column in uniq.T])
+            else:
+                key_iter = ((v,) for v in uniq[:, 0].tolist())
+            u = 0
+            for key in key_iter:
+                rid = row_setdefault(key, nrows)
+                if rid == nrows:
+                    rows_append(key)
+                    fresh_append(u)
+                    nrows += 1
+                urids[u] = rid
+                u += 1
+            if fresh:
+                mask_view = np.frombuffer(self._origin_mask, dtype=np.int64)
+                fresh_masks = np.bitwise_or.reduce(
+                    mask_view[uniq[np.array(fresh)]].reshape(len(fresh), k),
+                    axis=1,
+                )
+                del mask_view
+                node_slots.extend(self._empty_row * len(fresh))
+                row_masks.frombytes(fresh_masks.tobytes())
+            urid_arr = np.array(urids, dtype=np.int64)
+            for pi in pats_of_inlist[si]:
+                p = patterns[pi][0]
+                cand_slots = urid_arr * n + p
+                slot_view = np.frombuffer(node_slots, dtype=np.int64)
+                vid_u = slot_view[cand_slots]
+                del slot_view
+                missing = np.flatnonzero(vid_u < 0)
+                if len(missing):
+                    count_missing = len(missing)
+                    base = len(pids)
+                    new_vids = np.arange(
+                        base, base + count_missing, dtype=np.int64
+                    )
+                    missing_rids = urid_arr[missing]
+                    pids.extend([p] * count_missing)
+                    depth_col.extend([depth] * count_missing)
+                    self._row.frombytes(missing_rids.tobytes())
+                    row_mask_view = np.frombuffer(row_masks, dtype=np.int64)
+                    self._origin_mask.frombytes(
+                        row_mask_view[missing_rids].tobytes()
+                    )
+                    del row_mask_view
+                    self._origin_values.extend([None] * count_missing)
+                    slot_view = np.frombuffer(node_slots, dtype=np.int64)
+                    slot_view[cand_slots[missing]] = new_vids
+                    del slot_view
+                    vid_u[missing] = new_vids
+                vid_cols[pi] = vid_u[inv]
+        column_lists = [column.tolist() for column in vid_cols]
+        return [
+            list(zip(*[column_lists[pi] for pi in layout]))
+            for layout in layouts
+        ]
 
     def _check_pid(self, p: int) -> None:
         if not 0 <= p < self.n:
@@ -577,12 +1017,27 @@ class ViewInterner:
         for entry in self._origin_values:
             if entry is not None:
                 approx += tuple_header + len(entry) * (tuple_header + 16)
+        # The per-alphabet extension plans: graphs-tuple keys plus the
+        # pattern/layout/in-list structures (the cache is never evicted,
+        # so long-lived sessions watch its growth through these stats).
+        approx += getsizeof(self._plan_cache)
+        for key, (patterns, layouts, inlists, pats) in self._plan_cache.items():
+            approx += tuple_header + 8 * len(key)
+            for _, in_list in patterns:
+                approx += 2 * tuple_header + 16 + 8 * len(in_list)
+            for layout in layouts:
+                approx += getsizeof(layout)
+            for in_list in inlists:
+                approx += tuple_header + 8 * len(in_list)
+            for pis in pats:
+                approx += tuple_header + 8 * len(pis)
         return ViewStats(
             total,
             self._leaf_count,
             max_depth,
             rows=len(self._rows),
             cached_extensions=len(self._ext_cache),
+            cached_plans=len(self._plan_cache),
             approx_bytes=approx,
         )
 

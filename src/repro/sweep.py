@@ -36,6 +36,7 @@ from repro.backends import (
     SweepJob,
     jobs_for,
     load_manifest,
+    retry_jobs,
     run_manifest,
     write_manifest,
 )
@@ -57,6 +58,7 @@ __all__ = [
     "ManifestBackend",
     "run_sweep",
     "jobs_for",
+    "retry_jobs",
     "certificate_summary",
     "write_jsonl",
     "read_jsonl",

@@ -219,6 +219,11 @@ class PrefixSpace:
         layers are retained" (a shared interner signals cross-space reuse,
         e.g. the sweep engine; frontier mode keeps the memo off so memory
         stays frontier-bounded).
+    layer_backend:
+        Whole-layer kernel backend (``"numpy"``/``"python"``/``None`` for
+        the import-time default) of the interner this space creates when
+        none is shared in; ignored — the shared interner's own backend
+        wins — when ``interner`` is given.
 
     Examples
     --------
@@ -237,6 +242,7 @@ class PrefixSpace:
         max_nodes: int = 2_000_000,
         retain: str = "all",
         memo_extensions: bool | None = None,
+        layer_backend: str | None = None,
     ) -> None:
         self.adversary = adversary
         if retain not in ("all", "frontier"):
@@ -247,7 +253,9 @@ class PrefixSpace:
         self.memo_extensions = memo_extensions
         # Not ``interner or ...``: an empty interner is falsy via __len__
         # and must still be adopted (the sweep engine shares fresh ones).
-        self.interner = ViewInterner(adversary.n) if interner is None else interner
+        if interner is None:
+            interner = ViewInterner(adversary.n, layer_backend=layer_backend)
+        self.interner = interner
         if self.interner.n != adversary.n:
             raise AnalysisError("interner and adversary disagree on n")
         if input_vectors is None:
@@ -298,9 +306,14 @@ class PrefixSpace:
     def extend(self) -> None:
         """Construct the next layer (depth + 1).
 
-        Per parent prefix this resolves the admissible alphabet once
-        (cached on the adversary) and interns all successor view levels in
-        one batched call; children are plain column appends.
+        Parents are grouped by the adversary's reachable state set —
+        oblivious adversaries collapse the whole layer into one group,
+        stabilizing/eventually-forever adversaries into a few state-keyed
+        groups — and each group's successor levels are interned by one
+        :meth:`~repro.core.views.ViewInterner.extend_layer` call (the
+        whole-layer kernel), instead of a per-parent loop.  Children are
+        then emitted in the same parent-major, alphabet-minor order as
+        always, so layer indexing is unchanged.
         """
         current = self._stores[-1]
         if current.condensed:
@@ -308,42 +321,88 @@ class PrefixSpace:
         adversary = self.adversary
         extensions = adversary.admissible_extensions
         alphabet_of = adversary.extension_alphabet
-        extend_multi = self.interner.extend_level_multi
+        extend_layer = self.interner.extend_layer
         memo = self.memo_extensions
-        max_nodes = self.max_nodes
-        levels: list[tuple[int, ...]] = []
-        parents: list[int] = []
-        input_idx: list[int] = []
-        graphs: list = []
-        states_col: list[frozenset] = []
-        levels_append = levels.append
-        parents_append = parents.append
-        input_append = input_idx.append
-        graphs_append = graphs.append
-        states_append = states_col.append
         cur_levels = current.levels
         cur_inputs = current.input_idx
-        count = 0
-        for i, node_states in enumerate(current.states):
-            exts = extensions(node_states)
-            new_levels = extend_multi(cur_levels[i], alphabet_of(node_states), memo)
-            count += len(exts)
-            if count > max_nodes:
-                raise AnalysisError(
-                    f"prefix space exceeds max_nodes={self.max_nodes} at "
-                    f"depth {self.depth + 1}; reduce depth or inputs"
-                )
-            inp = cur_inputs[i]
-            for (graph, nxt_states), level in zip(exts, new_levels):
-                levels_append(level)
-                parents_append(i)
-                input_append(inp)
-                graphs_append(graph)
-                states_append(nxt_states)
-        if not levels:
+        cur_states = current.states
+        # Group parent indices by state set (insertion order for
+        # deterministic kernel-call order; state sets are cached frozensets
+        # so grouping is dict probes on shared objects).
+        groups: dict[frozenset, list[int]] = {}
+        for i, node_states in enumerate(cur_states):
+            members = groups.get(node_states)
+            if members is None:
+                groups[node_states] = [i]
+            else:
+                members.append(i)
+        # The node budget is checkable before any interning happens: every
+        # parent of a group contributes exactly one child per admissible
+        # extension of its state set.
+        count = sum(
+            len(extensions(states)) * len(members)
+            for states, members in groups.items()
+        )
+        if count > self.max_nodes:
+            raise AnalysisError(
+                f"prefix space exceeds max_nodes={self.max_nodes} at "
+                f"depth {self.depth + 1}; reduce depth or inputs"
+            )
+        if count == 0:
             raise AnalysisError(
                 f"{adversary.name}: no admissible extension at depth {self.depth}"
             )
+        if len(groups) == 1:
+            # Single-alphabet layer (every oblivious adversary): one kernel
+            # call over the whole layer, columns assembled without any
+            # per-child Python loop where list arithmetic can do it.
+            node_states = next(iter(groups))
+            exts = extensions(node_states)
+            by_graph = extend_layer(cur_levels, alphabet_of(node_states), memo)
+            width = len(exts)
+            levels = [
+                level for rowset in zip(*by_graph) for level in rowset
+            ]
+            parents = [i for i in range(len(cur_levels)) for _ in range(width)]
+            input_idx = [inp for inp in cur_inputs for _ in range(width)]
+            graphs = [graph for graph, _ in exts] * len(cur_levels)
+            states_col = [nxt for _, nxt in exts] * len(cur_levels)
+        else:
+            # One whole-layer kernel call per state group.
+            exts_of: list = [None] * len(cur_levels)
+            rowset_of: list = [None] * len(cur_levels)
+            for node_states, members in groups.items():
+                exts = extensions(node_states)
+                if not exts:
+                    continue
+                by_graph = extend_layer(
+                    [cur_levels[i] for i in members],
+                    alphabet_of(node_states),
+                    memo,
+                )
+                for i, rowset in zip(members, zip(*by_graph)):
+                    exts_of[i] = exts
+                    rowset_of[i] = rowset
+            levels = []
+            parents = []
+            input_idx = []
+            graphs = []
+            states_col = []
+            levels_append = levels.append
+            parents_append = parents.append
+            input_append = input_idx.append
+            graphs_append = graphs.append
+            states_append = states_col.append
+            for i, exts in enumerate(exts_of):
+                if exts is None:
+                    continue
+                inp = cur_inputs[i]
+                for (graph, nxt_states), level in zip(exts, rowset_of[i]):
+                    levels_append(level)
+                    parents_append(i)
+                    input_append(inp)
+                    graphs_append(graph)
+                    states_append(nxt_states)
         self._stores.append(
             LayerStore(levels, parents, input_idx, graphs, states_col)
         )

@@ -126,3 +126,56 @@ class TestRenderReport:
         assert "3 records" in text
         assert "undecided frontier (1 records)" in text
         assert "two-process" in text
+
+
+class TestCrossValidation:
+    def test_cgp_and_oracle_mining(self):
+        records = [
+            _record(0, cgp=True, oracle=True),                    # both agree
+            _record(1, cgp=False, oracle=True),                   # cgp disagrees
+            _record(2, status="impossible", certified_depth=None,
+                    certificate="nonbroadcastable-lasso", cgp=True,
+                    family="rooted"),                             # cgp disagrees
+            _record(3, status="undecided", certified_depth=None,
+                    certificate="undecided@4", cgp=True),         # unresolved
+            _record(4),                                           # no verdicts
+        ]
+        report = summarize(records)
+        assert report.cgp.checked == 4
+        assert report.cgp.agree == 1
+        assert report.cgp.unresolved == 1
+        assert [r.index for r in report.cgp.disagreements] == [1, 2]
+        assert report.cgp.disagreements_by_family() == {"-": 1, "rooted": 1}
+        assert report.oracle.checked == 2
+        assert report.oracle.agree == 2
+        assert report.oracle.disagree == 0
+
+    def test_report_renders_disagreement_section(self):
+        records = [
+            _record(0, cgp=True),
+            _record(1, cgp=False, family="rooted"),
+        ]
+        text = render_report(summarize(records))
+        assert "CGP reconstruction cross-validation" in text
+        assert "1 agree, 1 disagree" in text
+        assert "cgp predicted unsolvable" in text
+        assert "disagreements by family: rooted: 1" in text
+        # No oracle verdicts anywhere: the oracle section is omitted.
+        assert "literature-oracle" not in text
+
+    def test_sections_absent_without_verdicts(self):
+        text = render_report(summarize([_record(0)]))
+        assert "cross-validation" not in text
+
+    def test_census_jsonl_feeds_the_cgp_section(self, tmp_path):
+        import random
+
+        from repro.consensus.census import random_rooted_census
+
+        path = tmp_path / "census.jsonl"
+        random_rooted_census(
+            random.Random(5), n=3, samples=6, max_depth=3, jsonl_path=path
+        )
+        text = report_jsonl(path)
+        assert "CGP reconstruction cross-validation" in text
+        assert "checked 6" in text

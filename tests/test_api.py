@@ -353,3 +353,48 @@ class TestRandomRootedSpecs:
         reversed_graphs = [s.build().graphs for s in reversed(specs)]
         in_order_graphs = [s.build().graphs for s in specs]
         assert list(reversed(reversed_graphs)) == in_order_graphs
+
+
+class TestLayerBackendOption:
+    def test_roundtrips_and_reaches_session_interners(self):
+        options = CheckOptions(max_depth=4, layer_backend="python")
+        assert CheckOptions.from_dict(options.to_dict()) == options
+        session = Session(options)
+        assert session.interner(2).layer_backend == "python"
+
+    def test_default_follows_import_time_selection(self):
+        from repro.core.views import DEFAULT_LAYER_BACKEND
+
+        session = Session(CheckOptions(max_depth=4))
+        assert session.interner(2).layer_backend == DEFAULT_LAYER_BACKEND
+
+    def test_manifest_carries_the_backend_to_shard_runners(self, tmp_path):
+        from repro.backends import load_manifest, write_manifest
+        from repro.sweep import jobs_for
+
+        spec = AdversarySpec("two-process", {"index": 3})
+        path = tmp_path / "shard.json"
+        write_manifest(
+            jobs_for([spec], max_depth=3),
+            path,
+            options=CheckOptions(max_depth=3, layer_backend="python"),
+        )
+        manifest = load_manifest(path)
+        assert manifest["options"].layer_backend == "python"
+
+    def test_backend_choice_does_not_change_verdicts(self):
+        from repro.adversaries import two_process_oblivious_family
+        from repro.core.views import numpy_available
+        from repro.sweep import jobs_for
+
+        backends = ["python"] + (["numpy"] if numpy_available() else [])
+        fingerprints = []
+        for backend in backends:
+            session = Session(CheckOptions(max_depth=5, layer_backend=backend))
+            fingerprints.append([
+                (r.status, r.certificate, r.certified_depth)
+                for r in session.sweep(
+                    jobs_for(two_process_oblivious_family(), max_depth=5)
+                )
+            ])
+        assert all(fp == fingerprints[0] for fp in fingerprints)

@@ -207,3 +207,125 @@ class TestSweepCli:
         text = capsys.readouterr().out
         assert "status histogram" in text
         assert "per-family statuses" in text
+
+
+class TestRetry:
+    def _undecided_sweep(self, tmp_path):
+        """A seeded rooted sweep at depth 0 with a real undecided frontier."""
+        from repro.specs import random_rooted_specs
+        from repro.sweep import retry_jobs
+
+        specs = random_rooted_specs(7, 3, 10, sizes=(1, 2))
+        path = tmp_path / "first.jsonl"
+        records = run_sweep(jobs_for(specs, max_depth=0), jsonl_path=path)
+        undecided = [r for r in records if r.status == "undecided"]
+        assert undecided, "expected an undecided frontier at depth 0"
+        return records, undecided, path, retry_jobs
+
+    def test_retry_requeues_only_undecided_at_deeper_budget(self, tmp_path):
+        records, undecided, _, retry_jobs = self._undecided_sweep(tmp_path)
+        jobs, skipped = retry_jobs(records, extra_depth=4)
+        assert not skipped
+        assert sorted(job.index for job in jobs) == sorted(
+            r.index for r in undecided
+        )
+        for job in jobs:
+            assert job.max_depth == 4  # 0 + 4
+            assert job.tags["retry_of_max_depth"] == 0
+        retried = run_sweep(jobs)
+        assert all(r.status != "undecided" for r in retried)
+
+    def test_retry_absolute_budget_and_validation(self, tmp_path):
+        records, _, _, retry_jobs = self._undecided_sweep(tmp_path)
+        jobs, _ = retry_jobs(records, max_depth=6)
+        assert all(job.max_depth == 6 for job in jobs)
+        with pytest.raises(AnalysisError):
+            retry_jobs(records)
+        with pytest.raises(AnalysisError):
+            retry_jobs(records, extra_depth=2, max_depth=6)
+
+    def test_records_without_specs_are_reported_not_dropped_silently(self):
+        from repro.records import RunRecord
+        from repro.sweep import retry_jobs
+
+        bare = RunRecord(
+            index=0, adversary="X", n=2, alphabet=1, max_depth=2,
+            status="undecided", certified_depth=None,
+            certificate="undecided@2", elapsed_s=0.0, views_interned=0,
+            shard=0,
+        )
+        jobs, skipped = retry_jobs([bare], extra_depth=2)
+        assert jobs == []
+        assert skipped == [bare]
+
+    def test_cli_retry_roundtrip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        first = tmp_path / "first.jsonl"
+        assert main([
+            "sweep", "--family", "rooted", "--n", "3", "--samples", "10",
+            "--sizes", "1", "2", "--seed", "7", "--max-depth", "0",
+            "--out", str(first),
+        ]) == 0
+        capsys.readouterr()
+        retried = tmp_path / "retried.jsonl"
+        assert main([
+            "sweep", "--retry", str(first), "--max-depth", "+4",
+            "--out", str(retried),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "jobs on" in out
+        first_records = list(read_jsonl(first))
+        retried_records = list(read_jsonl(retried))
+        undecided = [r for r in first_records if r.status == "undecided"]
+        assert len(retried_records) == len(undecided)
+        assert all(r.max_depth == 4 for r in retried_records)
+        # Indices trace back to the original sweep.
+        assert {r.index for r in retried_records} == {
+            r.index for r in undecided
+        }
+
+    def test_cli_retry_on_decided_file_is_a_noop(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "two.jsonl"
+        assert main([
+            "sweep", "--family", "two-process", "--max-depth", "4",
+            "--out", str(out),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "--retry", str(out)]) == 0
+        assert "no undecided records to retry" in capsys.readouterr().out
+
+    def test_cli_relative_depth_requires_retry(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["sweep", "--family", "two-process", "--max-depth", "+2"])
+
+    def test_retry_skips_budgets_that_do_not_deepen(self, tmp_path):
+        records, undecided, _, retry_jobs = self._undecided_sweep(tmp_path)
+        # Absolute budget equal to the original: nothing can change.
+        jobs, skipped = retry_jobs(records, max_depth=0)
+        assert jobs == []
+        assert len(skipped) == len(undecided)
+        with pytest.raises(AnalysisError):
+            retry_jobs(records, extra_depth=0)
+
+    def test_cli_retry_rejects_family_selection(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "two.jsonl"
+        assert main([
+            "sweep", "--family", "two-process", "--max-depth", "4",
+            "--out", str(out),
+        ]) == 0
+        with pytest.raises(SystemExit, match="cannot be combined"):
+            main(["sweep", "--retry", str(out), "--family", "rooted"])
+
+    def test_cli_retry_rejects_non_deepening_relative_budget(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="deepen the budget"):
+            main(["sweep", "--retry", str(tmp_path / "x.jsonl"),
+                  "--max-depth", "+0"])

@@ -124,6 +124,37 @@ class TestStreaming:
             assert condensed.parents == materialized.layer_store(t).parents
             assert condensed.input_idx == materialized.layer_store(t).input_idx
 
+    def test_frontier_mode_matches_materialized_at_depth_8(self):
+        """Deep streaming equality on the layer kernel: 4 * 3^8 prefixes.
+
+        The whole-layer kernel interns streamed (memo-off) and
+        materialized layers through different call patterns; at depth 8
+        every column must still coincide exactly.
+        """
+        materialized = PrefixSpace(lossy_link_full())
+        materialized.ensure_depth(8)
+        frontier = PrefixSpace(lossy_link_full(), retain="frontier")
+        for _, store in frontier.iter_layers(max_depth=8):
+            pass
+        full_store = materialized.layer_store(8)
+        assert len(store) == 4 * 3**8
+        assert store.levels == full_store.levels
+        assert store.parents == full_store.parents
+        assert store.input_idx == full_store.input_idx
+        assert store.graphs == full_store.graphs
+        assert store.states == full_store.states
+
+    def test_frontier_streaming_on_state_grouped_adversary(self):
+        """Multi-group layers (eventually-forever) stream identically."""
+        materialized = PrefixSpace(eventually_one_direction("->"))
+        materialized.ensure_depth(6)
+        frontier = PrefixSpace(
+            eventually_one_direction("->"), retain="frontier"
+        )
+        frontier.ensure_depth(6)
+        assert frontier.layer_store(6).levels == materialized.layer_store(6).levels
+        assert frontier.layer_store(6).states == materialized.layer_store(6).states
+
     def test_frontier_mode_reiteration_raises_instead_of_gutted_stores(self):
         space = PrefixSpace(lossy_link_no_hub(), retain="frontier")
         for _ in space.iter_layers(max_depth=3):
