@@ -20,6 +20,12 @@ from repro.adversaries import (
     santoro_widmayer_family,
 )
 from repro.consensus import check_consensus
+from repro.consensus.decision import build_decision_table
+from repro.consensus.solvability import (
+    CheckOptions,
+    check_consensus_with_options,
+)
+from repro.consensus.spec import ConsensusSpec
 from repro.core.views import numpy_available
 from repro.topology.components import ComponentAnalysis
 from repro.topology.prefixspace import PrefixSpace
@@ -321,6 +327,187 @@ def test_scaling_full_check_n7_sw(benchmark):
         [f"{result.status.name}, certified depth {result.certified_depth}"],
     )
     assert result.status.name == "SOLVABLE"
+
+
+# --------------------------------------------------------------------- #
+# Columnar-pipeline scenarios (PR 5)
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("backend", KERNEL_BACKENDS)
+def test_scaling_components_quick(benchmark, backend):
+    """Smoke-gate columnar-components scenario: depth-6 layer, each backend.
+
+    Small enough for the CI quick run on both the with-numpy and the
+    without-numpy leg (the numpy param skips there), large enough that the
+    component pass — not fixture setup — dominates; this is the entry
+    that keeps the columnar ``ComponentAnalysis`` honest between full
+    re-recordings.
+    """
+    space = PrefixSpace(lossy_link_full(), layer_backend=backend)
+    space.ensure_depth(6)
+
+    analysis = benchmark(lambda: ComponentAnalysis(space, 6))
+    emit(
+        benchmark,
+        f"scaling: columnar components, depth=6, backend={backend}",
+        [repr(analysis.summary())],
+    )
+    assert len(analysis.components) == 1
+
+
+@pytest.mark.bench_deep
+@pytest.mark.parametrize("backend", KERNEL_BACKENDS)
+def test_scaling_checker_pipeline_depth10(benchmark, backend):
+    """Full ``check_consensus`` walking every depth through 10.
+
+    Impossibility provers and the broadcaster certificate are disabled, so
+    the checker runs the whole columnar pipeline — layer extension plus
+    component analysis — on every layer of the full lossy link up to the
+    236k-prefix depth-10 layer before returning UNDECIDED.  This is the
+    depth-10 acceptance scenario of the columnar refactor.
+    """
+    options = CheckOptions(
+        max_depth=10,
+        use_impossibility_provers=False,
+        use_broadcaster_certificate=False,
+        layer_backend=backend,
+    )
+    result = benchmark.pedantic(
+        lambda: check_consensus_with_options(lossy_link_full(), options),
+        rounds=3,
+        iterations=1,
+    )
+    emit(
+        benchmark,
+        f"scaling: checker pipeline, depth=10, backend={backend}",
+        [f"{result.status.name} after exploring depth {result.history[-1].depth}"],
+    )
+    assert result.status.name == "UNDECIDED"
+    assert result.history[-1].prefixes == 4 * 3**10
+
+
+@pytest.mark.bench_deep
+@pytest.mark.parametrize("backend", KERNEL_BACKENDS)
+def test_scaling_checker_pipeline_depth12(benchmark, backend):
+    """Full ``check_consensus`` through the 2.1M-prefix depth-12 layer.
+
+    The depth-12 acceptance scenario: extension + components at every
+    depth, retained columnar layers throughout (``max_nodes`` raised above
+    the final layer's size).
+    """
+    options = CheckOptions(
+        max_depth=12,
+        max_nodes=8_000_000,
+        use_impossibility_provers=False,
+        use_broadcaster_certificate=False,
+        layer_backend=backend,
+    )
+    result = benchmark.pedantic(
+        lambda: check_consensus_with_options(lossy_link_full(), options),
+        rounds=2,
+        iterations=1,
+    )
+    emit(
+        benchmark,
+        f"scaling: checker pipeline, depth=12, backend={backend}",
+        [f"{result.status.name} after exploring depth {result.history[-1].depth}"],
+    )
+    assert result.history[-1].prefixes == 4 * 3**12
+
+
+@pytest.mark.bench_deep
+@pytest.mark.parametrize("backend", KERNEL_BACKENDS)
+def test_scaling_decision_pipeline_n3(benchmark, backend):
+    """Components + decision table at depth 8 of the n=3 out-star space.
+
+    52488 three-process prefixes; building (and validating) the decision
+    table at depth 8 exercises the columnar final/early-map folds over
+    all nine layers — the decision-stage workload of the pipeline.
+    """
+
+    def kernel():
+        adversary = ObliviousAdversary(3, out_star_set(3))
+        space = PrefixSpace(adversary, layer_backend=backend)
+        space.ensure_depth(8)
+        analysis = ComponentAnalysis(space, 8)
+        return build_decision_table(analysis, ConsensusSpec())
+
+    table = benchmark.pedantic(kernel, rounds=3, iterations=1)
+    emit(
+        benchmark,
+        f"scaling: decision pipeline, n=3 depth=8, backend={backend}",
+        [f"decision table over {len(table.assignment)} components, "
+         f"{len(table.early)} decided views"],
+    )
+
+
+@pytest.mark.bench_deep
+@pytest.mark.parametrize("backend", KERNEL_BACKENDS)
+def test_scaling_layer_construction_depth14_streaming(benchmark, backend):
+    """Depth-14 lossy link streamed: 4 * 3^14 = 19131876 prefixes.
+
+    The scenario the array-native layer format was built for — two layers
+    beyond the PR-4 ceiling.  One frontier of 19.1M prefixes is a flat
+    306MB id column (plus the interner's arena); the per-child tuple
+    representation it replaced held this layer in tens of GB of Python
+    objects.  Recorded on both backends, one round (the run is minutes of
+    work on the pure-Python kernel).
+    """
+
+    def kernel():
+        space = PrefixSpace(
+            lossy_link_full(),
+            retain="frontier",
+            max_nodes=20_000_000,
+            layer_backend=backend,
+        )
+        for depth, store in space.iter_layers(max_depth=14):
+            pass
+        return len(store), space.interner.stats()
+
+    size, stats = benchmark.pedantic(kernel, rounds=1, iterations=1)
+    emit(
+        benchmark,
+        f"scaling: streaming layer construction, depth=14, backend={backend}",
+        [
+            f"|layer 14| = {size} prefixes (4 * 3^14)",
+            f"interner: {stats.total} views, {stats.rows} child rows, "
+            f"~{stats.approx_bytes / 1e6:.0f} MB resident",
+        ],
+    )
+    assert size == 4 * 3**14
+
+
+@pytest.mark.bench_deep
+@pytest.mark.parametrize("backend", KERNEL_BACKENDS)
+def test_scaling_n7_rooted_space_depth4(benchmark, backend):
+    """Depth-4 streaming space of a random rooted n=7 oblivious adversary.
+
+    128 input assignments x |D|=8 rooted graphs: 524288 seven-process
+    prefixes at depth 4 — one layer deeper than the PR-4 n=7 scenario,
+    recorded on both kernel backends.
+    """
+    rng = random.Random(2026)
+    adversary = random_oblivious_adversary(rng, 7, size=8, rooted_only=True)
+
+    def kernel():
+        space = PrefixSpace(
+            adversary, retain="frontier", layer_backend=backend
+        )
+        space.ensure_depth(4)
+        return len(space.layer_store(4)), space.interner.stats()
+
+    size, stats = benchmark.pedantic(kernel, rounds=2, iterations=1)
+    emit(
+        benchmark,
+        f"scaling: n=7 rooted |D|=8 depth-4 space, backend={backend}",
+        [
+            f"|layer 4| = {size} prefixes (128 * 8^4)",
+            f"interner: {stats.total} views interned",
+        ],
+    )
+    assert size == 128 * 8**4
 
 
 @pytest.mark.bench_deep

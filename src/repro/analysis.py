@@ -35,6 +35,7 @@ __all__ = [
     "summarize",
     "render_report",
     "report_jsonl",
+    "json_report_jsonl",
 ]
 
 
@@ -111,6 +112,18 @@ class CrossValidation:
         """Family label -> number of disagreeing records."""
         return Counter(record.family_label for record in self.disagreements)
 
+    def to_dict(self) -> dict:
+        """JSON-able form (the ``report --json`` CrossValidation section)."""
+        return {
+            "label": self.label,
+            "checked": self.checked,
+            "agree": self.agree,
+            "disagree": self.disagree,
+            "unresolved": self.unresolved,
+            "disagreements_by_family": dict(self.disagreements_by_family()),
+            "disagreements": [record.to_dict() for record in self.disagreements],
+        }
+
     def __repr__(self) -> str:
         return (
             f"CrossValidation({self.label}: checked={self.checked}, "
@@ -168,6 +181,39 @@ class SweepReport:
         #: the literature oracle (census streams carry both in-record).
         self.cgp = cgp if cgp is not None else CrossValidation("cgp")
         self.oracle = oracle if oracle is not None else CrossValidation("oracle")
+
+    def to_dict(self) -> dict:
+        """Machine-readable form of the whole report (``report --json``).
+
+        Everything the rendered text shows, as one JSON document with a
+        versioned ``schema`` marker: histograms, pivots (labels
+        stringified for JSON keys), the full undecided frontier, the
+        slowest jobs, and both :class:`CrossValidation` sections —
+        records embedded via :meth:`~repro.records.RunRecord.to_dict`, so
+        downstream tooling (CI artifacts, dashboards) can re-queue or
+        re-check them directly.
+        """
+        return {
+            "schema": "repro.sweep-report/1",
+            "total": self.total,
+            "total_elapsed_s": self.total_elapsed_s,
+            "status_counts": dict(self.status_counts),
+            "certificate_counts": dict(self.certificate_counts),
+            "by_family": {
+                str(label): dict(counter)
+                for label, counter in sorted(self.by_family.items(), key=lambda kv: str(kv[0]))
+            },
+            "by_shape": {
+                f"n={n} |D|={alphabet}": dict(counter)
+                for (n, alphabet), counter in sorted(self.by_shape.items())
+            },
+            "undecided": [record.to_dict() for record in self.undecided],
+            "slowest": [record.to_dict() for record in self.slowest],
+            "cross_validation": {
+                "oracle": self.oracle.to_dict(),
+                "cgp": self.cgp.to_dict(),
+            },
+        }
 
     def __repr__(self) -> str:
         counts = ", ".join(
@@ -331,3 +377,10 @@ def render_report(report: SweepReport) -> str:
 def report_jsonl(path: str | Path, top: int = 5) -> str:
     """Summarize and render a JSONL record file (any schema version)."""
     return render_report(summarize(read_jsonl(path), top=top))
+
+
+def json_report_jsonl(path: str | Path, top: int = 5) -> str:
+    """Summarize a JSONL record file into the machine-readable JSON report."""
+    import json
+
+    return json.dumps(summarize(read_jsonl(path), top=top).to_dict(), indent=2)

@@ -40,6 +40,7 @@ from typing import Iterable, Sequence
 from repro.adversaries.base import MessageAdversary
 from repro.analysis import (
     SweepReport,
+    json_report_jsonl,
     render_report,
     report_jsonl,
     summarize,
@@ -96,6 +97,7 @@ __all__ = [
     "check_consensus_with_options",
     "families",
     "jobs_for",
+    "json_report_jsonl",
     "load_manifest",
     "random_rooted_specs",
     "read_jsonl",
@@ -151,7 +153,9 @@ class Session:
         interner = self._interners.get(n)
         if interner is None:
             interner = self._interners[n] = ViewInterner(
-                n, layer_backend=self.options.layer_backend
+                n,
+                layer_backend=self.options.layer_backend,
+                plan_cache_size=self.options.plan_cache_size,
             )
         return interner
 

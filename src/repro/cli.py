@@ -11,7 +11,10 @@ Subcommands:
   --max-depth +2`` re-queues only the undecided records of an earlier
   sweep at a deeper budget;
 * ``report`` — render status/certificate histograms and pivot tables from
-  a sweep JSONL file (old headerless or new versioned format);
+  a sweep JSONL file (old headerless or new versioned format); ``--json``
+  emits the machine-readable ``repro.sweep-report/1`` document instead
+  (incl. the CGP/oracle cross-validation sections) for CI artifacts and
+  dashboards;
 * ``simulate`` — run the universal algorithm against sampled sequences;
 * ``ptg`` — print the Figure 2 process-time graph.
 
@@ -254,9 +257,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    from repro.analysis import report_jsonl
+    from repro.analysis import json_report_jsonl, report_jsonl
 
-    print(report_jsonl(args.records, top=args.top))
+    if args.json:
+        print(json_report_jsonl(args.records, top=args.top))
+    else:
+        print(report_jsonl(args.records, top=args.top))
     return 0
 
 
@@ -447,6 +453,10 @@ def main(argv: list[str] | None = None) -> int:
     report.add_argument("records", help="sweep JSONL file (v1 or v2 schema)")
     report.add_argument("--top", type=int, default=5,
                         help="how many slowest jobs to list")
+    report.add_argument("--json", action="store_true",
+                        help="emit the machine-readable JSON report "
+                             "(schema repro.sweep-report/1, incl. the "
+                             "cross-validation sections) instead of text")
     report.set_defaults(func=cmd_report)
 
     simulate = sub.add_parser("simulate", help="simulate the certified algorithm")

@@ -14,16 +14,50 @@ the depth-``t`` components are fixed, that rule becomes a pure lookup:
 
 :class:`DecisionTable` materializes both maps and validates itself against
 the prefix space (agreement, validity, termination by round ``t``).
+
+Columnar construction
+---------------------
+:func:`build_decision_table` folds directly over the layer columns: the
+per-prefix component-id column of the
+:class:`~repro.topology.components.ComponentAnalysis` becomes a per-prefix
+value-bit column, the final map reads the depth-``t``
+:class:`~repro.core.views.LayerTable` flat column, and the early map pushes
+value bitmaps bottom-up through the parent-index columns — per layer one
+``np.unique`` + ``reduceat`` fold on the numpy backend, one flat loop on
+pure Python.  No :class:`~repro.topology.prefixspace.PrefixNode` is ever
+materialized except to format a validation error.
 """
 
 from __future__ import annotations
 
 from repro.consensus.spec import ConsensusSpec
+from repro.core.views import numpy_module, plain_ids
 from repro.errors import CertificateError
 from repro.topology.components import ComponentAnalysis
 from repro.topology.prefixspace import PrefixSpace
 
 __all__ = ["DecisionTable", "build_decision_table"]
+
+
+#: Below this many (prefix, process) cells at the certification depth the
+#: per-layer unique/reduceat folds lose to the plain dict loops.
+_DECISION_NUMPY_MIN_CELLS = 2048
+
+#: The vectorized folds encode value sets as int64 bitmaps; instances with
+#: more distinct decision values than this fall back to the Python maps
+#: (whose bitmaps are arbitrary-precision ints).
+_NUMPY_MAX_VALUES = 62
+
+
+def _use_numpy_maps(space, store, value_count: int) -> bool:
+    """Whether the vectorized decision folds should run for this layer."""
+    np = numpy_module()
+    return (
+        np is not None
+        and space.interner.layer_backend == "numpy"
+        and value_count <= _NUMPY_MAX_VALUES
+        and len(store) * store.levels.n >= _DECISION_NUMPY_MIN_CELLS
+    )
 
 
 class DecisionTable:
@@ -86,18 +120,38 @@ class DecisionTable:
 
         Raises :class:`CertificateError` on any violation; passing is an
         end-to-end check of the universal construction at this depth.
+        Runs columnar on the numpy backend (one gather over the layer's
+        flat view column) with the flat Python loop as the fallback; nodes
+        are only materialized to format a failure.
         """
         space = self.space
         store = space.layer_store(self.depth)
+        table = store.levels
+        value_count = len(self.decided_values())
+        if _use_numpy_maps(space, store, value_count) and len(self.early) > 0:
+            self._validate_numpy(numpy_module(), store, table)
+        else:
+            self._validate_python(store, table)
+        # Early decisions must be consistent with final ones.
+        for view, value in self.final.items():
+            if self.early.get(view) != value:
+                raise CertificateError("early/final decision mismatch")
+
+    def _validate_python(self, store, table) -> None:
+        space = self.space
         unanimity = space.unanimity_by_index
         input_vectors = space.input_vectors
         strong = self.spec.validity == "strong"
         early_get = self.early.get
         missing = object()
-        for index, views in enumerate(store.levels):
-            value = early_get(views[0], missing)
-            for p, vid in enumerate(views):
-                decided = early_get(vid, missing)
+        input_idx = store.input_idx
+        n = table.n
+        ids = plain_ids(table.ids)
+        for index in range(len(table)):
+            base = index * n
+            value = early_get(ids[base], missing)
+            for p in range(n):
+                decided = early_get(ids[base + p], missing)
                 if decided is missing:
                     raise CertificateError(
                         f"termination violation: no decision for process {p} "
@@ -109,7 +163,7 @@ class DecisionTable:
                         f"{space.node(self.depth, index)!r}: "
                         f"{{{value!r}, {decided!r}}}"
                     )
-            input_index = store.input_idx[index]
+            input_index = input_idx[index]
             unanimous = unanimity[input_index]
             if unanimous is not None and value != unanimous:
                 raise CertificateError(
@@ -121,10 +175,80 @@ class DecisionTable:
                     f"strong validity violation in "
                     f"{space.node(self.depth, index)!r}: decided {value!r}"
                 )
-        # Early decisions must be consistent with final ones.
-        for view, value in self.final.items():
-            if self.early.get(view) != value:
-                raise CertificateError("early/final decision mismatch")
+
+    def _validate_numpy(self, np, store, table) -> None:
+        space = self.space
+        value_list = sorted(set(self.early.values()), key=repr)
+        code_of = {value: i for i, value in enumerate(value_list)}
+        # Dense view-id -> value-code column over the decided views.
+        interner_size = len(space.interner)
+        vid_codes = np.full(interner_size, -1, dtype=np.int64)
+        early_vids = np.fromiter(self.early.keys(), dtype=np.int64, count=len(self.early))
+        early_codes = np.fromiter(
+            (code_of[value] for value in self.early.values()),
+            dtype=np.int64,
+            count=len(self.early),
+        )
+        vid_codes[early_vids] = early_codes
+        mat = table.array()
+        codes = vid_codes[mat]
+        undecided = codes < 0
+        if undecided.any():
+            index, p = np.argwhere(undecided)[0]
+            raise CertificateError(
+                f"termination violation: no decision for process {int(p)} "
+                f"in {space.node(self.depth, int(index))!r}"
+            )
+        first = codes[:, :1]
+        disagree = (codes != first).any(axis=1)
+        if disagree.any():
+            index = int(np.flatnonzero(disagree)[0])
+            row = codes[index]
+            raise CertificateError(
+                f"agreement violation in "
+                f"{space.node(self.depth, index)!r}: "
+                f"{{{value_list[int(row[0])]!r}, "
+                f"{value_list[int(row[row != row[0]][0])]!r}}}"
+            )
+        node_codes = first.reshape(-1)
+        # Validity: unanimity forces the value; strong validity requires
+        # membership in the member's input assignment.
+        unanimity = space.unanimity_by_index
+        unan_codes = np.array(
+            [code_of.get(value, -1) if value is not None else -2 for value in unanimity],
+            dtype=np.int64,
+        )
+        input_idx = store.input_array()
+        expected = unan_codes[input_idx]
+        bad = (expected != -2) & (expected != node_codes)
+        if bad.any():
+            index = int(np.flatnonzero(bad)[0])
+            raise CertificateError(
+                f"validity violation in {space.node(self.depth, index)!r}: "
+                f"decided {value_list[int(node_codes[index])]!r}"
+            )
+        if self.spec.validity == "strong":
+            input_vectors = space.input_vectors
+            allowed_bits = np.array(
+                [
+                    sum(
+                        1 << code_of[v]
+                        for v in set(vec)
+                        if v in code_of
+                    )
+                    for vec in input_vectors
+                ],
+                dtype=np.int64,
+            )
+            node_bits = np.left_shift(1, node_codes)
+            bad = (allowed_bits[input_idx] & node_bits) == 0
+            if bad.any():
+                index = int(np.flatnonzero(bad)[0])
+                raise CertificateError(
+                    f"strong validity violation in "
+                    f"{space.node(self.depth, index)!r}: decided "
+                    f"{value_list[int(node_codes[index])]!r}"
+                )
 
     def decision_round_for(self, node) -> int:
         """The earliest round at which all processes have decided in a prefix."""
@@ -161,35 +285,57 @@ def build_decision_table(
         component.id: spec.pick_value(component)
         for component in analysis.components
     }
-
-    # Final map: every view occurring at the certification depth.
-    final: dict[int, object] = {}
-    store = space.layer_store(depth)
-    node_values: list = [None] * len(store)
-    for component in analysis.components:
-        value = assignment[component.id]
-        for index in component.member_indices:
-            node_values[index] = value
-            for vid in store.levels[index]:
-                final[vid] = value
-
-    # Early map: a view at depth s <= depth decides when every admissible
-    # depth-t continuation carries the same value.  Computed bottom-up: the
-    # value set of a node is the union over its depth-t descendants, pushed
-    # through the parent links layer by layer, so the whole map costs
-    # O(total views) instead of O(nodes * depth).  Value sets are encoded
-    # as bitmaps over the (small, finite) set of assigned values.
+    # Value sets are encoded as bitmaps over the (small, finite) set of
+    # assigned values; both backends share the coding.
     value_list = sorted(set(assignment.values()), key=repr)
     bit_of = {value: 1 << i for i, value in enumerate(value_list)}
+    if _use_numpy_maps(space, space.layer_store(depth), len(value_list)):
+        final, early = _decision_maps_numpy(
+            numpy_module(), space, depth, analysis, assignment, value_list, bit_of
+        )
+    else:
+        final, early = _decision_maps_python(
+            space, depth, analysis, assignment, value_list, bit_of
+        )
+    table = DecisionTable(space, depth, spec, assignment, final, early)
+    table.validate()
+    return table
+
+
+def _decision_maps_python(
+    space, depth, analysis, assignment, value_list, bit_of
+) -> tuple[dict, dict]:
+    """Bottom-up decision maps over the flat layer columns (pure Python).
+
+    The value set of a node is the union over its depth-``t`` descendants,
+    pushed through the parent-index columns layer by layer, so the whole
+    map costs O(total views) instead of O(nodes * depth).
+    """
+    store = space.layer_store(depth)
+    table = store.levels
+    n = table.n
+    # Final map: every view occurring at the certification depth.
+    comp_values = [assignment[c.id] for c in analysis.components]
+    comp_bits = [bit_of[value] for value in comp_values]
+    value_bits = [comp_bits[cid] for cid in analysis.comp_ids]
+    final: dict[int, object] = {}
+    ids = plain_ids(table.ids)
+    for index, bits in enumerate(value_bits):
+        value = value_list[bits.bit_length() - 1]
+        base = index * n
+        for vid in ids[base : base + n]:
+            final[vid] = value
+    # Early map, bottom-up through the parent columns.
     possible: dict[int, int] = {}
     possible_get = possible.get
-    value_bits: list[int] = [bit_of[value] for value in node_values]
     for s in range(depth, -1, -1):
         level_store = space.layer_store(s)
-        levels = level_store.levels
-        for index, bits in enumerate(value_bits):
-            for vid in levels[index]:
+        ids = plain_ids(level_store.levels.ids)
+        base = 0
+        for bits in value_bits:
+            for vid in ids[base : base + n]:
                 possible[vid] = possible_get(vid, 0) | bits
+            base += n
         if s:
             parents = level_store.parents
             parent_bits = [0] * len(space.layer_store(s - 1))
@@ -201,7 +347,87 @@ def build_decision_table(
         for view, bits in possible.items()
         if bits and bits & (bits - 1) == 0
     }
+    return final, early
 
-    table = DecisionTable(space, depth, spec, assignment, final, early)
-    table.validate()
-    return table
+
+def _decision_maps_numpy(
+    np, space, depth, analysis, assignment, value_list, bit_of
+) -> tuple[dict, dict]:
+    """Vectorized decision maps: per layer one sort/``reduceat`` fold.
+
+    Views of different depths have distinct ids, so the per-layer
+    ``(unique view, OR of value bits)`` pairs concatenate into the early
+    map without cross-layer merging; the parent push is a segment OR over
+    the (already parent-major-sorted) parent column.
+    """
+    store = space.layer_store(depth)
+    comp_bits = np.array(
+        [bit_of[assignment[c.id]] for c in analysis.components], dtype=np.int64
+    )
+    comp_ids = analysis.comp_ids
+    if not isinstance(comp_ids, np.ndarray):
+        comp_ids = np.array(comp_ids, dtype=np.int64)
+    value_bits = comp_bits[comp_ids]
+    n = store.levels.n
+    final: dict[int, object] = {}
+    all_vids: list = []
+    all_bits: list = []
+    for s in range(depth, -1, -1):
+        level_store = space.layer_store(s)
+        flat = level_store.levels.array().reshape(-1)
+        cell_bits = np.repeat(value_bits, n)
+        order = np.argsort(flat, kind="stable")
+        sorted_vids = flat[order]
+        boundary = np.empty(len(sorted_vids), dtype=bool)
+        boundary[0] = True
+        np.not_equal(sorted_vids[1:], sorted_vids[:-1], out=boundary[1:])
+        starts = np.flatnonzero(boundary)
+        uniq_vids = sorted_vids[starts]
+        uniq_bits = np.bitwise_or.reduceat(cell_bits[order], starts)
+        all_vids.append(uniq_vids)
+        all_bits.append(uniq_bits)
+        if s == depth:
+            # The depth-t views are single-valued by construction; they
+            # are exactly the final map.
+            final_codes = _bit_codes(np, uniq_bits)
+            final = {
+                vid: value_list[code]
+                for vid, code in zip(uniq_vids.tolist(), final_codes.tolist())
+            }
+        if s:
+            parents = level_store.parent_array()
+            prev_count = len(space.layer_store(s - 1))
+            seg_boundary = np.empty(len(parents), dtype=bool)
+            seg_boundary[0] = True
+            np.not_equal(parents[1:], parents[:-1], out=seg_boundary[1:])
+            seg_starts = np.flatnonzero(seg_boundary)
+            seg_parents = parents[seg_starts]
+            parent_bits = np.zeros(prev_count, dtype=np.int64)
+            parent_bits[seg_parents] = np.bitwise_or.reduceat(
+                value_bits, seg_starts
+            )
+            value_bits = parent_bits
+    vids = np.concatenate(all_vids)
+    bits = np.concatenate(all_bits)
+    # Single-bit AND nonzero: a view reachable only through dead-end
+    # prefixes (a state group with no admissible extensions) accumulates
+    # bits 0 and must stay undecided, exactly as on the Python path.
+    decided = (bits != 0) & ((bits & (bits - 1)) == 0)
+    decided_vids = vids[decided]
+    decided_codes = _bit_codes(np, bits[decided])
+    early = {
+        vid: value_list[code]
+        for vid, code in zip(decided_vids.tolist(), decided_codes.tolist())
+    }
+    return final, early
+
+
+def _bit_codes(np, bits):
+    """Index of the highest set bit per entry (entries are single-bit)."""
+    codes = np.zeros(len(bits), dtype=np.int64)
+    shifted = bits >> 1
+    while shifted.any():
+        nonzero = shifted > 0
+        codes[nonzero] += 1
+        shifted = shifted >> 1
+    return codes

@@ -81,11 +81,20 @@ class CheckOptions:
         shared).  ``False`` when the interner is provided only for
         observability, not cross-space reuse.
     layer_backend:
-        Whole-layer extension kernel backend for interners created by the
+        Columnar-pipeline kernel backend for interners created by the
         checker (``"numpy"``/``"python"``; ``None`` = import-time
-        default).  Serializes with the options, so sweep manifests carry
-        the backend choice to shard runners.  Ignored when the caller
-        shares an interner — the interner's own backend wins.
+        default).  One switch drives the whole-layer extension kernel,
+        the component analysis, and the decision-table construction.
+        Serializes with the options, so sweep manifests carry the backend
+        choice to shard runners.  Ignored when the caller shares an
+        interner — the interner's own backend wins.
+    plan_cache_size:
+        LRU capacity of the created interner's per-alphabet extension-plan
+        cache (``None`` = library default,
+        :data:`repro.core.views.DEFAULT_PLAN_CACHE_SIZE`).  Plans are pure
+        functions of the alphabet, so the cap trades recomputation for
+        memory and never changes results.  Ignored when the caller shares
+        an interner.
     """
 
     max_depth: int = 10
@@ -94,6 +103,7 @@ class CheckOptions:
     use_broadcaster_certificate: bool = True
     memo_extensions: bool | None = None
     layer_backend: str | None = None
+    plan_cache_size: int | None = None
 
     def replace(self, **changes) -> "CheckOptions":
         """A copy with the given fields changed."""
@@ -412,6 +422,7 @@ def check_consensus_with_options(
         max_nodes=max_nodes,
         memo_extensions=memo_extensions,
         layer_backend=options.layer_backend,
+        plan_cache_size=options.plan_cache_size,
     )
     table: DecisionTable | None = None
     certified_depth = None

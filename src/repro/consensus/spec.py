@@ -58,7 +58,8 @@ class ConsensusSpec:
           prefixes: a unanimous-``v`` member forces value ``v``; two
           different valences force the empty set (bivalence).
         * Strong validity intersects, over all members, the sets of input
-          values present in the member's assignment.
+          values present in the member's assignment — read straight off
+          the layer's input-index column, no node wrappers.
         """
         if self.validity == WEAK:
             if not component.valences:
@@ -67,8 +68,9 @@ class ConsensusSpec:
                 return component.valences
             return frozenset()
         allowed = set(self.domain)
-        for node in component.members():
-            allowed &= set(node.inputs)
+        input_vectors = component._space.input_vectors
+        for input_index in component.member_input_indices():
+            allowed &= set(input_vectors[input_index])
             if not allowed:
                 break
         return frozenset(allowed)

@@ -27,12 +27,13 @@ from repro.core.inputs import (
     validate_assignment,
 )
 from repro.core.ptg import PTGPrefix
-from repro.core.views import ViewInterner, ViewStats
+from repro.core.views import LayerTable, ViewInterner, ViewStats
 
 __all__ = [
     "ARROW_NAMES_N2",
     "Digraph",
     "GraphWord",
+    "LayerTable",
     "PTGPrefix",
     "ViewInterner",
     "ViewStats",

@@ -24,14 +24,17 @@ The interner is columnar: per view id, parallel ``array`` columns hold the
 owner (``_pid``), the depth (``_depth``), the origin bitmask
 (``_origin_mask``), and a *row id* (``_row``) that indexes one of two side
 tables — the leaf payload list for time-0 views, or the interned *child-row
-table* for later views.  Child sets (sorted tuples of view ids) are
-hash-consed once in the row table, so the per-view key of the node lookup
-collapses to the compact integer ``row_id * n + p`` — and because row ids
-are allocated consecutively, those keys are dense and the node "table" is a
-flat slot array indexed directly, no hashing at all.  The ``(level, graph)``
-extension cache of the prefix-space hot path is likewise keyed by compact
-integers: levels and graphs get small ids, the memo key is
-``level_id << 32 | graph_id``.
+arena* for later views.  Child rows (sorted view-id sets) live flat in the
+arena (``_row_data`` + ``_row_starts`` offsets): no per-row Python tuple is
+ever stored.  Row interning goes through a packed-key open-addressing table
+(``_row_slots``): a 64-bit mix of the child ids is the probe key, collisions
+resolve by comparing against the arena, and the per-row hash is kept
+(``_row_hashes``) so table growth rehashes without touching row contents.
+Because row ids are allocated consecutively, the node lookup key
+``row_id * n + p`` stays dense and the node "table" remains a flat slot
+array indexed directly.  The ``(level, graph)`` extension cache of the
+memoized hot path is likewise keyed by compact integers: levels and graphs
+get small ids, the memo key is ``level_id << 32 | graph_id``.
 
 The interner also maintains, per view, the bitmask of processes whose
 *initial* node ``(q, 0, x_q)`` occurs in the causal past, together with the
@@ -41,27 +44,35 @@ bit of ``p`` is set in every process's view mask.
 
 The whole-layer extension kernel
 --------------------------------
-:meth:`ViewInterner.extend_layer` interns the successors of an *entire*
-prefix-space layer in one call, instead of paying Python dispatch, tuple
-allocation, and dict probes per parent.  The kernel deduplicates parent
-levels, then works per distinct *in-neighborhood* of the alphabet (child
-rows depend on the in-list only, never on the owner): it builds every
-candidate child row of the layer, deduplicates rows across all parents at
-once, interns each distinct row a single time, and allocates new views at
-unique-row granularity.  Two backends implement the batch:
+:meth:`ViewInterner.extend_layer_table` interns the successors of an
+*entire* prefix-space layer in one call and returns them *columnar*: one
+:class:`LayerTable` per graph — a flat view-id column, the exchange format
+the prefix space, the component analysis, and the decision-table builder
+all consume directly, so a layer never expands into per-child Python
+tuples on the hot path.  The kernel deduplicates parent levels, then works
+per distinct *in-neighborhood* of the alphabet (child rows depend on the
+in-list only, never on the owner): it builds every candidate child row of
+the layer, deduplicates rows across all parents at once, interns each
+distinct row a single time through the open-addressing row table, and
+allocates new views at unique-row granularity.  Two backends implement the
+batch:
 
-* ``"numpy"`` — columns of the layer become one int64 matrix; candidate
-  rows are gathered/sorted/uniqued as packed key columns and view slots
-  resolve through vectorized gathers over the interner's buffer-backed
-  columns.  Selected by default when numpy imports (set
-  ``REPRO_PURE_PYTHON=1`` to veto at import time).
+* ``"numpy"`` — the layer column becomes one int64 matrix; candidate rows
+  are gathered/sorted/uniqued as packed key columns (``np.unique``-based
+  bulk interning: row hashes for the open-addressing probe are computed
+  vectorized over the distinct rows), and view slots resolve through
+  vectorized gathers over the interner's buffer-backed columns.  Selected
+  by default when numpy imports (set ``REPRO_PURE_PYTHON=1`` to veto at
+  import time).
 * ``"python"`` — the same batched structure in pure Python, so
   ``dependencies = []`` stays true and the kernel is always available.
 
-Both backends produce structurally identical views over the same shared
-row table, so they may be mixed freely with the per-parent
-:meth:`ViewInterner.extend_level_multi` path on one interner; only the
-view-id *numbering* may differ between backends.
+:meth:`ViewInterner.extend_layer` remains as the tuple-returning
+compatibility wrapper (and the memoized path, whose ``(level, graph)``
+cache is keyed by level tuples).  Both backends produce structurally
+identical views over the same shared row arena, so they may be mixed
+freely with the per-parent :meth:`ViewInterner.extend_level_multi` path on
+one interner; only the view-id *numbering* may differ between backends.
 """
 
 from __future__ import annotations
@@ -83,11 +94,14 @@ except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
     _np = None
 
 __all__ = [
+    "LayerTable",
     "ViewInterner",
     "ViewStats",
     "LAYER_BACKENDS",
     "DEFAULT_LAYER_BACKEND",
+    "DEFAULT_PLAN_CACHE_SIZE",
     "numpy_available",
+    "numpy_module",
 ]
 
 #: Origin masks are stored in a signed-64-bit array column when they fit;
@@ -101,6 +115,12 @@ LAYER_BACKENDS = ("numpy", "python")
 #: choice: ``"numpy"`` when numpy imported at module load, else ``"python"``.
 DEFAULT_LAYER_BACKEND = "python" if _np is None else "numpy"
 
+#: Default LRU capacity of the per-alphabet extension-plan cache.  Real
+#: adversary families use a handful of alphabets, so the cap only matters
+#: for long-lived sessions sweeping many distinct alphabets — exactly the
+#: case that used to grow the cache without bound.
+DEFAULT_PLAN_CACHE_SIZE = 128
+
 #: Below this many (parent, pattern) cells the numpy batch is not worth its
 #: fixed per-call overhead; tiny layers stay on the pure-Python kernel.
 _NUMPY_MIN_CELLS = 192
@@ -109,10 +129,216 @@ _NUMPY_MIN_CELLS = 192
 #: per-parent loop (batch bookkeeping dominates microscopic layers).
 _BATCH_MIN_CELLS = 48
 
+#: Multiplier/seed of the fallback 64-bit row mix (FNV offset basis
+#: seeded, golden-ratio multiplier).  The same fold runs scalar in Python
+#: and vectorized in numpy, so both kernels probe identical slots.
+_ROW_HASH_SEED = 0xCBF29CE484222325
+_ROW_HASH_MULT = 0x9E3779B97F4A7C15
+_MASK64 = (1 << 64) - 1
+
+#: CPython's tuple-hash constants (xxHash-style, CPython >= 3.8).  When
+#: the running interpreter's ``hash(tuple_of_ints)`` matches this scheme
+#: (verified at import below), the scalar side uses the C-speed builtin
+#: hash and the numpy kernel emulates it vectorized — ~7x cheaper per row
+#: than the Python-level fold.  Int lanes hash to themselves below
+#: ``2**61 - 1``, far above any reachable view id.
+_XXPRIME_1 = 11400714785074694791
+_XXPRIME_2 = 14029467366897019727
+_XXPRIME_5 = 2870177450012600261
+_XX_SUFFIX = _XXPRIME_5 ^ 3527539
+
 
 def numpy_available() -> bool:
     """Whether the numpy layer-kernel backend can be selected."""
     return _np is not None
+
+
+def numpy_module():
+    """The numpy module honoring ``REPRO_PURE_PYTHON`` (None when vetoed).
+
+    The columnar consumers of layer tables (component analysis, decision
+    tables) share the interner's import gate through this accessor instead
+    of re-importing numpy with their own policy.
+    """
+    return _np
+
+
+def int64_column(column):
+    """A flat column as a 1-D int64 numpy array (zero-copy where possible).
+
+    ndarray passes through, ``array('q')`` becomes a buffer view, anything
+    else copies.  The single normalizer behind :meth:`LayerTable.array`
+    and the layer stores' parent/input column accessors.
+    """
+    if _np is None:
+        raise AnalysisError("int64_column() requires numpy")
+    if isinstance(column, _np.ndarray):
+        return column
+    if isinstance(column, array):
+        return _np.frombuffer(column, dtype=_np.int64)
+    return _np.array(column, dtype=_np.int64)
+
+
+def plain_ids(ids) -> list:
+    """A flat id column as a plain-int list (shared refs, dict-key safe).
+
+    List indexing returns shared references, while array/ndarray element
+    reads allocate a fresh int per access — and ndarray ints would wrap
+    64-bit hash folds.  The columnar consumers (layer kernels, component
+    analysis, decision maps) normalize through this one helper.
+    """
+    if isinstance(ids, list):
+        return ids
+    return ids.tolist() if hasattr(ids, "tolist") else list(ids)
+
+
+def _emulated_tuple_hash(kids: Sequence[int]) -> int:
+    """CPython's int-tuple hash, reimplemented (the numpy kernel's spec)."""
+    acc = _XXPRIME_5
+    for x in kids:
+        acc = (acc + x * _XXPRIME_2) & _MASK64
+        acc = ((acc << 31) | (acc >> 33)) & _MASK64
+        acc = (acc * _XXPRIME_1) & _MASK64
+    acc = (acc + (len(kids) ^ _XX_SUFFIX)) & _MASK64
+    if acc == _MASK64:  # (Py_uhash_t)-1 is reserved
+        acc = 1546275796
+    return acc
+
+
+#: Whether the interpreter's builtin tuple hash matches the emulation —
+#: the scalar and vectorized kernels must probe identical slots, so a
+#: mismatching interpreter (PyPy, a future CPython) falls back to the
+#: shared Python-level fold on both sides.
+_TUPLE_HASH_OK = all(
+    (hash(probe) & _MASK64) == _emulated_tuple_hash(probe)
+    for probe in ((0,), (1, 2, 3), (5, 2**40, 17, 3), tuple(range(9)))
+)
+
+
+def _fnv_row_hash(kids: Sequence[int]) -> int:
+    """Fallback 64-bit packed probe key (order-sensitive multiply-fold)."""
+    h = _ROW_HASH_SEED
+    for c in kids:
+        h = ((h ^ c) * _ROW_HASH_MULT) & _MASK64
+    return h
+
+
+def _builtin_row_hash(kids) -> int:
+    """Probe key via the interpreter's C tuple hash (verified above)."""
+    return hash(kids if type(kids) is tuple else tuple(kids)) & _MASK64
+
+
+_row_hash = _builtin_row_hash if _TUPLE_HASH_OK else _fnv_row_hash
+
+
+def _bulk_row_hashes(np, uniq, k: int):
+    """Vectorized probe keys for a ``(count, k)`` int64 row matrix.
+
+    Bit-identical to :func:`_row_hash` on every row (the xxHash emulation
+    when the builtin tuple hash is in play, the fold otherwise), so rows
+    interned by either kernel resolve through the same slots.
+    """
+    count = len(uniq)
+    if _TUPLE_HASH_OK:
+        acc = np.full(count, _XXPRIME_5, dtype=np.uint64)
+        p2 = np.uint64(_XXPRIME_2)
+        p1 = np.uint64(_XXPRIME_1)
+        s31 = np.uint64(31)
+        s33 = np.uint64(33)
+        for c in range(k):
+            acc = acc + uniq[:, c].astype(np.uint64) * p2
+            acc = ((acc << s31) | (acc >> s33)) * p1
+        acc = acc + np.uint64(k ^ _XX_SUFFIX)
+        acc[acc == np.uint64(_MASK64)] = np.uint64(1546275796)
+        return acc
+    acc = np.full(count, _ROW_HASH_SEED, dtype=np.uint64)
+    mult = np.uint64(_ROW_HASH_MULT)
+    for c in range(k):
+        acc = (acc ^ uniq[:, c].astype(np.uint64)) * mult
+    return acc
+
+
+class LayerTable(Sequence):
+    """Columnar view-id levels of one layer: the array-native exchange format.
+
+    A layer table is ``count`` levels of ``n`` view ids stored as one flat
+    column (``ids``; row-major, so level ``i`` occupies
+    ``ids[i*n : (i+1)*n]``).  The column is an ``array('q')``, a plain
+    list, or an int64 numpy array — producers pick whatever they built,
+    consumers normalize through :meth:`array` (numpy matrix) or plain
+    indexing.  Tuple materialization is strictly on demand: indexing or
+    iterating yields per-level tuples for the object-level APIs
+    (:class:`~repro.topology.prefixspace.PrefixNode` wrappers, tests), but
+    the hot analyses read the flat column and never build them.
+    """
+
+    __slots__ = ("n", "ids")
+
+    def __init__(self, n: int, ids) -> None:
+        self.n = n
+        self.ids = ids
+
+    @classmethod
+    def from_levels(cls, n: int, levels: Iterable[Sequence[int]]) -> "LayerTable":
+        """Pack an iterable of length-``n`` levels into one flat column."""
+        flat = array("q")
+        for level in levels:
+            flat.extend(level)
+        return cls(n, flat)
+
+    def __len__(self) -> int:
+        return len(self.ids) // self.n
+
+    def __getitem__(self, item):
+        n = self.n
+        if isinstance(item, slice):
+            return [self[i] for i in range(*item.indices(len(self)))]
+        size = len(self)
+        if item < 0:
+            item += size
+        if not 0 <= item < size:
+            raise IndexError(item)
+        base = item * n
+        chunk = self.ids[base : base + n]
+        if _np is not None and isinstance(chunk, _np.ndarray):
+            chunk = chunk.tolist()  # plain ints: hashable keys, no wraparound
+        return tuple(chunk)
+
+    def __iter__(self):
+        n = self.n
+        ids = self.ids
+        if _np is not None and isinstance(ids, _np.ndarray):
+            ids = ids.tolist()
+        for base in range(0, len(ids), n):
+            yield tuple(ids[base : base + n])
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, LayerTable):
+            return self.n == other.n and list(self.ids) == list(other.ids)
+        if isinstance(other, (list, tuple)):
+            return len(self) == len(other) and all(
+                a == tuple(b) for a, b in zip(self, other)
+            )
+        return NotImplemented
+
+    def __hash__(self):  # pragma: no cover - tables are not dict keys
+        raise TypeError("LayerTable is unhashable; use tolist() levels")
+
+    def array(self):
+        """The ``(count, n)`` int64 numpy matrix over the flat column.
+
+        Zero-copy for numpy-backed and ``array('q')``-backed columns
+        (buffer view); requires numpy.
+        """
+        return int64_column(self.ids).reshape(-1, self.n)
+
+    def tolist(self) -> list[tuple[int, ...]]:
+        """Materialize the per-level tuples (compat/diagnostic path)."""
+        return list(self)
+
+    def __repr__(self) -> str:
+        kind = type(self.ids).__name__
+        return f"LayerTable(n={self.n}, count={len(self)}, ids={kind})"
 
 
 class ViewStats:
@@ -122,11 +348,10 @@ class ViewStats:
     benchmarks and the CLI use to watch interner pressure: ``rows`` is the
     number of distinct interned child sets, ``cached_extensions`` the number
     of memoized ``(level, graph)`` extensions, ``cached_plans`` the number
-    of per-alphabet extension plans held (one per distinct graphs-tuple
-    ever extended — never evicted, so long-lived sessions can watch it
-    here), and ``approx_bytes`` an estimate of the resident size of all
-    tables (columns, side tables, cache and plan keys; Python object
-    headers of shared children are not counted).
+    of per-alphabet extension plans currently held (an LRU with
+    ``plan_cache_size`` capacity), and ``approx_bytes`` an estimate of the
+    resident size of all tables (columns, side tables, cache and plan keys;
+    Python object headers of shared children are not counted).
     """
 
     __slots__ = (
@@ -181,7 +406,10 @@ class ViewInterner:
     ``"numpy"`` (vectorized; requires numpy), ``"python"`` (the batched
     pure-Python fallback), or ``None`` for the import-time default
     (:data:`DEFAULT_LAYER_BACKEND`).  The choice affects speed and view-id
-    numbering only, never the interned structure.
+    numbering only, never the interned structure.  ``plan_cache_size``
+    bounds the per-alphabet extension-plan LRU (``None`` =
+    :data:`DEFAULT_PLAN_CACHE_SIZE`; plans are pure functions of the
+    alphabet, so eviction never changes results).
 
     Examples
     --------
@@ -195,6 +423,7 @@ class ViewInterner:
     __slots__ = (
         "n",
         "layer_backend",
+        "plan_cache_size",
         "_pid",
         "_depth",
         "_row",
@@ -204,8 +433,11 @@ class ViewInterner:
         "_leaf_values",
         "_node_slots",
         "_empty_row",
-        "_rows",
-        "_row_table",
+        "_row_data",
+        "_row_starts",
+        "_row_hashes",
+        "_row_slots",
+        "_row_slot_mask",
         "_row_masks",
         "_leaf_count",
         "_level_table",
@@ -214,7 +446,12 @@ class ViewInterner:
         "_plan_cache",
     )
 
-    def __init__(self, n: int, layer_backend: str | None = None) -> None:
+    def __init__(
+        self,
+        n: int,
+        layer_backend: str | None = None,
+        plan_cache_size: int | None = None,
+    ) -> None:
         if n <= 0:
             raise AnalysisError("a view interner needs n >= 1 processes")
         if layer_backend is None:
@@ -229,7 +466,12 @@ class ViewInterner:
                 "layer backend 'numpy' requested but numpy is not importable "
                 "(install numpy or pick the 'python' backend)"
             )
+        if plan_cache_size is None:
+            plan_cache_size = DEFAULT_PLAN_CACHE_SIZE
+        if plan_cache_size < 1:
+            raise AnalysisError("plan_cache_size must be >= 1")
         self.layer_backend = layer_backend
+        self.plan_cache_size = plan_cache_size
         self.n = n
         # Parallel per-view columns.  Owners and depths are plain lists of
         # (interpreter-shared) small ints — same 8 bytes per slot as an
@@ -243,14 +485,20 @@ class ViewInterner:
         # Leaf side table: (p, value) -> vid, plus payload storage.
         self._leaf_table: dict = {}
         self._leaf_values: list = []
-        # Node side tables: interned child rows and the dense slot column
-        # ``row_id * n + p -> vid`` (-1 = not yet interned).  Keys are dense
-        # because row ids are allocated consecutively, so the "table" is a
-        # flat array indexed directly instead of a hashed dict.
+        # Node side tables.  Child rows live flat in an arena
+        # (``_row_data`` + ``_row_starts`` offsets) and are interned through
+        # a packed-key open-addressing table: ``_row_slots`` holds row ids,
+        # probed at ``hash & mask`` with linear probing, ``_row_hashes``
+        # keeps each row's 64-bit key so growth rehashes by gather.  The
+        # dense slot column ``row_id * n + p -> vid`` (-1 = not yet
+        # interned) stays a flat array indexed directly.
         self._node_slots = array("q")
         self._empty_row = array("q", [-1]) * n
-        self._rows: list[tuple[int, ...]] = []
-        self._row_table: dict[tuple[int, ...], int] = {}
+        self._row_data = array("q")
+        self._row_starts = array("q", [0])
+        self._row_hashes = array("Q")
+        self._row_slots = array("q", [-1]) * 64
+        self._row_slot_mask = 63
         # Per-row origin-mask cache: a view's mask is the union of its
         # children's masks, which depends on the row only — never on the
         # owner — so views sharing a row skip the fold.  Machine-int array
@@ -261,9 +509,215 @@ class ViewInterner:
         self._level_table: dict[tuple[int, ...], int] = {}
         self._graph_ids: dict[Digraph, int] = {}
         self._ext_cache: dict[int, tuple[int, ...]] = {}
-        # Per-alphabet extension plan: distinct (p, in-neighborhood)
+        # Per-alphabet extension plan LRU: distinct (p, in-neighborhood)
         # patterns in first-occurrence order + per-graph assembly layouts.
         self._plan_cache: dict[tuple, tuple] = {}
+
+    # ------------------------------------------------------------------ #
+    # The interned child-row arena
+    # ------------------------------------------------------------------ #
+
+    def _row_find(self, kids: Sequence[int], h: int) -> tuple[int, int]:
+        """Probe the open-addressing table for a row.
+
+        Returns ``(rid, slot)``: ``rid >= 0`` when the row is interned;
+        otherwise ``rid == -1`` and ``slot`` is the insertion point (valid
+        until the next insert or rehash).
+        """
+        slots = self._row_slots
+        mask = self._row_slot_mask
+        hashes = self._row_hashes
+        starts = self._row_starts
+        data = self._row_data
+        k = len(kids)
+        idx = h & mask
+        while True:
+            rid = slots[idx]
+            if rid < 0:
+                return -1, idx
+            if hashes[rid] == h:
+                s = starts[rid]
+                if starts[rid + 1] - s == k:
+                    for j in range(k):
+                        if data[s + j] != kids[j]:
+                            break
+                    else:
+                        return rid, idx
+            idx = (idx + 1) & mask
+
+    def _row_add_bare(self, kids: Sequence[int], h: int, slot: int) -> int:
+        """Append a fresh row to the arena + probe table only.
+
+        The caller is responsible for extending ``_node_slots`` and
+        ``_row_masks`` (the numpy kernel does both in bulk).
+        """
+        rid = len(self._row_hashes)
+        self._row_data.extend(kids)
+        self._row_starts.append(len(self._row_data))
+        self._row_hashes.append(h)
+        self._row_slots[slot] = rid
+        if (rid + 2) * 3 >= len(self._row_slots) * 2:
+            self._row_rehash()
+        return rid
+
+    def _row_add(self, kids: Sequence[int], h: int, slot: int, mask_value: int) -> int:
+        """Append a fresh row including its node slots and origin mask."""
+        rid = self._row_add_bare(kids, h, slot)
+        self._node_slots.extend(self._empty_row)
+        self._row_masks.append(mask_value)
+        return rid
+
+    def _row_rehash(self, size: int | None = None) -> None:
+        """Grow the probe table (4x by default) and re-place every row.
+
+        Placement goes by the stored per-row hash — row contents are never
+        re-read.  With numpy available and enough rows, placement runs as
+        iterated last-write-wins scatter with collision retry instead of a
+        per-row Python loop.
+        """
+        if size is None:
+            size = len(self._row_slots) * 4
+        mask = size - 1
+        nrows = len(self._row_hashes)
+        slots = array("q", [-1]) * size
+        if _np is not None and nrows >= 4096:
+            np = _np
+            slots_np = np.frombuffer(slots, dtype=np.int64)
+            hashes_np = np.frombuffer(self._row_hashes, dtype=np.uint64)
+            idx = (hashes_np & np.uint64(mask)).astype(np.int64)
+            pending = np.arange(nrows, dtype=np.int64)
+            while len(pending):
+                pi = idx[pending]
+                slots_np[pi] = pending
+                lost = slots_np[pi] != pending
+                pending = pending[lost]
+                if not len(pending):
+                    break
+                nxt = (idx[pending] + 1) & mask
+                while True:
+                    occupied = slots_np[nxt] >= 0
+                    if not occupied.any():
+                        break
+                    nxt[occupied] = (nxt[occupied] + 1) & mask
+                idx[pending] = nxt
+            del slots_np
+        else:
+            hashes = self._row_hashes
+            for rid in range(nrows):
+                idx = hashes[rid] & mask
+                while slots[idx] >= 0:
+                    idx = (idx + 1) & mask
+                slots[idx] = rid
+        self._row_slots = slots
+        self._row_slot_mask = mask
+
+    def _intern_rows_numpy(self, np, uniq, hashes, k: int):
+        """Bulk-intern distinct candidate rows, fully vectorized.
+
+        ``uniq`` is the ``(count, k)`` int64 matrix of distinct sorted
+        rows, ``hashes`` their 64-bit fold keys.  Probing gathers the
+        open-addressing table through transient buffer windows (hash hits
+        verify against the arena, mismatches advance their probe cursor),
+        fresh rows append to the arena in one contiguous copy, and their
+        slot placement resolves contention by iterated last-write-wins
+        scatter.  Returns ``(rids, fresh_rows)``: the row id per input
+        row, and the input positions that were freshly interned (their
+        node slots/row masks are extended by the caller, as in the scalar
+        path).
+        """
+        count = len(uniq)
+        nrows = len(self._row_hashes)
+        # Pre-grow for the all-fresh worst case: at most one rehash per
+        # batch, and the probe below never observes a resize.
+        size = len(self._row_slots)
+        while (nrows + count + 2) * 3 >= size * 2:
+            size *= 2
+        if size != len(self._row_slots):
+            self._row_rehash(size=size)
+        slot_mask = self._row_slot_mask
+        slots_np = np.frombuffer(self._row_slots, dtype=np.int64)
+        row_hashes_np = np.frombuffer(self._row_hashes, dtype=np.uint64)
+        starts_np = np.frombuffer(self._row_starts, dtype=np.int64)
+        data_np = np.frombuffer(self._row_data, dtype=np.int64)
+        idx = (hashes & np.uint64(slot_mask)).astype(np.int64)
+        rids = np.full(count, -1, dtype=np.int64)
+        found_slot = np.full(count, -1, dtype=np.int64)
+        unresolved = np.arange(count, dtype=np.int64)
+        while len(unresolved):
+            cur_idx = idx[unresolved]
+            cur = slots_np[cur_idx]
+            empty = cur < 0
+            if empty.any():
+                found_slot[unresolved[empty]] = cur_idx[empty]
+            occupied = unresolved[~empty]
+            if not len(occupied):
+                break
+            occ_rids = cur[~empty]
+            resolved = np.zeros(len(occupied), dtype=bool)
+            hit_pos = np.flatnonzero(row_hashes_np[occ_rids] == hashes[occupied])
+            if len(hit_pos):
+                cand_rows = occupied[hit_pos]
+                cand_rids = occ_rids[hit_pos]
+                s = starts_np[cand_rids]
+                length_ok = (starts_np[cand_rids + 1] - s) == k
+                eq = np.zeros(len(hit_pos), dtype=bool)
+                sub = np.flatnonzero(length_ok)
+                if len(sub):
+                    ss = s[sub]
+                    sub_eq = np.ones(len(sub), dtype=bool)
+                    for j in range(k):
+                        sub_eq &= data_np[ss + j] == uniq[cand_rows[sub], j]
+                    eq[sub] = sub_eq
+                match_sel = hit_pos[eq]
+                rids[occupied[match_sel]] = occ_rids[match_sel]
+                resolved[match_sel] = True
+            advance = occupied[~resolved]
+            idx[advance] = (idx[advance] + 1) & slot_mask
+            unresolved = advance
+        del starts_np, data_np, row_hashes_np
+        fresh_rows = np.flatnonzero(rids < 0)
+        total_fresh = len(fresh_rows)
+        if total_fresh:
+            new_rids = np.arange(nrows, nrows + total_fresh, dtype=np.int64)
+            rids[fresh_rows] = new_rids
+            payload = np.ascontiguousarray(uniq[fresh_rows], dtype=np.int64)
+            old_len = len(self._row_data)
+            self._row_data.frombytes(payload.tobytes())
+            self._row_starts.frombytes(
+                np.arange(
+                    old_len + k, old_len + k * total_fresh + 1, k, dtype=np.int64
+                ).tobytes()
+            )
+            self._row_hashes.frombytes(hashes[fresh_rows].tobytes())
+            # Slot placement: last-write-wins scatter with collision retry
+            # (the table was pre-grown, so the load factor bound holds).
+            place_idx = found_slot[fresh_rows]
+            pending = np.arange(total_fresh, dtype=np.int64)
+            while len(pending):
+                pi = place_idx[pending]
+                slots_np[pi] = new_rids[pending]
+                lost = slots_np[pi] != new_rids[pending]
+                pending = pending[lost]
+                if not len(pending):
+                    break
+                nxt = (place_idx[pending] + 1) & slot_mask
+                while True:
+                    occupied = slots_np[nxt] >= 0
+                    if not occupied.any():
+                        break
+                    nxt[occupied] = (nxt[occupied] + 1) & slot_mask
+                place_idx[pending] = nxt
+        del slots_np
+        return rids, fresh_rows
+
+    def _row_tuple(self, rid: int) -> tuple[int, ...]:
+        """Materialize one interned row as a tuple (accessor path only)."""
+        starts = self._row_starts
+        return tuple(self._row_data[starts[rid] : starts[rid + 1]])
+
+    @property
+    def _row_count(self) -> int:
+        return len(self._row_hashes)
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -297,8 +751,9 @@ class ViewInterner:
         kids = tuple(sorted(set(children)))
         if not kids:
             raise AnalysisError("a non-leaf view needs at least its own previous view")
-        rid = self._row_table.get(kids)
-        if rid is not None:
+        h = _row_hash(kids)
+        rid, slot = self._row_find(kids, h)
+        if rid >= 0:
             vid = self._node_slots[rid * self.n + p]
             if vid >= 0:
                 return vid
@@ -317,12 +772,8 @@ class ViewInterner:
                     raise AnalysisError(
                         f"inconsistent input values for process {q}: {previous!r} vs {value!r}"
                     )
-        if rid is None:
-            rid = len(self._rows)
-            self._row_table[kids] = rid
-            self._rows.append(kids)
-            self._node_slots.extend(self._empty_row)
-            self._row_masks.append(mask)
+        if rid < 0:
+            rid = self._row_add(kids, h, slot, mask)
         vid = len(self._pid)
         self._node_slots[rid * self.n + p] = vid
         self._pid.append(p)
@@ -440,49 +891,58 @@ class ViewInterner:
         serves — the layer kernels share candidate-row work across owners
         through the last two.
 
-        The cache holds one entry per distinct graphs-tuple ever extended —
-        the adversary alphabets plus, on the memo path, their partial-miss
-        subsets.  Real families use a handful of alphabets, so the cache
-        stays small; it is not evicted, and :class:`ViewStats` reports its
-        size as ``cached_plans``.
+        The cache is an LRU holding at most ``plan_cache_size`` entries,
+        keyed by graphs-tuple — the adversary alphabets plus, on the memo
+        path, their partial-miss subsets.  Real families use a handful of
+        alphabets, so the working set fits the cap; eviction merely
+        recomputes (plans are pure functions of the alphabet) and
+        :class:`ViewStats` reports the live count as ``cached_plans``.
         """
         key = tuple(graphs)
-        plan = self._plan_cache.get(key)
-        if plan is None:
-            patterns: list[tuple[int, tuple[int, ...]]] = []
-            index_of: dict = {}
-            layouts = []
-            for graph in key:
-                layout = []
-                for p, in_list in enumerate(graph.in_neighbor_lists):
-                    pattern = (p, in_list)
-                    i = index_of.get(pattern)
-                    if i is None:
-                        i = len(patterns)
-                        index_of[pattern] = i
-                        patterns.append(pattern)
-                    layout.append(i)
-                layouts.append(layout)
-            # Child rows depend on the in-neighborhood only, never on the
-            # owner: group patterns by in-list so the layer kernels build
-            # and dedup each candidate-row column once per in-list.
-            inlist_index: dict = {}
-            inlists: list[tuple[int, ...]] = []
-            pats_of_inlist: list[list[int]] = []
-            for pi, (_, in_list) in enumerate(patterns):
-                s = inlist_index.get(in_list)
-                if s is None:
-                    s = inlist_index[in_list] = len(inlists)
-                    inlists.append(in_list)
-                    pats_of_inlist.append([])
-                pats_of_inlist[s].append(pi)
-            plan = (
-                patterns,
-                layouts,
-                tuple(inlists),
-                tuple(tuple(pis) for pis in pats_of_inlist),
-            )
-            self._plan_cache[key] = plan
+        cache = self._plan_cache
+        plan = cache.get(key)
+        if plan is not None:
+            if next(reversed(cache)) != key:
+                # LRU touch: re-append as the most recently used entry.
+                del cache[key]
+                cache[key] = plan
+            return plan
+        patterns: list[tuple[int, tuple[int, ...]]] = []
+        index_of: dict = {}
+        layouts = []
+        for graph in key:
+            layout = []
+            for p, in_list in enumerate(graph.in_neighbor_lists):
+                pattern = (p, in_list)
+                i = index_of.get(pattern)
+                if i is None:
+                    i = len(patterns)
+                    index_of[pattern] = i
+                    patterns.append(pattern)
+                layout.append(i)
+            layouts.append(layout)
+        # Child rows depend on the in-neighborhood only, never on the
+        # owner: group patterns by in-list so the layer kernels build
+        # and dedup each candidate-row column once per in-list.
+        inlist_index: dict = {}
+        inlists: list[tuple[int, ...]] = []
+        pats_of_inlist: list[list[int]] = []
+        for pi, (_, in_list) in enumerate(patterns):
+            s = inlist_index.get(in_list)
+            if s is None:
+                s = inlist_index[in_list] = len(inlists)
+                inlists.append(in_list)
+                pats_of_inlist.append([])
+            pats_of_inlist[s].append(pi)
+        plan = (
+            patterns,
+            layouts,
+            tuple(inlists),
+            tuple(tuple(pis) for pis in pats_of_inlist),
+        )
+        while len(cache) >= self.plan_cache_size:
+            del cache[next(iter(cache))]
+        cache[key] = plan
         return plan
 
     def _extend_batch(
@@ -491,13 +951,7 @@ class ViewInterner:
         """Uncached batched extension (the per-parent columnar hot loop)."""
         patterns, layouts, _, _ = self._alphabet_plan(graphs)
         node_slots = self._node_slots
-        slots_extend = node_slots.extend
-        empty_row = self._empty_row
-        row_setdefault = self._row_table.setdefault
-        rows = self._rows
-        rows_append = self._rows.append
         row_masks = self._row_masks
-        row_masks_append = row_masks.append
         pids = self._pid
         pids_append = pids.append
         depths_append = self._depth.append
@@ -505,6 +959,8 @@ class ViewInterner:
         masks = self._origin_mask
         masks_append = masks.append
         values_append = self._origin_values.append
+        row_find = self._row_find
+        row_add = self._row_add
         depth = self._depth[level[0]] + 1
         n = self.n
         sorted_level: tuple[int, ...] | None = None
@@ -526,18 +982,16 @@ class ViewInterner:
                 kids = sorted_level
             else:
                 kids = tuple(sorted([level[q] for q in in_list]))
-            nrows = len(rows)
-            rid = row_setdefault(kids, nrows)
-            if rid == nrows:
+            h = _row_hash(kids)
+            rid, slot = row_find(kids, h)
+            if rid < 0:
                 # Fresh row: the view cannot exist yet — allocate row and
                 # view without re-reading the slot, folding the row mask
                 # once for every future owner.
-                rows_append(kids)
-                slots_extend(empty_row)
                 mask = 0
                 for c in kids:
                     mask |= masks[c]
-                row_masks_append(mask)
+                rid = row_add(kids, h, slot, mask)
                 vid = len(pids)
                 node_slots[rid * n + p] = vid
                 pids_append(p)
@@ -546,14 +1000,14 @@ class ViewInterner:
                 masks_append(mask)
                 values_append(None)
             else:
-                slot = rid * n + p
-                vid = node_slots[slot]
+                slot_index = rid * n + p
+                vid = node_slots[slot_index]
                 if vid < 0:
                     # Every row-creation path stores the row mask, so a
                     # known row always has its mask on hand.
                     mask = row_masks[rid]
                     vid = len(pids)
-                    node_slots[slot] = vid
+                    node_slots[slot_index] = vid
                     pids_append(p)
                     depths_append(depth)
                     row_col_append(rid)
@@ -566,30 +1020,66 @@ class ViewInterner:
     # The whole-layer extension kernel
     # ------------------------------------------------------------------ #
 
+    def extend_layer_table(
+        self,
+        table: "LayerTable | Sequence[Sequence[int]]",
+        graphs: Sequence[Digraph],
+    ) -> list[LayerTable]:
+        """Intern the successors of an entire layer, columns in — columns out.
+
+        ``table`` is the :class:`LayerTable` of one layer (or any sequence
+        of full length-``n`` levels, which is packed first); ``graphs`` the
+        alphabet to extend every parent by.  Returns one :class:`LayerTable`
+        per graph, aligned with the parents: ``result[j][i]`` is parent
+        ``i`` extended by ``graphs[j]`` — element-wise equal to per-parent
+        :meth:`extend_level_multi` calls, but the batch deduplicates parent
+        levels, builds and dedups every candidate child row of the layer
+        per distinct in-neighborhood, interns each distinct row once
+        through the open-addressing row table, and allocates new views at
+        unique-row granularity — without materializing any per-child level
+        tuple.  The backend (numpy or pure Python) follows
+        ``self.layer_backend``; tiny layers always run the per-parent loop.
+
+        This is the non-memoized hot path (streaming spaces).  For the
+        ``(level, graph)``-memoized variant use :meth:`extend_layer` — the
+        cache is keyed by level tuples, so that path materializes them.
+        """
+        graphs = tuple(graphs)
+        if not isinstance(table, LayerTable):
+            table = LayerTable.from_levels(self.n, [tuple(lv) for lv in table])
+        if table.n != self.n:
+            raise AnalysisError(
+                f"layer table of n={table.n} levels for n={self.n} interner"
+            )
+        if len(table.ids) % self.n:
+            raise AnalysisError(
+                f"layer column of {len(table.ids)} ids is not a multiple of "
+                f"n={self.n}"
+            )
+        if not graphs:
+            return []
+        if not len(table):
+            return [LayerTable(self.n, array("q")) for _ in graphs]
+        return [
+            LayerTable(self.n, column)
+            for column in self._extend_layer_columns(table, graphs)
+        ]
+
     def extend_layer(
         self,
         levels: Sequence[tuple[int, ...]],
         graphs: Sequence[Digraph],
         memo: bool = False,
     ) -> list[list[tuple[int, ...]]]:
-        """Intern the successors of an entire layer in one batched call.
+        """Tuple-returning batched layer extension (compat + memo path).
 
-        ``levels`` are full view-id levels of one common depth (one per
-        parent prefix); ``graphs`` the alphabet to extend every parent by.
-        Returns one list per graph, aligned with ``levels``:
-        ``result[j][i]`` is ``levels[i]`` extended by ``graphs[j]`` —
-        element-wise equal to per-parent
-        ``extend_level_multi(levels[i], graphs)`` calls, but the batch
-        deduplicates parent levels, builds and dedups every candidate
-        child row of the layer per distinct in-neighborhood, interns each
-        distinct row once, and allocates new views at unique-row
-        granularity.  The backend (numpy or pure Python) follows
-        ``self.layer_backend``; tiny layers always run the Python kernel.
-
-        With ``memo=True`` results are served from — and stored into —
-        the same ``(level, graph)`` extension cache as
+        Equivalent to :meth:`extend_layer_table` but accepts and returns
+        per-level tuples: ``result[j][i]`` is ``levels[i]`` extended by
+        ``graphs[j]``.  With ``memo=True`` results are served from — and
+        stored into — the same ``(level, graph)`` extension cache as
         :meth:`extend_level`, so spaces sharing this interner reuse
-        whole-layer work across calls and across the per-parent path.
+        whole-layer work across calls and across the per-parent path (the
+        cache is keyed by level tuples, which is why this wrapper exists).
 
         Levels must be full (length ``n``) view-id tuples of one common
         depth, as produced by :meth:`leaf_level` or a previous extension;
@@ -662,36 +1152,60 @@ class ViewInterner:
     def _extend_layer_batch(
         self, levels: list[tuple[int, ...]], graphs: tuple[Digraph, ...]
     ) -> list[list[tuple[int, ...]]]:
-        """Dispatch one layer batch to the backend that wins at its size."""
+        """Tuple-world layer batch: pack, run the column kernel, unpack."""
+        table = LayerTable.from_levels(self.n, levels)
+        return [
+            LayerTable(self.n, column).tolist()
+            for column in self._extend_layer_columns(table, graphs)
+        ]
+
+    def _extend_layer_columns(
+        self, table: LayerTable, graphs: tuple[Digraph, ...]
+    ) -> list:
+        """Dispatch one layer batch to the backend that wins at its size.
+
+        Returns one flat view-id column per graph (``array('q')`` from the
+        Python kernel, int64 numpy arrays from the vectorized one).
+        """
         plan = self._alphabet_plan(graphs)
-        cells = len(levels) * len(plan[0])
+        count = len(table)
+        cells = count * len(plan[0])
         if cells < _BATCH_MIN_CELLS:
             # Microscopic layers: batch bookkeeping costs more than the
             # plain per-parent loop it replaces.
-            results = [self._extend_batch(level, graphs) for level in levels]
-            return [list(column) for column in zip(*results)]
+            results = [
+                self._extend_batch(table[i], graphs) for i in range(count)
+            ]
+            columns = []
+            for j in range(len(graphs)):
+                flat = array("q")
+                for result in results:
+                    flat.extend(result[j])
+                columns.append(flat)
+            return columns
         if (
             self.layer_backend == "numpy"
             and self.n <= _MASK_ARRAY_MAX_N
             and cells >= _NUMPY_MIN_CELLS
         ):
-            return self._extend_layer_numpy(levels, plan)
-        return self._extend_layer_python(levels, plan)
+            return self._extend_layer_numpy(table, plan)
+        return self._extend_layer_python(table, plan)
 
-    def _extend_layer_python(
-        self, levels: list[tuple[int, ...]], plan: tuple
-    ) -> list[list[tuple[int, ...]]]:
+    def _extend_layer_python(self, table: LayerTable, plan: tuple) -> list:
         """The batched pure-Python layer kernel.
 
         Same structure as the numpy backend — candidate rows dedup per
         in-neighborhood across the whole layer, views resolve at
-        unique-row granularity — in plain loops.
+        unique-row granularity — in plain loops over the flat layer
+        column.  Small per-row key tuples are built transiently for the
+        batch-local dedup dict; nothing tuple-shaped is stored or
+        returned.
         """
         patterns, layouts, inlists, pats_of_inlist = plan
         n = self.n
-        depth = self._depth[levels[0][0]] + 1
-        rows = self._rows
-        row_table = self._row_table
+        ids = plain_ids(table.ids)
+        total = len(ids)
+        depth = self._depth[ids[0]] + 1
         row_masks = self._row_masks
         node_slots = self._node_slots
         empty_row = self._empty_row
@@ -700,7 +1214,7 @@ class ViewInterner:
         depth_col = self._depth
         row_col = self._row
         values = self._origin_values
-        vid_cols: list = [None] * len(patterns)
+        vid_arrs: list = [None] * len(patterns)
         for si, in_list in enumerate(inlists):
             k = len(in_list)
             # Column pass: candidate child row per parent, dedup in place.
@@ -712,50 +1226,79 @@ class ViewInterner:
             uniq_append = uniq_rows.append
             if k == 1:
                 q = in_list[0]
-                for level in levels:
-                    kids = (level[q],)
+                for base in range(0, total, n):
+                    kids = (ids[base + q],)
                     u = uniq_setdefault(kids, len(uniq_rows))
                     if u == len(uniq_rows):
                         uniq_append(kids)
                     inv_append(u)
             elif k == 2:
                 qa, qb = in_list
-                for level in levels:
-                    a = level[qa]
-                    b = level[qb]
+                for base in range(0, total, n):
+                    a = ids[base + qa]
+                    b = ids[base + qb]
                     kids = (a, b) if a < b else (b, a)
                     u = uniq_setdefault(kids, len(uniq_rows))
                     if u == len(uniq_rows):
                         uniq_append(kids)
                     inv_append(u)
             elif k == n:
-                for level in levels:
-                    kids = tuple(sorted(level))
+                for base in range(0, total, n):
+                    kids = tuple(sorted(ids[base : base + n]))
                     u = uniq_setdefault(kids, len(uniq_rows))
                     if u == len(uniq_rows):
                         uniq_append(kids)
                     inv_append(u)
             else:
-                for level in levels:
-                    kids = tuple(sorted([level[q] for q in in_list]))
+                for base in range(0, total, n):
+                    kids = tuple(sorted([ids[base + q] for q in in_list]))
                     u = uniq_setdefault(kids, len(uniq_rows))
                     if u == len(uniq_rows):
                         uniq_append(kids)
                     inv_append(u)
-            # Intern the distinct rows of this column once.
+            # Intern the distinct rows of this column once.  The probe
+            # loop is inlined — one multiply-fold hash, linear probing,
+            # arena compare on hash hits — because at deep layers most
+            # distinct rows are globally fresh and per-row call overhead
+            # dominates.
             urids: list[int] = []
             urids_append = urids.append
-            row_setdefault = row_table.setdefault
+            slots = self._row_slots
+            slot_mask = self._row_slot_mask
+            hashes = self._row_hashes
+            starts = self._row_starts
+            data = self._row_data
+            row_hash = _row_hash
             for kids in uniq_rows:
-                nrows = len(rows)
-                rid = row_setdefault(kids, nrows)
-                if rid == nrows:
-                    rows.append(kids)
-                    node_slots.extend(empty_row)
-                    mask = 0
-                    for c in kids:
-                        mask |= masks[c]
-                    row_masks.append(mask)
+                h = row_hash(kids)
+                idx = h & slot_mask
+                while True:
+                    rid = slots[idx]
+                    if rid < 0:
+                        rid = len(hashes)
+                        data.extend(kids)
+                        starts.append(len(data))
+                        hashes.append(h)
+                        slots[idx] = rid
+                        node_slots.extend(empty_row)
+                        mask = 0
+                        for c in kids:
+                            mask |= masks[c]
+                        row_masks.append(mask)
+                        if (rid + 2) * 3 >= len(slots) * 2:
+                            self._row_rehash()
+                            slots = self._row_slots
+                            slot_mask = self._row_slot_mask
+                        break
+                    if hashes[rid] == h:
+                        s = starts[rid]
+                        if starts[rid + 1] - s == k:
+                            for j in range(k):
+                                if data[s + j] != kids[j]:
+                                    break
+                            else:
+                                break
+                    idx = (idx + 1) & slot_mask
                 urids_append(rid)
             # Resolve (allocate) views per owner at unique-row scale.
             for pi in pats_of_inlist[si]:
@@ -774,39 +1317,45 @@ class ViewInterner:
                         masks.append(row_masks[rid])
                         values.append(None)
                     vid_u_append(vid)
-                vid_cols[pi] = [vid_u[u] for u in inv]
-        return [
-            list(zip(*[vid_cols[pi] for pi in layout])) for layout in layouts
-        ]
+                vid_arrs[pi] = array("q", [vid_u[u] for u in inv])
+        # Interleave the per-pattern columns into one flat column per
+        # graph: strided array-slice assignment, no per-child tuples.
+        columns = []
+        zeros = array("q", bytes(8 * total))
+        for layout in layouts:
+            out = zeros[:]
+            for p, pi in enumerate(layout):
+                out[p::n] = vid_arrs[pi]
+            columns.append(out)
+        return columns
 
-    def _extend_layer_numpy(
-        self, levels: list[tuple[int, ...]], plan: tuple
-    ) -> list[list[tuple[int, ...]]]:
+    def _extend_layer_numpy(self, table: LayerTable, plan: tuple) -> list:
         """The vectorized layer kernel (numpy backend).
 
         Candidate rows of each in-neighborhood gather/sort as one int64
-        matrix and dedup via ``np.unique`` on packed key columns; only the
-        distinct rows touch the Python row table, and view allocation
-        happens in bulk on the interner's buffer-backed columns.  Views
-        over those columns are strictly transient: every ``frombuffer``
-        window is dropped before the underlying array can resize.
+        matrix and dedup via ``np.unique`` on packed key columns; row
+        hashes for the open-addressing probe are computed vectorized over
+        the distinct rows, only the distinct rows touch the Python probe
+        loop, fresh arena rows append in bulk, and view allocation happens
+        in bulk on the interner's buffer-backed columns.  Views over those
+        columns are strictly transient: every ``frombuffer`` window is
+        dropped before the underlying array can resize.
         """
         np = _np
         patterns, layouts, inlists, pats_of_inlist = plan
         n = self.n
-        depth = self._depth[levels[0][0]] + 1
-        rows = self._rows
-        row_table = self._row_table
+        level_matrix = table.array()
+        depth = self._depth[int(level_matrix[0, 0])] + 1
         row_masks = self._row_masks
         node_slots = self._node_slots
         pids = self._pid
         depth_col = self._depth
-        level_matrix = np.array(levels, dtype=np.int64)
         vid_cols: list = [None] * len(patterns)
         for si, in_list in enumerate(inlists):
             k = len(in_list)
             cand = level_matrix[:, in_list]
             if k > 1:
+                cand = np.ascontiguousarray(cand)
                 cand.sort(axis=1)
                 max_id = int(cand[:, -1].max())
                 bits = max(1, max_id.bit_length())
@@ -827,37 +1376,23 @@ class ViewInterner:
                     cand[:, 0], return_index=True, return_inverse=True
                 )
                 uniq = cand[first_idx]
-            # Intern the distinct rows; only fresh rows pay Python work.
-            count = len(uniq)
-            urids: list[int] = [0] * count
-            fresh: list[int] = []
-            nrows = len(rows)
-            rows_append = rows.append
-            row_setdefault = row_table.setdefault
-            fresh_append = fresh.append
-            if k > 1:
-                key_iter = zip(*[column.tolist() for column in uniq.T])
-            else:
-                key_iter = ((v,) for v in uniq[:, 0].tolist())
-            u = 0
-            for key in key_iter:
-                rid = row_setdefault(key, nrows)
-                if rid == nrows:
-                    rows_append(key)
-                    fresh_append(u)
-                    nrows += 1
-                urids[u] = rid
-                u += 1
-            if fresh:
+            # Bulk-hash the distinct rows (same fold as _row_hash), then
+            # probe and insert entirely vectorized: the open-addressing
+            # table is gathered through transient buffer windows, fresh
+            # rows append to the arena in one contiguous copy, and slot
+            # placement resolves collisions by iterated last-write-wins
+            # scatter.  No per-row Python at all.
+            hashes = _bulk_row_hashes(np, uniq, k)
+            urid_arr, fresh_rows = self._intern_rows_numpy(np, uniq, hashes, k)
+            if len(fresh_rows):
                 mask_view = np.frombuffer(self._origin_mask, dtype=np.int64)
                 fresh_masks = np.bitwise_or.reduce(
-                    mask_view[uniq[np.array(fresh)]].reshape(len(fresh), k),
+                    mask_view[uniq[fresh_rows]].reshape(len(fresh_rows), k),
                     axis=1,
                 )
                 del mask_view
-                node_slots.extend(self._empty_row * len(fresh))
+                node_slots.extend(self._empty_row * len(fresh_rows))
                 row_masks.frombytes(fresh_masks.tobytes())
-            urid_arr = np.array(urids, dtype=np.int64)
             for pi in pats_of_inlist[si]:
                 p = patterns[pi][0]
                 cand_slots = urid_arr * n + p
@@ -886,9 +1421,10 @@ class ViewInterner:
                     del slot_view
                     vid_u[missing] = new_vids
                 vid_cols[pi] = vid_u[inv]
-        column_lists = [column.tolist() for column in vid_cols]
+        # Interleave per-pattern columns into one flat int64 column per
+        # graph — a stack/ravel, no per-child tuples and no tolist().
         return [
-            list(zip(*[column_lists[pi] for pi in layout]))
+            np.stack([vid_cols[pi] for pi in layout], axis=1).reshape(-1)
             for layout in layouts
         ]
 
@@ -922,13 +1458,15 @@ class ViewInterner:
         """The previous-round views visible in ``vid`` (empty for leaves)."""
         if self.is_leaf(vid):
             return frozenset()
-        return frozenset(self._rows[self._row[vid]])
+        rid = self._row[vid]
+        starts = self._row_starts
+        return frozenset(self._row_data[starts[rid] : starts[rid + 1]])
 
     def child_row(self, vid: int) -> tuple[int, ...]:
         """The sorted interned child tuple of a non-leaf view."""
         if self.is_leaf(vid):
             raise AnalysisError(f"view {vid} is a leaf and has no child row")
-        return self._rows[self._row[vid]]
+        return self._row_tuple(self._row[vid])
 
     def origin_mask(self, vid: int) -> int:
         """Bitmask of processes whose initial node lies in the causal past."""
@@ -949,7 +1487,8 @@ class ViewInterner:
         union suffices.
         """
         values = self._origin_values
-        rows = self._rows
+        row_data = self._row_data
+        row_starts = self._row_starts
         row_col = self._row
         merged: dict[int, object] = {}
         stack = [vid]
@@ -959,7 +1498,8 @@ class ViewInterner:
             current = stack.pop()
             if values[current] is None:
                 pending.append(current)
-                for child in rows[row_col[current]]:
+                rid = row_col[current]
+                for child in row_data[row_starts[rid] : row_starts[rid + 1]]:
                     if child not in seen:
                         seen.add(child)
                         stack.append(child)
@@ -999,27 +1539,27 @@ class ViewInterner:
             + getsizeof(self._leaf_table)
             + getsizeof(self._leaf_values)
             + getsizeof(self._node_slots)
-            + getsizeof(self._rows)
-            + getsizeof(self._row_table)
+            + getsizeof(self._row_data)
+            + getsizeof(self._row_starts)
+            + getsizeof(self._row_hashes)
+            + getsizeof(self._row_slots)
             + getsizeof(self._row_masks)
             + getsizeof(self._level_table)
             + getsizeof(self._graph_ids)
             + getsizeof(self._ext_cache)
         )
-        # Interned row/level tuples (8 bytes per slot + tuple header), and
-        # the forced origin-value tuples; child ids themselves are shared
-        # small ints and are not charged.
+        # Interned level tuples of the memo path and the forced
+        # origin-value tuples; child ids live flat in the arena (already
+        # counted above) and shared small ints are not charged.
         tuple_header = getsizeof(())
-        for row in self._rows:
-            approx += tuple_header + 8 * len(row)
         for lvl in self._level_table:
             approx += tuple_header + 8 * len(lvl)
         for entry in self._origin_values:
             if entry is not None:
                 approx += tuple_header + len(entry) * (tuple_header + 16)
         # The per-alphabet extension plans: graphs-tuple keys plus the
-        # pattern/layout/in-list structures (the cache is never evicted,
-        # so long-lived sessions watch its growth through these stats).
+        # pattern/layout/in-list structures (an LRU capped at
+        # ``plan_cache_size``; the stats report the live entries).
         approx += getsizeof(self._plan_cache)
         for key, (patterns, layouts, inlists, pats) in self._plan_cache.items():
             approx += tuple_header + 8 * len(key)
@@ -1035,7 +1575,7 @@ class ViewInterner:
             total,
             self._leaf_count,
             max_depth,
-            rows=len(self._rows),
+            rows=len(self._row_hashes),
             cached_extensions=len(self._ext_cache),
             cached_plans=len(self._plan_cache),
             approx_bytes=approx,

@@ -19,17 +19,66 @@ characterizations need:
   (Definition 5.8 / Theorem 5.11 / Theorem 6.6);
 * the broadcaster input values (Theorem 5.9 predicts they are constant per
   component — asserted here, making the theorem an executable invariant).
+
+Columnar pipeline
+-----------------
+The analysis consumes the layer's flat columns directly — the
+:class:`~repro.core.views.LayerTable` view-id column, the input-index
+column, and the interner's origin-mask column — and produces columns: a
+per-prefix component-id column (``comp_ids``) plus per-component member
+index arrays.  Two equivalent paths sit behind the interner's
+``layer_backend`` switch:
+
+* ``"numpy"`` — cells key as ``view_id * n + p`` in one vectorized pass;
+  connectivity is solved by pointer-jumping min-label propagation over the
+  sorted key groups (a few ``reduceat`` sweeps, no per-cell Python), and
+  the per-component masks/valences fold with ``reduceat`` as well;
+* ``"python"`` — the batched union-find pass over the flat column (one
+  dict probe per cell, inlined union by size with path halving).
+
+Both paths order components canonically by smallest member index, so
+component ids, member order, and every downstream decision table are
+identical regardless of backend.  :class:`Component` objects stay thin
+wrappers; their member *lists* (and any
+:class:`~repro.topology.prefixspace.PrefixNode`) materialize lazily.
 """
 
 from __future__ import annotations
 
+from array import array
 from typing import Iterator
 
 from repro.core.graphword import full_mask
+from repro.core.views import numpy_module, plain_ids
 from repro.errors import AnalysisError
 from repro.topology.prefixspace import PrefixNode, PrefixSpace
 
 __all__ = ["Component", "ComponentAnalysis", "UnionFind"]
+
+#: Below this many (prefix, process) cells the vectorized component pass
+#: is not worth its fixed overhead (sparse-matrix construction, unique
+#: passes); small layers run the Python pass.  Crossover measured around
+#: ~1.5-2.5k cells on the lossy-link spaces.
+_COMPONENT_NUMPY_MIN_CELLS = 2048
+
+#: The vectorized pass encodes valence sets as int64 bitmaps; spaces with
+#: more distinct unanimity values run the Python pass instead.
+_NUMPY_MAX_VALENCES = 62
+
+
+def _scipy_csgraph():
+    """scipy's sparse connected-components, when installed (else None).
+
+    scipy is strictly optional (``dependencies = []`` holds): with it, the
+    bipartite (prefix, view-key) incidence solves in one C-level pass;
+    without it the vectorized Shiloach–Vishkin fallback below runs.
+    """
+    try:
+        from scipy.sparse import coo_matrix
+        from scipy.sparse.csgraph import connected_components
+    except ImportError:  # pragma: no cover - exercised where scipy is absent
+        return None
+    return coo_matrix, connected_components
 
 
 class UnionFind:
@@ -59,47 +108,69 @@ class UnionFind:
 
 
 class Component:
-    """One connected component of a depth-``t`` layer."""
+    """One connected component of a depth-``t`` layer.
+
+    Member indices are held as whatever column the analysis produced (an
+    int64 numpy array on the vectorized path, a list on the Python path);
+    :attr:`member_indices` materializes — and caches — the plain-int list
+    on first access, so columnar consumers never pay for it.
+    """
 
     __slots__ = (
         "id",
         "depth",
-        "member_indices",
         "valences",
         "broadcast_mask",
         "_space",
+        "_members",
     )
 
     def __init__(
         self,
         component_id: int,
         depth: int,
-        member_indices: list[int],
+        member_indices,
         valences: frozenset,
         broadcast_mask: int,
         space: PrefixSpace,
     ) -> None:
         self.id = component_id
         self.depth = depth
-        self.member_indices = member_indices
+        self._members = member_indices
         self.valences = valences
         self.broadcast_mask = broadcast_mask
         self._space = space
 
     # -- membership -----------------------------------------------------
 
+    @property
+    def member_indices(self) -> list[int]:
+        """The member prefix indices as a plain list (lazily materialized)."""
+        members = self._members
+        if not isinstance(members, list):
+            members = self._members = list(
+                members.tolist() if hasattr(members, "tolist") else members
+            )
+        return members
+
+    def member_input_indices(self) -> Iterator[int]:
+        """Input-vector index of every member, without node wrappers."""
+        input_idx = self._space.layer_store(self.depth).input_idx
+        for i in self._members:
+            yield int(input_idx[i])
+
     def members(self) -> Iterator[PrefixNode]:
         """Iterate over the member prefix nodes."""
         layer = self._space.layer(self.depth)
-        return (layer[i] for i in self.member_indices)
+        return (layer[i] for i in self._members)
 
     def __len__(self) -> int:
-        return len(self.member_indices)
+        return len(self._members)
 
     @property
     def representative(self) -> PrefixNode:
         """An arbitrary (first-indexed) member."""
-        return self._space.layer(self.depth)[self.member_indices[0]]
+        return self._space.layer(self.depth)[self._members[0]]
 
     # -- consensus-relevant structure ------------------------------------
 
@@ -125,7 +196,7 @@ class Component:
         input_idx = store.input_idx
         input_vectors = self._space.input_vectors
         values = {
-            input_vectors[input_idx[i]][p] for i in self.member_indices
+            input_vectors[input_idx[i]][p] for i in self._members
         }
         if len(values) != 1:
             raise AnalysisError(
@@ -137,13 +208,22 @@ class Component:
     def __repr__(self) -> str:
         return (
             f"Component(#{self.id}, depth={self.depth}, "
-            f"size={len(self.member_indices)}, valences={set(self.valences)}, "
+            f"size={len(self)}, valences={set(self.valences)}, "
             f"broadcasters={set(self.broadcasters)})"
         )
 
 
 class ComponentAnalysis:
     """Components of one layer of a :class:`PrefixSpace`.
+
+    Attributes
+    ----------
+    components:
+        The :class:`Component` partition, ordered by smallest member index.
+    comp_ids:
+        Per-prefix component-id column (int64 numpy array on the
+        vectorized path, list on the Python path) — the columnar handoff
+        the decision-table builder consumes.
 
     Examples
     --------
@@ -157,26 +237,53 @@ class ComponentAnalysis:
         self.space = space
         self.depth = depth
         store = space.layer_store(depth)
-        levels = store.levels
+        table = store.levels
         interner = space.interner
         n = space.adversary.n
+        np = numpy_module()
+        count = len(table)
+        # The vectorized pass folds valences as int64 bitmaps; instances
+        # with more distinct unanimity values than fit take the Python
+        # pass (arbitrary-precision sets).
+        distinct_values = len(
+            {v for v in space.unanimity_by_index if v is not None}
+        )
+        if (
+            np is not None
+            and interner.layer_backend == "numpy"
+            and isinstance(interner._origin_mask, array)
+            and distinct_values <= _NUMPY_MAX_VALENCES
+            and count * n >= _COMPONENT_NUMPY_MIN_CELLS
+        ):
+            self._analyze_numpy(np, store, table, interner, n, count)
+        else:
+            self._analyze_python(store, table, interner, n, count)
+        self._view_map: dict[tuple[int, int], int] | None = None
 
-        union_find = UnionFind(len(levels))
+    # ------------------------------------------------------------------ #
+    # The two component passes
+    # ------------------------------------------------------------------ #
+
+    def _analyze_python(self, store, table, interner, n: int, count: int) -> None:
+        """Batched union-find over the flat layer column (pure Python)."""
+        ids = plain_ids(table.ids)
+        union_find = UnionFind(count)
         parent = union_find.parent
         size = union_find.size
         origin_masks = interner._origin_mask
         everyone = full_mask(n)
-        # One pass: bucket nodes by the packed key ``view_id * n + p`` (two
+        # One pass: bucket cells by the packed key ``view_id * n + p`` (two
         # prefixes sharing a bucket are indistinguishable) and fold the
         # per-node broadcast mask while the views are at hand.
         buckets: dict[int, int] = {}
         bucket_get = buckets.get
         node_masks: list[int] = []
         node_masks_append = node_masks.append
-        for index, views in enumerate(levels):
+        base = 0
+        for index in range(count):
             common = everyone
             for p in range(n):
-                vid = views[p]
+                vid = ids[base + p]
                 common &= origin_masks[vid]
                 key = vid * n + p
                 first = bucket_get(key)
@@ -195,14 +302,14 @@ class ComponentAnalysis:
                     parent[b] = a
                     size[a] += size[b]
             node_masks_append(common)
-        self._union_find = union_find
+            base += n
 
         # Gather per-root data in a second pass over the columns.  Because
         # nodes are visited in index order, each root is first reached
         # through its smallest member, so the insertion order of
         # ``members_of`` is already the canonical (first-member) component
         # order — no sort needed.
-        unanimity = space.unanimity_by_index
+        unanimity = self.space.unanimity_by_index
         input_idx = store.input_idx
         members_of: dict[int, list[int]] = {}
         valences_of: dict[int, set] = {}
@@ -228,9 +335,11 @@ class ComponentAnalysis:
 
         empty: frozenset = frozenset()
         valences_get = valences_of.get
+        space = self.space
+        depth = self.depth
         self.components: list[Component] = []
         components_append = self.components.append
-        self._component_of_root: dict[int, int] = {}
+        component_of_root: dict[int, int] = {}
         for component_id, (root, members) in enumerate(members_of.items()):
             held = valences_get(root)
             components_append(
@@ -243,12 +352,166 @@ class ComponentAnalysis:
                     space=space,
                 )
             )
-            self._component_of_root[root] = component_id
-
-        # view bucket -> component id (the universal algorithm's lookup);
-        # built lazily because the solvability checker never queries it.
+            component_of_root[root] = component_id
+        comp_ids = [0] * count
+        for cid, component in enumerate(self.components):
+            for index in component._members:
+                comp_ids[index] = cid
+        self.comp_ids = comp_ids
+        # view bucket -> first node index (the universal algorithm's
+        # lookup); the (p, view) -> component map is built lazily because
+        # the solvability checker never queries it.
         self._buckets = buckets
-        self._view_map: dict[tuple[int, int], int] | None = None
+
+    def _analyze_numpy(self, np, store, table, interner, n: int, count: int) -> None:
+        """Vectorized component pass over the flat layer column.
+
+        Cells key as ``view_id * n + p``; two prefixes are adjacent iff
+        they share a key, i.e. connectivity is that of the bipartite
+        (prefix, key) incidence.  With scipy installed the incidence
+        solves in one C-level ``connected_components`` pass; otherwise a
+        Shiloach–Vishkin-style loop runs in numpy (per round: key groups
+        take the minimum root of their cells via ``reduceat``, the
+        candidate hooks onto each prefix's *root*, and paths fully
+        compress — hooking onto roots is what lets a whole plateau adopt
+        a better label in one round, so convergence is logarithmic).
+        Labels are then canonicalized by smallest member index, matching
+        the Python pass ordering exactly.
+        """
+        mat = table.array()
+        origin_masks = np.frombuffer(interner._origin_mask, dtype=np.int64)
+        node_masks = np.bitwise_and.reduce(origin_masks[mat], axis=1)
+        del origin_masks
+        keys = (mat * n + np.arange(n, dtype=np.int64)).reshape(-1)
+        csgraph = _scipy_csgraph()
+        if csgraph is not None:
+            coo_matrix, connected_components = csgraph
+            # A layer's view ids sit at the top of the interner's id
+            # space, so shifting by the minimum key keeps the node range
+            # dense without paying for a full np.unique remap.
+            min_key = int(keys.min())
+            max_key = int(keys.max())
+            cell_nodes = np.repeat(np.arange(count, dtype=np.int64), n)
+            dim = count + (max_key - min_key) + 1
+            incidence = coo_matrix(
+                (
+                    np.ones(len(keys), dtype=np.int8),
+                    (cell_nodes, count + (keys - min_key)),
+                ),
+                shape=(dim, dim),
+            )
+            _, labels = connected_components(incidence, directed=False)
+            labels = labels[:count]
+        else:
+            labels = self._sv_labels(np, keys, n, count)
+        del keys
+
+        # Canonical component order = order of smallest member index,
+        # identical to the Python pass (and independent of the solver's
+        # internal label numbering).
+        roots, first, comp_ids = np.unique(
+            labels, return_index=True, return_inverse=True
+        )
+        remap = np.empty(len(roots), dtype=np.int64)
+        remap[np.argsort(first, kind="stable")] = np.arange(
+            len(roots), dtype=np.int64
+        )
+        comp_ids = remap[comp_ids.reshape(-1)].astype(np.int64, copy=False)
+        member_order = np.argsort(comp_ids, kind="stable")
+        comp_sizes = np.bincount(comp_ids, minlength=len(roots))
+        comp_starts = np.zeros(len(roots), dtype=np.int64)
+        np.cumsum(comp_sizes[:-1], out=comp_starts[1:])
+        comp_masks = np.bitwise_and.reduceat(node_masks[member_order], comp_starts)
+
+        # Valence bitmaps: unanimity values code into small ints once per
+        # space, then fold per component with one reduceat.
+        space = self.space
+        unanimity = space.unanimity_by_index
+        value_list: list = []
+        value_index: dict = {}
+        codes = []
+        for value in unanimity:
+            if value is None:
+                codes.append(-1)
+                continue
+            code = value_index.get(value)
+            if code is None:
+                code = value_index[value] = len(value_list)
+                value_list.append(value)
+            codes.append(code)
+        unan_codes = np.array(codes, dtype=np.int64)
+        node_codes = unan_codes[store.input_array()]
+        node_bits = np.where(
+            node_codes >= 0,
+            np.left_shift(1, np.maximum(node_codes, 0)),
+            0,
+        )
+        comp_bits = np.bitwise_or.reduceat(node_bits[member_order], comp_starts)
+
+        members_split = np.split(member_order, comp_starts[1:].tolist())
+        empty: frozenset = frozenset()
+        depth = self.depth
+        self.components = []
+        components_append = self.components.append
+        for cid in range(len(roots)):
+            bits = int(comp_bits[cid])
+            if bits:
+                valences = frozenset(
+                    value_list[v] for v in range(len(value_list)) if bits >> v & 1
+                )
+            else:
+                valences = empty
+            components_append(
+                Component(
+                    component_id=cid,
+                    depth=depth,
+                    member_indices=members_split[cid],
+                    valences=valences,
+                    broadcast_mask=int(comp_masks[cid]),
+                    space=space,
+                )
+            )
+        self.comp_ids = comp_ids
+        # The (p, view) -> component lookup recomputes its key index
+        # lazily from the store (cold path; the checker never calls it).
+        self._buckets = None
+
+    @staticmethod
+    def _sv_labels(np, keys, n: int, count: int):
+        """Shiloach–Vishkin-style connectivity in pure numpy (no scipy).
+
+        Per round: every key group takes the minimum *root* among its
+        cells (one ``reduceat`` over the key-sorted cells), every prefix
+        takes the minimum over its keys, the candidate hooks onto the
+        prefix's root (``np.minimum.at``), and parent pointers fully
+        compress.  Hooking onto roots lets whole plateaus adopt a better
+        label at once, so rounds are logarithmic in component diameter.
+        """
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        boundary = np.empty(len(sorted_keys), dtype=bool)
+        boundary[0] = True
+        np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=boundary[1:])
+        group_starts = np.flatnonzero(boundary)
+        group_sizes = np.diff(np.append(group_starts, len(sorted_keys)))
+        cell_node_sorted = order // n
+        parent = np.arange(count, dtype=np.int64)
+        while True:
+            group_min = np.minimum.reduceat(
+                parent[cell_node_sorted], group_starts
+            )
+            cell_min = np.empty(count * n, dtype=np.int64)
+            cell_min[order] = np.repeat(group_min, group_sizes)
+            cand = cell_min.reshape(count, n).min(axis=1)
+            before = parent.copy()
+            np.minimum.at(parent, before, cand)
+            while True:
+                compressed = parent[parent]
+                if np.array_equal(compressed, parent):
+                    break
+                parent = compressed
+            if np.array_equal(parent, before):
+                return parent
 
     # ------------------------------------------------------------------ #
     # Lookup
@@ -256,8 +519,7 @@ class ComponentAnalysis:
 
     def component_of(self, node: PrefixNode) -> Component:
         """The component containing a node of this layer."""
-        root = self._union_find.find(node.index)
-        return self.components[self._component_of_root[root]]
+        return self.components[int(self.comp_ids[node.index])]
 
     def component_of_view(self, p: int, view_id: int) -> Component | None:
         """The component determined by process ``p`` holding ``view_id``.
@@ -269,12 +531,22 @@ class ComponentAnalysis:
         view_map = self._view_map
         if view_map is None:
             n = self.space.adversary.n
-            find = self._union_find.find
-            component_of_root = self._component_of_root
-            view_map = {
-                (key % n, key // n): component_of_root[find(first)]
-                for key, first in self._buckets.items()
-            }
+            comp_ids = self.comp_ids
+            if self._buckets is not None:
+                view_map = {
+                    (key % n, key // n): int(comp_ids[first])
+                    for key, first in self._buckets.items()
+                }
+            else:
+                np = numpy_module()
+                mat = self.space.layer_store(self.depth).levels.array()
+                keys = (mat * n + np.arange(n, dtype=np.int64)).reshape(-1)
+                uniq_keys, first_cells = np.unique(keys, return_index=True)
+                reps = (first_cells // n).tolist()
+                view_map = {
+                    (key % n, key // n): int(comp_ids[rep])
+                    for key, rep in zip(uniq_keys.tolist(), reps)
+                }
             self._view_map = view_map
         cid = view_map.get((p, view_id))
         return None if cid is None else self.components[cid]

@@ -16,15 +16,20 @@ not prefixes of points of ``PS`` at all).
 
 Storage layout
 --------------
-Layers are stored *columnar* (:class:`LayerStore`): parallel lists of
-interned view levels, parent indices, input indices, round graphs, and
-adversary state sets.  This is the representation the hot analyses
-(components, decision tables, ε-approximations) iterate directly — one
-tuple of interned view ids per prefix, no per-prefix Python objects.  The
-:class:`PrefixNode` wrappers of the original API are materialized lazily
-(and cached) when a consumer asks for them, with full-history
-:class:`~repro.core.ptg.PTGPrefix` objects whose construction is amortized
-O(1) per node through parent-history sharing.
+Layers are stored *columnar* (:class:`LayerStore`) and stay arrays end to
+end: the view levels of a layer are one flat
+:class:`~repro.core.views.LayerTable` column (``count * n`` interned view
+ids), parent and input indices are machine-integer columns, and the
+round-graph/state columns of single-alphabet layers are constant-width
+tiles that never materialize per-child Python objects.  This is the
+representation the hot analyses (components, decision tables,
+ε-approximations) consume directly — the whole-layer extension kernel
+produces it, the component analysis unions over it, and the decision-table
+builder folds over it, so a solvability check never expands a layer into
+per-prefix Python objects.  The :class:`PrefixNode` wrappers of the
+original API are materialized lazily (and cached) when a consumer asks for
+them, with full-history :class:`~repro.core.ptg.PTGPrefix` objects whose
+construction is amortized O(1) per node through parent-history sharing.
 
 Streaming and eviction
 ----------------------
@@ -44,7 +49,7 @@ indices.  The contract:
   needs the graph history of *every* ancestor layer, so it is unavailable
   in frontier mode altogether (it raises once any ancestor is condensed);
 * frontier-mode extension skips the interner's ``(level, graph)`` memo so
-  depth-10+ runs hold the frontier plus the interner's view tables and
+  depth-14+ runs hold the frontier plus the interner's view tables and
   nothing else.
 
 ``retain="all"`` (the default) keeps every layer, exactly as before.
@@ -52,6 +57,7 @@ indices.  The contract:
 
 from __future__ import annotations
 
+from array import array
 from typing import Iterable, Iterator, Sequence
 
 from repro.adversaries.base import MessageAdversary
@@ -62,7 +68,12 @@ from repro.core.inputs import (
     validate_assignment,
 )
 from repro.core.ptg import PTGPrefix
-from repro.core.views import ViewInterner
+from repro.core.views import (
+    LayerTable,
+    ViewInterner,
+    int64_column,
+    numpy_module,
+)
 from repro.errors import AnalysisError
 
 __all__ = ["PrefixNode", "PrefixSpace", "LayerStore", "LayerView"]
@@ -109,37 +120,83 @@ class PrefixNode:
         )
 
 
+class _TiledColumn(Sequence):
+    """A constant-tile column: ``pattern`` repeated ``repeats`` times.
+
+    Single-alphabet layers repeat the same per-parent graph/state tile for
+    every parent, so the column stores the tile once instead of one Python
+    reference per child (at depth 14 that is the difference between a few
+    dozen bytes and a 150 MB pointer list).  Reads behave exactly like the
+    materialized list: ``column[i] == pattern[i % len(pattern)]``.
+    """
+
+    __slots__ = ("items", "repeats")
+
+    def __init__(self, items: list, repeats: int) -> None:
+        self.items = list(items)
+        self.repeats = repeats
+
+    def __len__(self) -> int:
+        return len(self.items) * self.repeats
+
+    def __getitem__(self, item):
+        if isinstance(item, slice):
+            return [self[i] for i in range(*item.indices(len(self)))]
+        size = len(self)
+        if item < 0:
+            item += size
+        if not 0 <= item < size:
+            raise IndexError(item)
+        return self.items[item % len(self.items)]
+
+    def __iter__(self):
+        items = self.items
+        for _ in range(self.repeats):
+            yield from items
+
+    def __repr__(self) -> str:
+        return f"_TiledColumn({self.items!r} x {self.repeats})"
+
+
 class LayerStore:
-    """Columnar storage of one layer: parallel per-prefix lists.
+    """Columnar storage of one layer: parallel per-prefix columns.
 
     Attributes
     ----------
     levels:
-        Per prefix, the tuple of interned view ids at this depth.
+        The :class:`~repro.core.views.LayerTable` of this depth — one flat
+        view-id column; ``levels[i]`` materializes the level tuple of
+        prefix ``i`` on demand.
     parents:
         Per prefix, the index of its depth ``t - 1`` truncation (``-1`` on
-        the root layer).
+        the root layer); an ``array('q')`` or int64 numpy column.
     input_idx:
-        Per prefix, the index into ``space.input_vectors``.
+        Per prefix, the index into ``space.input_vectors`` (same column
+        kinds as ``parents``).
     graphs:
         Per prefix, the communication graph of the last round (``None`` on
-        the root layer).
+        the root layer); a tiled column on single-alphabet layers.
     states:
-        Per prefix, the adversary's reachable state set.
+        Per prefix, the adversary's reachable state set (tiled likewise).
     """
 
     __slots__ = ("levels", "parents", "input_idx", "graphs", "states", "nodes", "count")
 
     def __init__(self, levels, parents, input_idx, graphs, states) -> None:
-        self.levels: list[tuple[int, ...]] | None = levels
-        self.parents: list[int] = parents
-        self.input_idx: list[int] = input_idx
-        self.graphs: list | None = graphs
-        self.states: list[frozenset] | None = states
-        #: Lazy cache of materialized :class:`PrefixNode` wrappers.
-        self.nodes: list[PrefixNode | None] | None = [None] * len(levels)
+        if not isinstance(levels, LayerTable) and levels is not None:
+            levels = LayerTable.from_levels(
+                len(levels[0]) if levels else 0, levels
+            )
+        self.levels: LayerTable | None = levels
+        self.parents = parents
+        self.input_idx = input_idx
+        self.graphs = graphs
+        self.states = states
+        #: Lazy cache of materialized :class:`PrefixNode` wrappers (sparse:
+        #: deep layers hold millions of prefixes, wrappers are rare).
+        self.nodes: dict[int, PrefixNode] | None = {}
         #: Layer size; survives :meth:`condense`.
-        self.count: int = len(levels)
+        self.count: int = len(levels) if levels is not None else 0
 
     def __len__(self) -> int:
         return self.count
@@ -155,6 +212,14 @@ class LayerStore:
         self.graphs = None
         self.states = None
         self.nodes = None
+
+    def parent_array(self):
+        """The parents column as an int64 numpy array (vectorized paths)."""
+        return int64_column(self.parents)
+
+    def input_array(self):
+        """The input-index column as an int64 numpy array."""
+        return int64_column(self.input_idx)
 
 
 class LayerView(Sequence):
@@ -220,10 +285,15 @@ class PrefixSpace:
         e.g. the sweep engine; frontier mode keeps the memo off so memory
         stays frontier-bounded).
     layer_backend:
-        Whole-layer kernel backend (``"numpy"``/``"python"``/``None`` for
-        the import-time default) of the interner this space creates when
-        none is shared in; ignored — the shared interner's own backend
-        wins — when ``interner`` is given.
+        Columnar-pipeline kernel backend (``"numpy"``/``"python"``/``None``
+        for the import-time default) of the interner this space creates
+        when none is shared in; ignored — the shared interner's own
+        backend wins — when ``interner`` is given.  The same switch also
+        selects the vectorized vs pure-Python paths of the component
+        analysis and decision-table construction over this space's layers.
+    plan_cache_size:
+        Capacity of the created interner's per-alphabet extension-plan LRU
+        (``None`` = library default; ignored when ``interner`` is given).
 
     Examples
     --------
@@ -243,6 +313,7 @@ class PrefixSpace:
         retain: str = "all",
         memo_extensions: bool | None = None,
         layer_backend: str | None = None,
+        plan_cache_size: int | None = None,
     ) -> None:
         self.adversary = adversary
         if retain not in ("all", "frontier"):
@@ -254,7 +325,11 @@ class PrefixSpace:
         # Not ``interner or ...``: an empty interner is falsy via __len__
         # and must still be adopted (the sweep engine shares fresh ones).
         if interner is None:
-            interner = ViewInterner(adversary.n, layer_backend=layer_backend)
+            interner = ViewInterner(
+                adversary.n,
+                layer_backend=layer_backend,
+                plan_cache_size=plan_cache_size,
+            )
         self.interner = interner
         if self.interner.n != adversary.n:
             raise AnalysisError("interner and adversary disagree on n")
@@ -284,13 +359,16 @@ class PrefixSpace:
             )
         leaf_level = self.interner.leaf_level
         count = len(vectors)
+        flat = array("q")
+        for vec in vectors:
+            flat.extend(leaf_level(vec))
         self._stores: list[LayerStore] = [
             LayerStore(
-                levels=[leaf_level(vec) for vec in vectors],
-                parents=[-1] * count,
-                input_idx=list(range(count)),
-                graphs=[None] * count,
-                states=[initial_states] * count,
+                levels=LayerTable(adversary.n, flat),
+                parents=array("q", [-1]) * count,
+                input_idx=array("q", range(count)),
+                graphs=_TiledColumn([None], count),
+                states=_TiledColumn([initial_states], count),
             )
         ]
 
@@ -310,10 +388,11 @@ class PrefixSpace:
         oblivious adversaries collapse the whole layer into one group,
         stabilizing/eventually-forever adversaries into a few state-keyed
         groups — and each group's successor levels are interned by one
-        :meth:`~repro.core.views.ViewInterner.extend_layer` call (the
-        whole-layer kernel), instead of a per-parent loop.  Children are
-        then emitted in the same parent-major, alphabet-minor order as
-        always, so layer indexing is unchanged.
+        whole-layer kernel call
+        (:meth:`~repro.core.views.ViewInterner.extend_layer_table`), whose
+        column output is interleaved straight into the child layer's flat
+        columns.  Children are emitted in the same parent-major,
+        alphabet-minor order as always, so layer indexing is unchanged.
         """
         current = self._stores[-1]
         if current.condensed:
@@ -321,93 +400,164 @@ class PrefixSpace:
         adversary = self.adversary
         extensions = adversary.admissible_extensions
         alphabet_of = adversary.extension_alphabet
-        extend_layer = self.interner.extend_layer
         memo = self.memo_extensions
-        cur_levels = current.levels
-        cur_inputs = current.input_idx
+        cur_table = current.levels
         cur_states = current.states
+        count = len(current)
         # Group parent indices by state set (insertion order for
         # deterministic kernel-call order; state sets are cached frozensets
-        # so grouping is dict probes on shared objects).
-        groups: dict[frozenset, list[int]] = {}
-        for i, node_states in enumerate(cur_states):
-            members = groups.get(node_states)
-            if members is None:
-                groups[node_states] = [i]
-            else:
-                members.append(i)
+        # so grouping is dict probes on shared objects).  Tiled state
+        # columns with one distinct tile — every oblivious layer — skip the
+        # per-parent pass entirely.
+        groups: dict[frozenset, list[int] | None]
+        if isinstance(cur_states, _TiledColumn) and len(set(cur_states.items)) == 1:
+            groups = {cur_states.items[0]: None}  # None = the whole layer
+        else:
+            groups = {}
+            for i, node_states in enumerate(cur_states):
+                members = groups.get(node_states)
+                if members is None:
+                    groups[node_states] = [i]
+                else:
+                    members.append(i)
         # The node budget is checkable before any interning happens: every
         # parent of a group contributes exactly one child per admissible
         # extension of its state set.
-        count = sum(
-            len(extensions(states)) * len(members)
+        child_count = sum(
+            len(extensions(states))
+            * (count if members is None else len(members))
             for states, members in groups.items()
         )
-        if count > self.max_nodes:
+        if child_count > self.max_nodes:
             raise AnalysisError(
                 f"prefix space exceeds max_nodes={self.max_nodes} at "
                 f"depth {self.depth + 1}; reduce depth or inputs"
             )
-        if count == 0:
+        if child_count == 0:
             raise AnalysisError(
                 f"{adversary.name}: no admissible extension at depth {self.depth}"
             )
-        if len(groups) == 1:
-            # Single-alphabet layer (every oblivious adversary): one kernel
-            # call over the whole layer, columns assembled without any
-            # per-child Python loop where list arithmetic can do it.
-            node_states = next(iter(groups))
-            exts = extensions(node_states)
-            by_graph = extend_layer(cur_levels, alphabet_of(node_states), memo)
-            width = len(exts)
-            levels = [
-                level for rowset in zip(*by_graph) for level in rowset
-            ]
-            parents = [i for i in range(len(cur_levels)) for _ in range(width)]
-            input_idx = [inp for inp in cur_inputs for _ in range(width)]
-            graphs = [graph for graph, _ in exts] * len(cur_levels)
-            states_col = [nxt for _, nxt in exts] * len(cur_levels)
+        if len(groups) == 1 and next(iter(groups.values())) is None:
+            store = self._extend_single_group(
+                cur_table, current, next(iter(groups)), memo
+            )
         else:
-            # One whole-layer kernel call per state group.
-            exts_of: list = [None] * len(cur_levels)
-            rowset_of: list = [None] * len(cur_levels)
-            for node_states, members in groups.items():
-                exts = extensions(node_states)
-                if not exts:
-                    continue
-                by_graph = extend_layer(
-                    [cur_levels[i] for i in members],
-                    alphabet_of(node_states),
-                    memo,
-                )
-                for i, rowset in zip(members, zip(*by_graph)):
-                    exts_of[i] = exts
-                    rowset_of[i] = rowset
-            levels = []
-            parents = []
-            input_idx = []
-            graphs = []
-            states_col = []
-            levels_append = levels.append
-            parents_append = parents.append
-            input_append = input_idx.append
-            graphs_append = graphs.append
-            states_append = states_col.append
-            for i, exts in enumerate(exts_of):
-                if exts is None:
-                    continue
-                inp = cur_inputs[i]
-                for (graph, nxt_states), level in zip(exts, rowset_of[i]):
-                    levels_append(level)
-                    parents_append(i)
-                    input_append(inp)
-                    graphs_append(graph)
-                    states_append(nxt_states)
-        self._stores.append(
-            LayerStore(levels, parents, input_idx, graphs, states_col)
-        )
+            store = self._extend_grouped(cur_table, current, groups, memo)
+        self._stores.append(store)
         if self.retain == "frontier":
             self._stores[-2].condense()
+
+    def _extend_single_group(
+        self, cur_table: LayerTable, current: LayerStore, node_states, memo: bool
+    ) -> LayerStore:
+        """One kernel call over the whole layer; columns interleave flat."""
+        adversary = self.adversary
+        exts = adversary.admissible_extensions(node_states)
+        alphabet = adversary.extension_alphabet(node_states)
+        interner = self.interner
+        n = adversary.n
+        count = len(cur_table)
+        width = len(exts)
+        if memo:
+            # The (level, graph) memo is keyed by level tuples, so this
+            # path materializes them (shared-interner interactive use).
+            by_graph = interner.extend_layer(cur_table.tolist(), alphabet, True)
+            flat = array("q")
+            for i in range(count):
+                for column in by_graph:
+                    flat.extend(column[i])
+            child_table = LayerTable(n, flat)
+        else:
+            tables = interner.extend_layer_table(cur_table, alphabet)
+            child_table = _interleave_tables(n, count, tables)
+        np = numpy_module()
+        if np is not None and isinstance(child_table.ids, np.ndarray):
+            parents = np.repeat(np.arange(count, dtype=np.int64), width)
+            input_idx = np.repeat(current.input_array(), width)
+        else:
+            parents = array("q", bytes(8 * count * width))
+            input_idx = array("q", bytes(8 * count * width))
+            base = array("q", range(count))
+            cur_inputs = current.input_idx
+            if not isinstance(cur_inputs, array):
+                cur_inputs = array("q", cur_inputs)
+            for j in range(width):
+                parents[j::width] = base
+                input_idx[j::width] = cur_inputs
+        return LayerStore(
+            levels=child_table,
+            parents=parents,
+            input_idx=input_idx,
+            graphs=_TiledColumn([graph for graph, _ in exts], count),
+            states=_TiledColumn([nxt for _, nxt in exts], count),
+        )
+
+    def _extend_grouped(
+        self, cur_table: LayerTable, current: LayerStore, groups: dict, memo: bool
+    ) -> LayerStore:
+        """One whole-layer kernel call per state group, merged parent-major."""
+        adversary = self.adversary
+        extensions = adversary.admissible_extensions
+        alphabet_of = adversary.extension_alphabet
+        interner = self.interner
+        n = adversary.n
+        count = len(cur_table)
+        exts_of: list = [None] * count
+        cols_of: list = [None] * count
+        pos_of: list = [0] * count
+        for node_states, members in groups.items():
+            if members is None:
+                members = range(count)
+            exts = extensions(node_states)
+            if not exts:
+                continue
+            sub = _gather_subtable(cur_table, members)
+            alphabet = alphabet_of(node_states)
+            if memo:
+                by_graph = interner.extend_layer(sub.tolist(), alphabet, True)
+                group_cols = [
+                    LayerTable.from_levels(n, column).ids for column in by_graph
+                ]
+            else:
+                group_cols = [
+                    t.ids for t in interner.extend_layer_table(sub, alphabet)
+                ]
+            for mi, i in enumerate(members):
+                exts_of[i] = exts
+                cols_of[i] = group_cols
+                pos_of[i] = mi
+        flat = array("q")
+        parents = array("q")
+        input_idx = array("q")
+        graphs: list = []
+        states_col: list = []
+        parents_append = parents.append
+        input_append = input_idx.append
+        graphs_append = graphs.append
+        states_append = states_col.append
+        cur_inputs = current.input_idx
+        for i, exts in enumerate(exts_of):
+            if exts is None:
+                continue
+            inp = cur_inputs[i]
+            group_cols = cols_of[i]
+            base = pos_of[i] * n
+            for (graph, nxt_states), column in zip(exts, group_cols):
+                chunk = column[base : base + n]
+                flat.extend(
+                    chunk.tolist() if not isinstance(chunk, (array, list)) else chunk
+                )
+                parents_append(i)
+                input_append(inp)
+                graphs_append(graph)
+                states_append(nxt_states)
+        return LayerStore(
+            levels=LayerTable(n, flat),
+            parents=parents,
+            input_idx=input_idx,
+            graphs=graphs,
+            states=states_col,
+        )
 
     def ensure_depth(self, t: int) -> None:
         """Construct layers up to depth ``t``."""
@@ -481,19 +631,21 @@ class PrefixSpace:
                 f"cannot materialize a node of condensed layer {t} "
                 "(retain='frontier' drops levels/graphs below the frontier)"
             )
-        node = store.nodes[index]
+        index = int(index)
+        node = store.nodes.get(index)
         if node is not None:
             return node
+        input_index = int(store.input_idx[index])
         if t == 0:
             prefix = PTGPrefix._make(
                 self.interner,
-                self.input_vectors[store.input_idx[index]],
+                self.input_vectors[input_index],
                 (),
                 (store.levels[index],),
             )
-            node = PrefixNode(index, None, store.input_idx[index], prefix, store.states[index])
+            node = PrefixNode(index, None, input_index, prefix, store.states[index])
         else:
-            parent_index = store.parents[index]
+            parent_index = int(store.parents[index])
             parent = self._materialize(t - 1, parent_index)
             parent_prefix = parent.prefix
             prefix = PTGPrefix._make(
@@ -503,7 +655,7 @@ class PrefixSpace:
                 parent_prefix._view_history + (store.levels[index],),
             )
             node = PrefixNode(
-                index, parent_index, store.input_idx[index], prefix, store.states[index]
+                index, parent_index, input_index, prefix, store.states[index]
             )
         store.nodes[index] = node
         return node
@@ -511,7 +663,7 @@ class PrefixSpace:
     def parent_of(self, t: int, index: int) -> PrefixNode | None:
         """The depth ``t - 1`` truncation of a node (None at the root)."""
         self.ensure_depth(t)
-        parent = self._stores[t].parents[index]
+        parent = int(self._stores[t].parents[index])
         if parent < 0:
             return None
         return self._materialize(t - 1, parent)
@@ -545,3 +697,44 @@ class PrefixSpace:
             f"PrefixSpace({self.adversary.name}, depth={self.depth}, "
             f"sizes={self.layer_sizes()})"
         )
+
+
+def _interleave_tables(n: int, count: int, tables: list[LayerTable]) -> LayerTable:
+    """Merge per-graph layer tables parent-major into one flat column.
+
+    ``tables[j][i]`` becomes child ``i * width + j`` — a stack/ravel on the
+    numpy backend, strided array-slice assignment on pure Python; no
+    per-child tuples either way.
+    """
+    width = len(tables)
+    if width == 1:
+        return LayerTable(n, tables[0].ids)
+    np = numpy_module()
+    if np is not None and isinstance(tables[0].ids, np.ndarray):
+        stacked = np.stack([t.array() for t in tables], axis=1)
+        return LayerTable(n, stacked.reshape(-1))
+    flat = array("q", bytes(8 * count * width * n))
+    stride = width * n
+    for j, t in enumerate(tables):
+        col = t.ids
+        if not isinstance(col, array):
+            col = array("q", col)
+        for p in range(n):
+            flat[j * n + p :: stride] = col[p::n]
+    return LayerTable(n, flat)
+
+
+def _gather_subtable(table: LayerTable, members) -> LayerTable:
+    """The sub-table of the given parent indices (order-preserving)."""
+    n = table.n
+    if isinstance(members, range) and members == range(len(table)):
+        return table
+    ids = table.ids
+    np = numpy_module()
+    if np is not None and isinstance(ids, np.ndarray):
+        return LayerTable(n, ids.reshape(-1, n)[list(members)].reshape(-1))
+    flat = array("q")
+    for i in members:
+        chunk = ids[i * n : (i + 1) * n]
+        flat.extend(chunk)
+    return LayerTable(n, flat)

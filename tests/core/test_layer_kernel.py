@@ -120,10 +120,11 @@ def assert_space_matches_reference(adversary, depth, backend):
     layers = per_parent_layers(adversary, depth, reference)
     for t, (levels, parents, graphs) in enumerate(layers):
         store = space.layer_store(t)
-        # Ordering columns are id-free and must match exactly.
-        assert store.parents == parents
+        # Ordering columns are id-free and must match exactly (columns may
+        # be arrays/tiles; compare their materialized contents).
+        assert list(store.parents) == parents
         if t:
-            assert store.graphs == graphs
+            assert list(store.graphs) == graphs
         assert canonical_levels(space.interner, store.levels) == (
             canonical_levels(reference, levels)
         )

@@ -179,3 +179,63 @@ class TestCrossValidation:
         text = report_jsonl(path)
         assert "CGP reconstruction cross-validation" in text
         assert "checked 6" in text
+
+
+class TestJsonReport:
+    """The machine-readable report document (``report --json``)."""
+
+    def _records(self):
+        return [
+            _record(0),
+            _record(1, status="impossible", certificate="nonbroadcastable-lasso"),
+            _record(2, status="undecided", certificate="undecided@4",
+                    certified_depth=None, family="rooted"),
+            _record(3, n=3, alphabet=5, family="rooted", cgp=False),
+        ]
+
+    def test_to_dict_round_trips_through_json(self):
+        doc = json.loads(json.dumps(summarize(self._records()).to_dict()))
+        assert doc["schema"] == "repro.sweep-report/1"
+        assert doc["total"] == 4
+        assert doc["status_counts"] == {
+            "solvable": 2, "impossible": 1, "undecided": 1
+        }
+        assert doc["by_shape"]["n=3 |D|=5"] == {"solvable": 1}
+        assert doc["by_family"]["rooted"]["undecided"] == 1
+        assert [r["index"] for r in doc["undecided"]] == [2]
+        # Embedded records are full RunRecord dicts, re-loadable.
+        from repro.records import RunRecord
+
+        rebuilt = RunRecord.from_dict(doc["undecided"][0])
+        assert rebuilt.certificate == "undecided@4"
+
+    def test_cross_validation_sections(self):
+        doc = summarize(self._records()).to_dict()
+        cgp = doc["cross_validation"]["cgp"]
+        # Record 3 is solvable but cgp predicted unsolvable: a disagreement.
+        assert cgp["checked"] == 1
+        assert cgp["disagree"] == 1
+        assert cgp["disagreements_by_family"] == {"rooted": 1}
+        assert cgp["disagreements"][0]["index"] == 3
+        assert doc["cross_validation"]["oracle"]["checked"] == 0
+
+    def test_json_report_jsonl(self, tmp_path):
+        from repro.analysis import json_report_jsonl
+        from repro.records import write_jsonl
+
+        path = tmp_path / "records.jsonl"
+        write_jsonl(self._records(), path)
+        doc = json.loads(json_report_jsonl(path))
+        assert doc["schema"] == "repro.sweep-report/1"
+        assert doc["total"] == 4
+
+    def test_cli_report_json_flag(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.records import write_jsonl
+
+        path = tmp_path / "records.jsonl"
+        write_jsonl(self._records(), path)
+        assert main(["report", str(path), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.sweep-report/1"
+        assert doc["cross_validation"]["cgp"]["disagree"] == 1

@@ -93,7 +93,7 @@ class TestStreaming:
         for depth, store in streamed.iter_layers(max_depth=4):
             seen.append((depth, len(store)))
             assert store.levels == materialized.layer_store(depth).levels
-            assert store.parents == materialized.layer_store(depth).parents
+            assert list(store.parents) == list(materialized.layer_store(depth).parents)
         assert seen == [(t, len(materialized.layer_store(t))) for t in range(5)]
 
     def test_iter_layers_resumes_on_partially_built_space(self):
@@ -112,17 +112,17 @@ class TestStreaming:
         full_store = materialized.layer_store(6)
         store = frontier.layer_store(6)
         assert store.levels == full_store.levels
-        assert store.parents == full_store.parents
-        assert store.input_idx == full_store.input_idx
-        assert store.graphs == full_store.graphs
-        assert store.states == full_store.states
+        assert list(store.parents) == list(full_store.parents)
+        assert list(store.input_idx) == list(full_store.input_idx)
+        assert list(store.graphs) == list(full_store.graphs)
+        assert list(store.states) == list(full_store.states)
         # Historical layers keep sizes, parents, and input indices only.
         assert frontier.layer_sizes() == materialized.layer_sizes()
         for t in range(6):
             condensed = frontier._stores[t]
             assert condensed.condensed
-            assert condensed.parents == materialized.layer_store(t).parents
-            assert condensed.input_idx == materialized.layer_store(t).input_idx
+            assert list(condensed.parents) == list(materialized.layer_store(t).parents)
+            assert list(condensed.input_idx) == list(materialized.layer_store(t).input_idx)
 
     def test_frontier_mode_matches_materialized_at_depth_8(self):
         """Deep streaming equality on the layer kernel: 4 * 3^8 prefixes.
@@ -139,10 +139,10 @@ class TestStreaming:
         full_store = materialized.layer_store(8)
         assert len(store) == 4 * 3**8
         assert store.levels == full_store.levels
-        assert store.parents == full_store.parents
-        assert store.input_idx == full_store.input_idx
-        assert store.graphs == full_store.graphs
-        assert store.states == full_store.states
+        assert list(store.parents) == list(full_store.parents)
+        assert list(store.input_idx) == list(full_store.input_idx)
+        assert list(store.graphs) == list(full_store.graphs)
+        assert list(store.states) == list(full_store.states)
 
     def test_frontier_streaming_on_state_grouped_adversary(self):
         """Multi-group layers (eventually-forever) stream identically."""
