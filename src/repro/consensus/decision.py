@@ -30,9 +30,9 @@ materialized except to format a validation error.
 
 from __future__ import annotations
 
-from repro.consensus.spec import ConsensusSpec
+from repro.consensus.spec import STRONG, ConsensusSpec
 from repro.core.views import numpy_module, plain_ids
-from repro.errors import CertificateError
+from repro.errors import AnalysisError, CertificateError
 from repro.topology.components import ComponentAnalysis
 from repro.topology.prefixspace import PrefixSpace
 
@@ -281,10 +281,7 @@ def build_decision_table(
     """
     space = analysis.space
     depth = analysis.depth
-    assignment = {
-        component.id: spec.pick_value(component)
-        for component in analysis.components
-    }
+    assignment = _assign_values(analysis, spec)
     # Value sets are encoded as bitmaps over the (small, finite) set of
     # assigned values; both backends share the coding.
     value_list = sorted(set(assignment.values()), key=repr)
@@ -300,6 +297,158 @@ def build_decision_table(
     table = DecisionTable(space, depth, spec, assignment, final, early)
     table.validate()
     return table
+
+
+def _assign_values(analysis: ComponentAnalysis, spec: ConsensusSpec) -> dict:
+    """Value per component id, columnar when the spec allows it.
+
+    The vectorized pass below reproduces :meth:`ConsensusSpec.pick_value`
+    for the library spec; subclasses overriding ``pick_value`` or
+    ``allowed_values`` keep the per-component calls (their overrides must
+    observe every component).  The columnar pass also needs the
+    vectorized component analysis to have run (``comp_ids`` is then an
+    int64 column) and the domain to fit the int64 value bitmaps.
+    """
+    np = numpy_module()
+    if (
+        np is None
+        or type(spec).pick_value is not ConsensusSpec.pick_value
+        or type(spec).allowed_values is not ConsensusSpec.allowed_values
+        or analysis.space.interner.layer_backend != "numpy"
+        or not isinstance(analysis.comp_ids, np.ndarray)
+        or len(spec.domain) > _NUMPY_MAX_VALUES
+    ):
+        return {
+            component.id: spec.pick_value(component)
+            for component in analysis.components
+        }
+    return _assign_values_numpy(np, analysis, spec)
+
+
+#: Distinct-from-everything marker for the vectorized tie-break (``None``
+#: is a legitimate input value, so it cannot signal "nothing chosen yet").
+_NO_VALUE = object()
+
+
+def _assign_values_numpy(np, analysis: ComponentAnalysis, spec: ConsensusSpec) -> dict:
+    """Whole-layer value assignment: forced valences + broadcaster pass.
+
+    One stable argsort groups the layer's prefixes by component;
+    ``reduceat`` folds then answer, per component, everything
+    :meth:`ConsensusSpec.pick_value` asks member-by-member: the
+    strong-validity allowed sets (AND of per-input-vector value bitmaps)
+    and each broadcaster's input value (min/max folds over per-process
+    value codes, equal iff constant — the Theorem 5.9 check).  Preference
+    order, raised errors, and chosen values match the scalar path
+    exactly; only components whose allowed set stays ambiguous take the
+    (cheap) per-component tie-break loop.
+    """
+    space = analysis.space
+    store = space.layer_store(analysis.depth)
+    components = analysis.components
+    ncomp = len(components)
+    comp_ids = analysis.comp_ids
+    member_order = np.argsort(comp_ids, kind="stable")
+    comp_starts = np.zeros(ncomp, dtype=np.int64)
+    np.cumsum(
+        np.bincount(comp_ids, minlength=ncomp)[:-1], out=comp_starts[1:]
+    )
+    member_inputs = store.input_array()[member_order]
+    input_vectors = space.input_vectors
+    domain = spec.domain
+    code_of = {value: i for i, value in enumerate(domain)}
+    assignment: dict = {}
+    allowed_sets: dict[int, frozenset] = {}
+    pending: list[int] = []
+    if spec.validity == STRONG:
+        vec_bits = np.fromiter(
+            (
+                sum(1 << code_of[v] for v in set(vec) if v in code_of)
+                for vec in input_vectors
+            ),
+            dtype=np.int64,
+            count=len(input_vectors),
+        )
+        allowed_bits = np.bitwise_and.reduceat(
+            vec_bits[member_inputs], comp_starts
+        )
+        for cid in range(ncomp):
+            bits = int(allowed_bits[cid])
+            component = components[cid]
+            if not bits:
+                raise AnalysisError(
+                    f"component {component.id} admits no decision value "
+                    f"(valences {set(component.valences)})"
+                )
+            if bits & (bits - 1) == 0:
+                assignment[component.id] = domain[bits.bit_length() - 1]
+            else:
+                allowed_sets[cid] = frozenset(
+                    value for i, value in enumerate(domain) if bits >> i & 1
+                )
+                pending.append(cid)
+    else:
+        full = frozenset(domain)
+        for cid in range(ncomp):
+            component = components[cid]
+            valences = component.valences
+            if not valences:
+                allowed_sets[cid] = full
+                pending.append(cid)
+            elif len(valences) == 1:
+                assignment[component.id] = next(iter(valences))
+            else:
+                raise AnalysisError(
+                    f"component {component.id} admits no decision value "
+                    f"(valences {set(valences)})"
+                )
+    if pending:
+        # Per-process broadcaster folds, computed lazily (at most n of
+        # them) and shared by every pending component.
+        stats_cache: dict[int, tuple] = {}
+
+        def broadcaster_stats(p: int) -> tuple:
+            stats = stats_cache.get(p)
+            if stats is None:
+                codes = np.empty(len(input_vectors), dtype=np.int64)
+                index_of: dict = {}
+                uniq_values: list = []
+                for i, vec in enumerate(input_vectors):
+                    value = vec[p]
+                    code = index_of.get(value)
+                    if code is None:
+                        code = index_of[value] = len(uniq_values)
+                        uniq_values.append(value)
+                    codes[i] = code
+                member_codes = codes[member_inputs]
+                stats = stats_cache[p] = (
+                    uniq_values,
+                    np.minimum.reduceat(member_codes, comp_starts),
+                    np.maximum.reduceat(member_codes, comp_starts),
+                )
+            return stats
+
+        for cid in pending:
+            component = components[cid]
+            allowed = allowed_sets[cid]
+            chosen = _NO_VALUE
+            for p in sorted(component.broadcasters):
+                uniq_values, lo, hi = broadcaster_stats(p)
+                if lo[cid] != hi[cid]:
+                    # Non-constant broadcaster: delegate to the member
+                    # scan for the exact Theorem 5.9 violation error.
+                    component.broadcaster_value(p)
+                value = uniq_values[int(lo[cid])]
+                if value in allowed:
+                    chosen = value
+                    break
+            if chosen is _NO_VALUE:
+                for value in domain:
+                    if value in allowed:
+                        chosen = value
+                        break
+            assignment[component.id] = chosen
+    return assignment
 
 
 def _decision_maps_python(

@@ -95,6 +95,17 @@ class CheckOptions:
         functions of the alphabet, so the cap trades recomputation for
         memory and never changes results.  Ignored when the caller shares
         an interner.
+    extension_workers:
+        Process count for the created interner's sharded whole-layer
+        extension (``1`` = serial, the default).  Orthogonal to
+        ``layer_backend``: only the numpy kernel shards, the sharded path
+        is bit-identical to the serial numpy kernel for any worker count,
+        and small layers fall back to serial automatically.  Serializes
+        with the options like ``layer_backend``; manifests written before
+        this field existed simply omit it and load with the serial
+        default.  Process-pool sweeps clamp it to ``1`` inside their
+        workers via :data:`repro.core.views._WORKER_CAP_ENV`.  Ignored
+        when the caller shares an interner.
     """
 
     max_depth: int = 10
@@ -104,6 +115,7 @@ class CheckOptions:
     memo_extensions: bool | None = None
     layer_backend: str | None = None
     plan_cache_size: int | None = None
+    extension_workers: int = 1
 
     def replace(self, **changes) -> "CheckOptions":
         """A copy with the given fields changed."""
@@ -423,6 +435,7 @@ def check_consensus_with_options(
         memo_extensions=memo_extensions,
         layer_backend=options.layer_backend,
         plan_cache_size=options.plan_cache_size,
+        extension_workers=options.extension_workers,
     )
     table: DecisionTable | None = None
     certified_depth = None

@@ -67,9 +67,13 @@ _ARROW_EDGES["empty"] = _ARROW_EDGES["none"]
 _ARROW_EDGES["∅"] = _ARROW_EDGES["none"]
 
 #: Graphs on at most this many nodes are hash-consed into a process-wide
-#: table.  ``8`` keeps the packed edge key within one machine word and covers
-#: every workload the prefix-space machinery can enumerate anyway.
-_INTERN_MAX_N = 8
+#: table.  Bit rows and packed edge keys are arbitrary-precision Python
+#: ints, so every graph operation is width-generic; the cap only bounds
+#: the intern table.  ``16`` covers the large-``n`` prefix spaces the
+#: sharded extension kernel can now walk, while ``n <= 8`` keys stay
+#: within one machine word — that fast path is bit-for-bit unchanged
+#: (same key packing, same hashes, same interned identities).
+_INTERN_MAX_N = 16
 
 _UNSET = object()
 

@@ -1,0 +1,207 @@
+"""Shared-memory sharded map phase for the whole-layer extension kernel.
+
+The vectorized layer kernel in :mod:`repro.core.views` factors into a map
+phase — per in-neighborhood, gather each parent level's in-list columns,
+sort the row, and dedup — and a reduce phase that interns the distinct
+rows and allocates views.  Only the map phase scales with the layer size;
+the reduce phase works at unique-row granularity, which at deep layers is
+orders of magnitude smaller.  This module runs the map phase sharded
+across worker processes:
+
+* the parent layer's flat int64 view-id column goes into one
+  ``multiprocessing.shared_memory`` buffer (a single memcpy — the column
+  is already flat, so nothing is pickled);
+* each worker dedups its row range per in-neighborhood, writes its local
+  inverse column into a shared output buffer, and returns only its small
+  distinct-row matrices;
+* the parent re-uniques the union of the per-shard distinct rows.
+
+The merge is *canonical*: :func:`repro.core.views._unique_rows` returns
+distinct rows in lexicographic order, an order that depends only on the
+row set — never on the packing bit width or the shard boundaries.  The
+union of per-shard dedups is exactly the layer's row set, so the merged
+``(uniq, inv)`` pairs are bit-identical to what the serial kernel would
+have computed, and the reduce phase then performs *the same interner
+mutations in the same order*.  Any worker count (including mixing counts
+across layers) yields the same interner state and the same output
+columns as the serial numpy kernel.
+
+Workers never see the interner: they are stateless functions of the
+shared parent column, served by one persistent process pool that is
+reused across layers and torn down at interpreter exit.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+
+try:  # pragma: no cover - absent only on exotic platforms
+    from multiprocessing import shared_memory as _shm
+except ImportError:  # pragma: no cover
+    _shm = None
+
+__all__ = ["shared_memory_available", "map_layer_shards", "shutdown_pool"]
+
+#: Lazily probed: ``None`` until the first availability check, then the
+#: cached verdict.  Creating one tiny segment is the only reliable probe
+#: (the import can succeed on platforms where ``/dev/shm`` is unusable).
+_SHM_OK: bool | None = None
+
+_POOL = None
+_POOL_WORKERS = 0
+
+
+def shared_memory_available() -> bool:
+    """Whether shared-memory segments can actually be created here."""
+    global _SHM_OK
+    if _SHM_OK is None:
+        if _shm is None:
+            _SHM_OK = False
+        else:
+            try:
+                probe = _shm.SharedMemory(create=True, size=8)
+                probe.close()
+                probe.unlink()
+                _SHM_OK = True
+            except OSError:
+                _SHM_OK = False
+    return _SHM_OK
+
+
+def _get_pool(workers: int):
+    """The persistent worker pool, recreated only when the size changes."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None and _POOL_WORKERS == workers:
+        return _POOL
+    shutdown_pool()
+    if "fork" in multiprocessing.get_all_start_methods():
+        # Forked workers inherit loaded modules, so dispatch latency is
+        # dominated by the map work itself, not interpreter start-up.
+        ctx = multiprocessing.get_context("fork")
+    else:  # pragma: no cover - Windows/macOS spawn path
+        ctx = multiprocessing.get_context()
+    _POOL = ctx.Pool(workers)
+    _POOL_WORKERS = workers
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Terminate the persistent pool (idempotent; re-dispatch recreates)."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None:
+        _POOL.terminate()
+        _POOL.join()
+        _POOL = None
+        _POOL_WORKERS = 0
+
+
+atexit.register(shutdown_pool)
+
+
+def _map_shard(task):
+    """Pool entry: dedup one row range of the shared parent column.
+
+    Reads rows ``start:end`` of the ``(count, n)`` int64 matrix in the
+    input segment, runs the per-in-neighborhood candidate dedup on them,
+    writes each local inverse column into the output segment (row ``si``,
+    columns ``start:end``), and returns only the distinct-row matrices —
+    the one part whose size the parent cannot predict.
+    """
+    in_name, out_name, count, n, inlists, start, end = task
+    import numpy as np
+
+    from repro.core.views import _candidate_uniq_inv
+
+    # Attaching re-registers the segments with the resource tracker, but
+    # pool children share the parent's tracker process, so the register
+    # is a set-level no-op and the parent's unlink stays the single
+    # cleanup point.
+    shm_in = _shm.SharedMemory(name=in_name)
+    shm_out = _shm.SharedMemory(name=out_name)
+    try:
+        matrix = np.ndarray((count, n), dtype=np.int64, buffer=shm_in.buf)
+        out = np.ndarray(
+            (len(inlists), count), dtype=np.int64, buffer=shm_out.buf
+        )
+        chunk = matrix[start:end]
+        payload = []
+        for si, in_list in enumerate(inlists):
+            uniq, inv = _candidate_uniq_inv(np, chunk, in_list)
+            out[si, start:end] = inv
+            payload.append((uniq.shape[0], uniq.shape[1], uniq.tobytes()))
+        del matrix, out, chunk
+        return payload
+    finally:
+        try:
+            shm_in.close()
+            shm_out.close()
+        except BufferError:  # pragma: no cover - error-path cleanup only
+            pass
+
+
+def map_layer_shards(level_matrix, inlists, workers: int) -> list:
+    """Sharded candidate dedup of one layer: ``[(uniq, inv)]`` per in-list.
+
+    ``level_matrix`` is the C-contiguous ``(count, n)`` int64 parent
+    matrix; the result is bit-identical to running
+    :func:`repro.core.views._candidate_uniq_inv` serially per in-list.
+    Raises on shared-memory or pool failure — the caller falls back to
+    the serial kernel, whose inputs this function never mutates.
+    """
+    import numpy as np
+
+    from repro.core.views import _unique_rows
+
+    count, n = level_matrix.shape
+    workers = max(1, min(workers, count))
+    bounds = [count * s // workers for s in range(workers + 1)]
+    shm_in = _shm.SharedMemory(create=True, size=level_matrix.nbytes)
+    shm_out = _shm.SharedMemory(
+        create=True, size=8 * count * len(inlists)
+    )
+    try:
+        stage = np.ndarray((count, n), dtype=np.int64, buffer=shm_in.buf)
+        stage[:] = level_matrix
+        del stage
+        tasks = [
+            (
+                shm_in.name,
+                shm_out.name,
+                count,
+                n,
+                inlists,
+                bounds[s],
+                bounds[s + 1],
+            )
+            for s in range(workers)
+        ]
+        payloads = _get_pool(workers).map(_map_shard, tasks)
+        out = np.ndarray(
+            (len(inlists), count), dtype=np.int64, buffer=shm_out.buf
+        )
+        results = []
+        for si in range(len(inlists)):
+            parts = [
+                np.frombuffer(raw, dtype=np.int64).reshape(u, k)
+                for (u, k, raw) in (payload[si] for payload in payloads)
+            ]
+            uniq, global_inv = _unique_rows(np, np.vstack(parts))
+            inv = np.empty(count, dtype=np.int64)
+            offset = 0
+            for s in range(workers):
+                shard_map = global_inv[offset : offset + len(parts[s])]
+                local = out[si, bounds[s] : bounds[s + 1]]
+                inv[bounds[s] : bounds[s + 1]] = shard_map[local]
+                offset += len(parts[s])
+            results.append((uniq, inv))
+        del out
+        return results
+    finally:
+        try:
+            shm_in.close()
+            shm_in.unlink()
+            shm_out.close()
+            shm_out.unlink()
+        except BufferError:  # pragma: no cover - error-path cleanup only
+            pass

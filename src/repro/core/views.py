@@ -129,6 +129,20 @@ _NUMPY_MIN_CELLS = 192
 #: per-parent loop (batch bookkeeping dominates microscopic layers).
 _BATCH_MIN_CELLS = 48
 
+#: Below this many (parent, pattern) cells the sharded multiprocess map
+#: phase cannot amortize its fixed dispatch cost (shared-memory setup, one
+#: pool round trip); smaller layers stay on the serial numpy kernel even
+#: when ``extension_workers > 1``.  Tests monkeypatch this to force the
+#: sharded path onto small layers.
+_MP_MIN_CELLS = 65536
+
+#: Environment cap on per-interner extension workers.  Process-pool sweep
+#: workers set this to ``"1"`` so a ``workers x extension_workers``
+#: oversubscription cannot happen by accident; users can set it to bound
+#: fan-out globally.  Read at dispatch time, so it also applies to
+#: interners constructed before the variable was set.
+_WORKER_CAP_ENV = "REPRO_MAX_EXTENSION_WORKERS"
+
 #: Multiplier/seed of the fallback 64-bit row mix (FNV offset basis
 #: seeded, golden-ratio multiplier).  The same fold runs scalar in Python
 #: and vectorized in numpy, so both kernels probe identical slots.
@@ -256,6 +270,59 @@ def _bulk_row_hashes(np, uniq, k: int):
     for c in range(k):
         acc = (acc ^ uniq[:, c].astype(np.uint64)) * mult
     return acc
+
+
+def _unique_rows(np, cand):
+    """Distinct rows of a row-sorted int64 matrix, plus the inverse map.
+
+    Rows dedup through a packed int64 key column when the ids fit one
+    word, and through ``np.unique(..., axis=0)`` otherwise.  Both paths
+    return the distinct rows in *lexicographic* order — an order that
+    depends only on the row set, never on the packing bit width or on how
+    the input rows were partitioned.  That invariance is what lets the
+    sharded map phase (:mod:`repro.core.parallel`) re-unique the union of
+    per-shard dedups and recover exactly the serial kernel's output.
+    """
+    k = cand.shape[1]
+    if k == 1:
+        _, first_idx, inv = np.unique(
+            cand[:, 0], return_index=True, return_inverse=True
+        )
+        return cand[first_idx], inv
+    max_id = int(cand[:, -1].max())
+    bits = max(1, max_id.bit_length())
+    if k * bits <= 63:
+        # Pack each sorted row into one int64 key: unique on 1-D ints is
+        # far cheaper than row-wise unique.
+        keys = cand[:, 0]
+        for c in range(1, k):
+            keys = (keys << bits) | cand[:, c]
+        _, first_idx, inv = np.unique(
+            keys, return_index=True, return_inverse=True
+        )
+        return cand[first_idx], inv
+    return np.unique(cand, axis=0, return_inverse=True)
+
+
+def _candidate_uniq_inv(np, level_matrix, in_list):
+    """One in-neighborhood's candidate-row dedup over a layer matrix.
+
+    Gathers the in-list columns of every parent level, sorts each row
+    (child rows are *sets* of view ids), and dedups.  This is the
+    embarrassingly parallel map phase of the layer kernel: it reads only
+    the parent matrix, so shards of the row range can run it in worker
+    processes and merge afterwards.
+    """
+    k = len(in_list)
+    cand = level_matrix[:, in_list]
+    if k > 1:
+        cand = np.ascontiguousarray(cand)
+        cand.sort(axis=1)
+        return _unique_rows(np, cand)
+    _, first_idx, inv = np.unique(
+        cand[:, 0], return_index=True, return_inverse=True
+    )
+    return cand[first_idx], inv
 
 
 class LayerTable(Sequence):
@@ -424,6 +491,8 @@ class ViewInterner:
         "n",
         "layer_backend",
         "plan_cache_size",
+        "extension_workers",
+        "_mp_dispatches",
         "_pid",
         "_depth",
         "_row",
@@ -451,6 +520,7 @@ class ViewInterner:
         n: int,
         layer_backend: str | None = None,
         plan_cache_size: int | None = None,
+        extension_workers: int | None = None,
     ) -> None:
         if n <= 0:
             raise AnalysisError("a view interner needs n >= 1 processes")
@@ -470,8 +540,14 @@ class ViewInterner:
             plan_cache_size = DEFAULT_PLAN_CACHE_SIZE
         if plan_cache_size < 1:
             raise AnalysisError("plan_cache_size must be >= 1")
+        if extension_workers is None:
+            extension_workers = 1
+        if extension_workers < 1:
+            raise AnalysisError("extension_workers must be >= 1")
         self.layer_backend = layer_backend
         self.plan_cache_size = plan_cache_size
+        self.extension_workers = extension_workers
+        self._mp_dispatches = 0
         self.n = n
         # Parallel per-view columns.  Owners and depths are plain lists of
         # (interpreter-shared) small ints — same 8 bytes per slot as an
@@ -1188,8 +1264,39 @@ class ViewInterner:
             and self.n <= _MASK_ARRAY_MAX_N
             and cells >= _NUMPY_MIN_CELLS
         ):
+            workers = self._effective_workers(cells)
+            if workers > 1:
+                columns = self._extend_layer_numpy_mp(table, plan, workers)
+                if columns is not None:
+                    return columns
             return self._extend_layer_numpy(table, plan)
         return self._extend_layer_python(table, plan)
+
+    def _effective_workers(self, cells: int) -> int:
+        """Worker count actually usable for one layer dispatch.
+
+        Resolves the interner's ``extension_workers`` knob against every
+        graceful-fallback condition: layers below :data:`_MP_MIN_CELLS`,
+        the :data:`_WORKER_CAP_ENV` environment cap (set to ``1`` inside
+        process-pool sweep workers), and shared-memory availability.  A
+        result of ``1`` means the serial kernel runs.
+        """
+        workers = self.extension_workers
+        if workers <= 1 or cells < _MP_MIN_CELLS:
+            return 1
+        cap = os.environ.get(_WORKER_CAP_ENV)
+        if cap is not None:
+            try:
+                workers = min(workers, int(cap))
+            except ValueError:
+                pass
+        if workers <= 1:
+            return 1
+        from repro.core import parallel
+
+        if not parallel.shared_memory_available():
+            return 1
+        return workers
 
     def _extend_layer_python(self, table: LayerTable, plan: tuple) -> list:
         """The batched pure-Python layer kernel.
@@ -1342,40 +1449,70 @@ class ViewInterner:
         dropped before the underlying array can resize.
         """
         np = _np
-        patterns, layouts, inlists, pats_of_inlist = plan
-        n = self.n
         level_matrix = table.array()
         depth = self._depth[int(level_matrix[0, 0])] + 1
+        uniq_inv = [
+            _candidate_uniq_inv(np, level_matrix, in_list)
+            for in_list in plan[2]
+        ]
+        return self._finish_layer_numpy(np, plan, depth, uniq_inv)
+
+    def _extend_layer_numpy_mp(
+        self, table: LayerTable, plan: tuple, workers: int
+    ):
+        """The sharded front end of the vectorized kernel.
+
+        Runs the per-in-neighborhood candidate dedup (the map phase of
+        :meth:`_extend_layer_numpy`) across ``workers`` processes over
+        shared-memory shards of the parent layer column, merges the
+        per-shard dedups back into exactly the serial kernel's
+        ``(uniq, inv)`` pairs, and hands them to the shared back half.
+        The merge is canonical — distinct rows come back in the same
+        lexicographic order regardless of shard count — so the interner
+        mutations and output columns are bit-identical to the serial
+        numpy kernel (see :mod:`repro.core.parallel`).
+
+        Returns ``None`` when the map phase cannot run (shared-memory or
+        pool failure); the dispatcher then falls back to the serial
+        kernel, which recomputes from the untouched interner state.
+        """
+        np = _np
+        from repro.core import parallel
+
+        level_matrix = np.ascontiguousarray(table.array())
+        try:
+            uniq_inv = parallel.map_layer_shards(
+                level_matrix, plan[2], workers
+            )
+        except Exception:
+            return None
+        self._mp_dispatches += 1
+        depth = self._depth[int(level_matrix[0, 0])] + 1
+        return self._finish_layer_numpy(np, plan, depth, uniq_inv)
+
+    def _finish_layer_numpy(
+        self, np, plan: tuple, depth: int, uniq_inv: list
+    ) -> list:
+        """The reduce half of the vectorized kernel: intern and allocate.
+
+        Consumes one ``(uniq, inv)`` candidate dedup per in-neighborhood
+        — produced serially by :meth:`_extend_layer_numpy` or sharded by
+        :meth:`_extend_layer_numpy_mp` — and performs every interner
+        mutation: bulk row hashing, vectorized probe/insert into the row
+        arena, bulk view allocation, and the final per-graph interleave.
+        Identical inputs yield bit-identical interner state, which is the
+        sharded path's correctness contract.
+        """
+        patterns, layouts, inlists, pats_of_inlist = plan
+        n = self.n
         row_masks = self._row_masks
         node_slots = self._node_slots
         pids = self._pid
         depth_col = self._depth
         vid_cols: list = [None] * len(patterns)
-        for si, in_list in enumerate(inlists):
-            k = len(in_list)
-            cand = level_matrix[:, in_list]
-            if k > 1:
-                cand = np.ascontiguousarray(cand)
-                cand.sort(axis=1)
-                max_id = int(cand[:, -1].max())
-                bits = max(1, max_id.bit_length())
-                if k * bits <= 63:
-                    # Pack each sorted row into one int64 key: unique on
-                    # 1-D ints is far cheaper than row-wise unique.
-                    keys = cand[:, 0]
-                    for c in range(1, k):
-                        keys = (keys << bits) | cand[:, c]
-                    _, first_idx, inv = np.unique(
-                        keys, return_index=True, return_inverse=True
-                    )
-                    uniq = cand[first_idx]
-                else:
-                    uniq, inv = np.unique(cand, axis=0, return_inverse=True)
-            else:
-                _, first_idx, inv = np.unique(
-                    cand[:, 0], return_index=True, return_inverse=True
-                )
-                uniq = cand[first_idx]
+        for si in range(len(inlists)):
+            uniq, inv = uniq_inv[si]
+            k = uniq.shape[1]
             # Bulk-hash the distinct rows (same fold as _row_hash), then
             # probe and insert entirely vectorized: the open-addressing
             # table is gathered through transient buffer windows, fresh

@@ -1,0 +1,176 @@
+"""Large-``n`` digraph kernel: equivalence beyond the old interning wall.
+
+The bitmask kernel stores rows as arbitrary-precision ints, so every graph
+operation is width-generic; lifting ``_INTERN_MAX_N`` from 8 to 16 made
+``n = 9..16`` graphs first-class (interned, picklable by key) without
+touching the ``n <= 8`` fast path.  These tests pin both halves:
+
+* for ``n = 9..12``, the bit-row kernel (closure, roots, broadcasters,
+  SCCs, key packing) against an independent set-based reference;
+* for ``n <= 8``, exact key values, hashes, and interned identity —
+  the single-word fast path must be bit-for-bit unchanged.
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro.core.digraph import _INTERN_MAX_N, Digraph
+
+
+# --------------------------------------------------------------------- #
+# Set-based reference implementations (no bit tricks anywhere)
+# --------------------------------------------------------------------- #
+
+
+def ref_closure(n, edges):
+    """Reflexive-transitive closure as per-node reachability sets (BFS)."""
+    adjacency = {u: set() for u in range(n)}
+    for u, v in edges:
+        adjacency[u].add(v)
+    rows = []
+    for source in range(n):
+        seen = {source}
+        stack = [source]
+        while stack:
+            u = stack.pop()
+            for v in adjacency[u]:
+                if v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        rows.append(frozenset(seen))
+    return rows
+
+
+def ref_sccs(n, edges):
+    """SCCs as a set of frozensets: mutual reachability classes."""
+    forward = ref_closure(n, edges)
+    backward = ref_closure(n, [(v, u) for u, v in edges])
+    return {frozenset(forward[u] & backward[u]) for u in range(n)}
+
+
+def ref_root_components(n, edges):
+    """Source SCCs: components no outside node reaches into."""
+    forward = ref_closure(n, edges)
+    backward = ref_closure(n, [(v, u) for u, v in edges])
+    roots = []
+    for comp in ref_sccs(n, edges):
+        u = min(comp)
+        if backward[u] <= forward[u]:
+            roots.append(comp)
+    return {frozenset(c) for c in roots}
+
+
+def random_edges(rng, n, density):
+    return [
+        (u, v)
+        for u in range(n)
+        for v in range(n)
+        if u != v and rng.random() < density
+    ]
+
+
+# --------------------------------------------------------------------- #
+# n = 9..12 equivalence against the reference
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("n", [9, 10, 11, 12])
+def test_large_n_matches_set_reference(n):
+    rng = random.Random(1000 + n)
+    everyone = frozenset(range(n))
+    for trial in range(25):
+        density = rng.choice([0.05, 0.15, 0.3, 0.6])
+        edges = random_edges(rng, n, density)
+        g = Digraph(n, edges)
+        closure = ref_closure(n, edges)
+        for p in range(n):
+            assert g.reachable_from(p) == closure[p]
+        assert g.broadcasters == frozenset(
+            p for p in range(n) if closure[p] == everyone
+        )
+        assert g.is_rooted == any(closure[p] == everyone for p in range(n))
+        assert set(g.strongly_connected_components()) == ref_sccs(n, edges)
+        assert set(g.root_components) == ref_root_components(n, edges)
+        assert g.roots == frozenset().union(*ref_root_components(n, edges))
+        assert g.transpose().edges == frozenset((v, u) for u, v in g.edges)
+
+
+@pytest.mark.parametrize("n", [9, 12])
+def test_large_n_compose_matches_reference(n):
+    rng = random.Random(2000 + n)
+    for trial in range(10):
+        a = Digraph(n, random_edges(rng, n, 0.2))
+        b = Digraph(n, random_edges(rng, n, 0.2))
+        composed = a.compose(b)
+        expected = {
+            (u, w)
+            for u in range(n)
+            for w in range(n)
+            if u != w
+            and any(
+                (u == v or (u, v) in a.edges) and (v == w or (v, w) in b.edges)
+                for v in range(n)
+            )
+        }
+        assert composed.edges == frozenset(expected)
+
+
+@pytest.mark.parametrize("n", [9, 11, 16])
+def test_large_n_key_roundtrip_and_interning(n):
+    rng = random.Random(3000 + n)
+    for trial in range(20):
+        g = Digraph(n, random_edges(rng, n, 0.25))
+        assert Digraph.from_key(n, g.key) is g  # interned up to n = 16
+        assert pickle.loads(pickle.dumps(g)) is g
+        # Key packs edge bits at u * n + v, width-generically.
+        assert g.key == sum(1 << (u * n + v) for u, v in g.edges)
+
+
+def test_intern_cap_is_sixteen():
+    assert _INTERN_MAX_N == 16
+    g = Digraph(17, [(0, 16)])
+    assert Digraph.from_key(17, g.key) is not g  # beyond the cap: equal, not identical
+    assert Digraph.from_key(17, g.key) == g
+
+
+# --------------------------------------------------------------------- #
+# n <= 8: the single-word fast path is bit-for-bit unchanged
+# --------------------------------------------------------------------- #
+
+
+def test_small_n_keys_unchanged():
+    # Hardcoded key values: the packing (bit u*n+v per edge) predates the
+    # cap lift and must never move.
+    assert Digraph(2, [(0, 1)]).key == 1 << 1
+    assert Digraph(2, [(1, 0)]).key == 1 << 2
+    assert Digraph(3, [(0, 1), (2, 0)]).key == (1 << 1) | (1 << 6)
+    assert Digraph.complete(2).key == (1 << 1) | (1 << 2)
+    assert Digraph.empty(8).key == 0
+    assert Digraph(8, [(7, 0)]).key == 1 << 56
+
+
+@pytest.mark.parametrize("n", [2, 3, 5, 8])
+def test_small_n_interned_identity_unchanged(n):
+    rng = random.Random(4000 + n)
+    for trial in range(10):
+        edges = random_edges(rng, n, 0.4)
+        a = Digraph(n, edges)
+        b = Digraph(n, list(reversed(edges)))
+        assert a is b
+        assert Digraph.from_key(n, a.key) is a
+        assert hash(a) == hash((n, a.key))
+
+
+def test_small_n_reference_equivalence_still_holds():
+    # The lift must not have perturbed small-n behavior either.
+    rng = random.Random(5000)
+    for n in (3, 5, 8):
+        for trial in range(10):
+            edges = random_edges(rng, n, 0.3)
+            g = Digraph(n, edges)
+            closure = ref_closure(n, edges)
+            for p in range(n):
+                assert g.reachable_from(p) == closure[p]
+            assert set(g.strongly_connected_components()) == ref_sccs(n, edges)

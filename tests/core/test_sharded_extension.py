@@ -1,0 +1,289 @@
+"""The sharded shared-memory extension path, pinned to the serial kernels.
+
+The contract is stronger than structural equivalence: the map/merge design
+re-uniques the union of per-shard candidate dedups, whose lexicographic
+order is shard-count-independent, so the sharded numpy path must produce
+*bit-identical* interner state and layer columns to the serial numpy
+kernel — same view ids, same row arena, same hashes — for any worker
+count.  The pure-Python backend remains structurally equivalent only
+(view numbering may differ), matching the existing kernel contract.
+
+Layers in these tests are far below the real ``_MP_MIN_CELLS`` floor, so
+the fixture drops it; every test asserts the sharded path actually
+dispatched (``_mp_dispatches``) so a silent fallback cannot fake a pass.
+"""
+
+import os
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.core.views as views_module
+from repro.adversaries import (
+    ObliviousAdversary,
+    lossy_link_full,
+    lossy_link_no_hub,
+    lossy_link_with_silence,
+    out_star_set,
+    random_oblivious_adversary,
+    santoro_widmayer_family,
+)
+from repro.adversaries.stabilizing import StabilizingAdversary
+from repro.consensus.solvability import (
+    CheckOptions,
+    check_consensus_with_options,
+)
+from repro.core.digraph import arrow
+from repro.core.views import ViewInterner, numpy_available, numpy_module
+from repro.errors import AnalysisError
+from repro.topology.prefixspace import PrefixSpace
+
+pytestmark = pytest.mark.skipif(
+    not numpy_available(), reason="sharded extension requires numpy"
+)
+
+#: The interner columns that define its complete extension state.
+STATE_COLUMNS = (
+    "_pid",
+    "_depth",
+    "_row",
+    "_origin_mask",
+    "_row_data",
+    "_row_starts",
+    "_row_hashes",
+    "_row_masks",
+    "_node_slots",
+)
+
+
+@pytest.fixture(autouse=True)
+def shard_even_tiny_layers(monkeypatch):
+    """Drop the batching and sharding floors so test-sized layers take
+    the numpy kernel and its mp path."""
+    monkeypatch.setattr(views_module, "_BATCH_MIN_CELLS", 0)
+    monkeypatch.setattr(views_module, "_NUMPY_MIN_CELLS", 0)
+    monkeypatch.setattr(views_module, "_MP_MIN_CELLS", 1)
+
+
+def interner_state(interner):
+    return {name: list(getattr(interner, name)) for name in STATE_COLUMNS}
+
+
+def build_space(adversary, workers, depth, **kwargs):
+    space = PrefixSpace(
+        adversary, layer_backend="numpy", extension_workers=workers, **kwargs
+    )
+    space.ensure_depth(depth)
+    return space
+
+
+FAMILIES = [
+    ("lossy-link-full", lossy_link_full, 6),
+    ("lossy-link-no-hub", lossy_link_no_hub, 6),
+    ("lossy-link-silence", lossy_link_with_silence, 5),
+    ("santoro-widmayer", lambda: santoro_widmayer_family(3, 1), 4),
+    (
+        "oblivious-stars",
+        lambda: ObliviousAdversary(3, out_star_set(3)),
+        4,
+    ),
+]
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+@pytest.mark.parametrize(
+    "family", [f[0] for f in FAMILIES], ids=[f[0] for f in FAMILIES]
+)
+def test_sharded_is_bit_identical_to_serial(family, workers):
+    name, factory, depth = next(f for f in FAMILIES if f[0] == family)
+    serial = build_space(factory(), 1, depth)
+    sharded = build_space(factory(), workers, depth)
+    assert sharded.interner._mp_dispatches > 0
+    assert serial.interner._mp_dispatches == 0
+    assert interner_state(sharded.interner) == interner_state(serial.interner)
+    for d in range(depth + 1):
+        assert list(sharded.layer_store(d).levels.ids) == list(
+            serial.layer_store(d).levels.ids
+        )
+
+
+def test_merge_determinism_across_shard_counts():
+    # Same layers, different shard counts -> identical interner state.
+    states = {}
+    for workers in (1, 2, 3, 4):
+        space = build_space(lossy_link_full(), workers, 6)
+        if workers > 1:
+            assert space.interner._mp_dispatches > 0
+        states[workers] = interner_state(space.interner)
+    assert states[1] == states[2] == states[3] == states[4]
+
+
+def test_sharded_multi_state_grouped_layers():
+    # Stabilizing adversaries extend grouped sub-layers; shards must
+    # compose with the grouped path too.
+    TO, FRO = arrow("->"), arrow("<-")
+    factory = lambda: StabilizingAdversary(2, (TO, FRO), window=2)
+    serial = build_space(factory(), 1, 5)
+    sharded = build_space(factory(), 3, 5)
+    assert sharded.interner._mp_dispatches > 0
+    assert interner_state(sharded.interner) == interner_state(serial.interner)
+
+
+def test_sharded_frontier_retention():
+    serial = build_space(lossy_link_full(), 1, 6, retain="frontier")
+    sharded = build_space(lossy_link_full(), 4, 6, retain="frontier")
+    assert sharded.interner._mp_dispatches > 0
+    assert list(sharded.layer_store(6).levels.ids) == list(
+        serial.layer_store(6).levels.ids
+    )
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    size=st.integers(min_value=1, max_value=4),
+    workers=st.sampled_from([2, 3, 4]),
+)
+def test_sharded_matches_serial_on_random_oblivious(seed, size, workers):
+    rng = random.Random(seed)
+    adversary = random_oblivious_adversary(rng, 3, size=size)
+    serial = build_space(adversary, 1, 4)
+    sharded = build_space(adversary, workers, 4)
+    assert interner_state(sharded.interner) == interner_state(serial.interner)
+    assert list(sharded.layer_store(4).levels.ids) == list(
+        serial.layer_store(4).levels.ids
+    )
+
+
+def canonical_level(interner, vid, cache):
+    """Structural identity of a view, independent of id numbering."""
+    known = cache.get(vid)
+    if known is not None:
+        return known
+    if interner.depth(vid) == 0:
+        result = (interner.pid(vid), ("leaf", interner.leaf_value(vid)))
+    else:
+        result = (
+            interner.pid(vid),
+            tuple(
+                sorted(
+                    canonical_level(interner, kid, cache)
+                    for kid in interner.children(vid)
+                )
+            ),
+        )
+    cache[vid] = result
+    return result
+
+
+def test_sharded_structurally_matches_python_backend():
+    depth = 5
+    sharded = build_space(lossy_link_no_hub(), 4, depth)
+    python_space = PrefixSpace(lossy_link_no_hub(), layer_backend="python")
+    python_space.ensure_depth(depth)
+    assert sharded.interner._mp_dispatches > 0
+    cache_a, cache_b = {}, {}
+    for d in range(depth + 1):
+        level_a = [
+            canonical_level(sharded.interner, int(vid), cache_a)
+            for vid in sharded.layer_store(d).levels.ids
+        ]
+        level_b = [
+            canonical_level(python_space.interner, int(vid), cache_b)
+            for vid in python_space.layer_store(d).levels.ids
+        ]
+        assert level_a == level_b
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_decision_tables_identical_under_sharding(workers):
+    options = CheckOptions(max_depth=5, use_impossibility_provers=False)
+    serial = check_consensus_with_options(
+        santoro_widmayer_family(3, 1), options
+    )
+    sharded = check_consensus_with_options(
+        santoro_widmayer_family(3, 1),
+        options.replace(extension_workers=workers),
+    )
+    assert sharded.status == serial.status
+    assert sharded.certified_depth == serial.certified_depth
+    if serial.decision_table is not None:
+        assert sharded.decision_table.assignment == serial.decision_table.assignment
+        assert sharded.decision_table.final == serial.decision_table.final
+        assert sharded.decision_table.early == serial.decision_table.early
+
+
+# --------------------------------------------------------------------- #
+# The map/merge primitive itself
+# --------------------------------------------------------------------- #
+
+
+def test_map_layer_shards_matches_serial_dedup():
+    from repro.core import parallel
+    from repro.core.views import _candidate_uniq_inv
+
+    np = numpy_module()
+    rng = np.random.default_rng(7)
+    for count, n in ((64, 3), (1000, 4), (333, 2)):
+        matrix = np.ascontiguousarray(
+            rng.integers(0, 50, size=(count, n), dtype=np.int64)
+        )
+        inlists = [(0,), tuple(range(n)), (0, n - 1)]
+        for workers in (2, 3, 7):
+            sharded = parallel.map_layer_shards(matrix, inlists, workers)
+            for in_list, (uniq, inv) in zip(inlists, sharded):
+                ref_uniq, ref_inv = _candidate_uniq_inv(np, matrix, in_list)
+                assert (uniq == ref_uniq).all()
+                assert (inv == ref_inv).all()
+
+
+# --------------------------------------------------------------------- #
+# Fallbacks and guards
+# --------------------------------------------------------------------- #
+
+
+def test_worker_knob_validation():
+    with pytest.raises(AnalysisError):
+        ViewInterner(2, extension_workers=0)
+    assert ViewInterner(2, extension_workers=None).extension_workers == 1
+
+
+def test_env_cap_clamps_to_serial(monkeypatch):
+    monkeypatch.setenv(views_module._WORKER_CAP_ENV, "1")
+    space = build_space(lossy_link_full(), 4, 5)
+    assert space.interner._mp_dispatches == 0
+    serial = build_space(lossy_link_full(), 1, 5)
+    # Clamped run is literally the serial run.
+    assert interner_state(space.interner) == interner_state(serial.interner)
+
+
+def test_env_cap_ignores_garbage(monkeypatch):
+    monkeypatch.setenv(views_module._WORKER_CAP_ENV, "not-a-number")
+    space = build_space(lossy_link_full(), 2, 5)
+    assert space.interner._mp_dispatches > 0
+
+
+def test_cells_floor_falls_back_to_serial(monkeypatch):
+    monkeypatch.setattr(views_module, "_MP_MIN_CELLS", 10**9)
+    space = build_space(lossy_link_full(), 4, 5)
+    assert space.interner._mp_dispatches == 0
+
+
+def test_workers_flow_through_check_options():
+    options = CheckOptions(extension_workers=3)
+    assert options.to_dict()["extension_workers"] == 3
+    assert CheckOptions.from_dict(options.to_dict()) == options
+    # Manifests written before the field existed load with the serial default.
+    legacy = {
+        key: value
+        for key, value in options.to_dict().items()
+        if key != "extension_workers"
+    }
+    assert CheckOptions.from_dict(legacy).extension_workers == 1
+
+
+def test_serial_worker_count_never_dispatches():
+    space = build_space(lossy_link_full(), 1, 6)
+    assert space.interner._mp_dispatches == 0
