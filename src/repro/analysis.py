@@ -27,6 +27,7 @@ from pathlib import Path
 from typing import Iterable
 
 from repro.records import RunRecord, read_jsonl
+from repro.schemas import SWEEP_REPORT
 
 __all__ = [
     "CrossValidation",
@@ -194,7 +195,7 @@ class SweepReport:
         re-check them directly.
         """
         return {
-            "schema": "repro.sweep-report/1",
+            "schema": SWEEP_REPORT,
             "total": self.total,
             "total_elapsed_s": self.total_elapsed_s,
             "status_counts": dict(self.status_counts),

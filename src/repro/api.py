@@ -189,7 +189,7 @@ class Session:
         backend: SweepBackend | None = None,
         workers: int = 1,
         jsonl_path: str | Path | None = None,
-        tags: dict | None = None,
+        tags: dict[str, Any] | None = None,
         options: CheckOptions | None = None,
     ) -> list[RunRecord]:
         """Classify a family of specs/adversaries on a sweep backend.

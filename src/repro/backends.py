@@ -34,13 +34,14 @@ import subprocess
 import sys
 import time
 from pathlib import Path
-from typing import Iterable, Protocol, Sequence, runtime_checkable
+from typing import Any, Iterable, Protocol, Sequence, runtime_checkable
 
 from repro.adversaries.base import MessageAdversary
 from repro.consensus.solvability import CheckOptions
 from repro.core.views import ViewInterner, _WORKER_CAP_ENV
 from repro.errors import AnalysisError
 from repro.records import RunRecord, certificate_summary, read_jsonl, write_jsonl
+from repro.schemas import SWEEP_MANIFEST
 from repro.specs import AdversarySpec
 
 __all__ = [
@@ -57,8 +58,8 @@ __all__ = [
     "run_manifest",
 ]
 
-#: Schema tag of shard manifest files.
-MANIFEST_SCHEMA = "repro.sweep-manifest/1"
+#: Schema tag of shard manifest files (defined in :mod:`repro.schemas`).
+MANIFEST_SCHEMA = SWEEP_MANIFEST
 
 
 class SweepJob:
@@ -77,7 +78,7 @@ class SweepJob:
         index: int,
         adversary: MessageAdversary | None = None,
         max_depth: int = 6,
-        tags: dict | None = None,
+        tags: dict[str, Any] | None = None,
         spec: AdversarySpec | None = None,
     ) -> None:
         if adversary is None and spec is None:
@@ -86,7 +87,7 @@ class SweepJob:
         self.max_depth = max_depth
         #: JSON-able metadata carried through to the record (e.g. family
         #: name, sample seed).
-        self.tags = tags or {}
+        self.tags = {} if tags is None else tags
         self.spec = spec
         self._adversary = adversary
 
@@ -94,6 +95,7 @@ class SweepJob:
     def adversary(self) -> MessageAdversary:
         """The live adversary (built from the spec on first access)."""
         if self._adversary is None:
+            assert self.spec is not None  # constructor invariant
             self._adversary = self.spec.build()
         return self._adversary
 
@@ -105,10 +107,11 @@ class SweepJob:
         manifest boundary.
         """
         if self.spec is None:
+            assert self._adversary is not None  # constructor invariant
             self.spec = AdversarySpec.from_adversary(self._adversary)
         return self.spec
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """Manifest form of the job (requires a resolvable spec)."""
         return {
             "index": self.index,
@@ -118,7 +121,7 @@ class SweepJob:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "SweepJob":
+    def from_dict(cls, data: dict[str, Any]) -> "SweepJob":
         return cls(
             data["index"],
             max_depth=data["max_depth"],
@@ -136,22 +139,20 @@ class SweepJob:
 def jobs_for(
     adversaries: Iterable[MessageAdversary | AdversarySpec],
     max_depth: int = 6,
-    tags: dict | None = None,
+    tags: dict[str, Any] | None = None,
 ) -> list[SweepJob]:
     """Wrap a family of adversaries (or specs) as indexed sweep jobs."""
     jobs = []
     for index, item in enumerate(adversaries):
+        shared = None if tags is None else dict(tags)
         if isinstance(item, AdversarySpec):
             jobs.append(
                 SweepJob(
-                    index, max_depth=max_depth,
-                    tags=dict(tags) if tags else None, spec=item,
+                    index, max_depth=max_depth, tags=shared, spec=item,
                 )
             )
         else:
-            jobs.append(
-                SweepJob(index, item, max_depth, dict(tags) if tags else None)
-            )
+            jobs.append(SweepJob(index, item, max_depth, shared))
     return jobs
 
 
@@ -188,11 +189,11 @@ def retry_jobs(
     for record in records:
         if record.status not in statuses:
             continue
-        depth = (
-            record.max_depth + extra_depth
-            if extra_depth is not None
-            else max_depth
-        )
+        if extra_depth is not None:
+            depth = record.max_depth + extra_depth
+        else:
+            assert max_depth is not None  # exactly-one check above
+            depth = max_depth
         if record.spec is None or depth <= record.max_depth:
             skipped.append(record)
             continue
@@ -302,7 +303,7 @@ class SerialBackend:
         return records
 
 
-def _pool_context():
+def _pool_context() -> multiprocessing.context.BaseContext:
     """Prefer fork on Linux (cheap, shares the graph intern table).
 
     Elsewhere use the platform default: fork is unsafe with threads on
@@ -314,7 +315,9 @@ def _pool_context():
     return multiprocessing.get_context()
 
 
-def _run_shard(payload) -> list[RunRecord]:
+def _run_shard(
+    payload: tuple[int, Sequence[SweepJob], CheckOptions, bool],
+) -> list[RunRecord]:
     """Top-level worker entry point (must be picklable for spawn contexts).
 
     Clamps per-check extension workers to 1 before running: the sweep
@@ -399,7 +402,7 @@ def write_manifest(
     return path
 
 
-def load_manifest(path: str | Path) -> dict:
+def load_manifest(path: str | Path) -> dict[str, Any]:
     """Parse and validate a shard manifest; jobs come back as ``SweepJob``."""
     data = json.loads(Path(path).read_text(encoding="utf-8"))
     if data.get("schema") != MANIFEST_SCHEMA:
@@ -474,7 +477,7 @@ class ManifestBackend:
         self.python = python or sys.executable
         self.record_timing = record_timing
 
-    def _subprocess_env(self) -> dict:
+    def _subprocess_env(self) -> dict[str, str]:
         # Shard runners import repro via ``-m repro.cli``; make sure the
         # package that spawned them is importable even from a source tree
         # that was never pip-installed.

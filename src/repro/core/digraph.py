@@ -37,7 +37,7 @@ members of oblivious adversary sets.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import InvalidGraphError
 
@@ -588,7 +588,7 @@ class Digraph:
             return NotImplemented
         return self.sort_key() < other.sort_key()
 
-    def sort_key(self) -> tuple:
+    def sort_key(self) -> tuple[int, int, tuple[tuple[int, int], ...]]:
         """A deterministic total-order key (used to canonicalize alphabets)."""
         cached = self._sort_key
         if cached is _UNSET:
@@ -605,7 +605,7 @@ class Digraph:
     def __setattr__(self, key: str, value: object) -> None:
         raise AttributeError("Digraph is immutable")
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple[Any, ...]:
         return (_rebuild_digraph, (self.n, self._key))
 
 

@@ -35,6 +35,8 @@ from __future__ import annotations
 
 import atexit
 import multiprocessing
+import multiprocessing.pool
+from typing import Any, Sequence
 
 try:  # pragma: no cover - absent only on exotic platforms
     from multiprocessing import shared_memory as _shm
@@ -48,8 +50,37 @@ __all__ = ["shared_memory_available", "map_layer_shards", "shutdown_pool"]
 #: (the import can succeed on platforms where ``/dev/shm`` is unusable).
 _SHM_OK: bool | None = None
 
-_POOL = None
+_POOL: multiprocessing.pool.Pool | None = None
 _POOL_WORKERS = 0
+
+
+def _close_segment(shm: Any) -> None:
+    """Detach one attached segment; a live exported buffer is tolerated.
+
+    ``close()`` raises ``BufferError`` while a numpy view of the buffer is
+    still alive; on error paths the view may be unreachable-but-uncollected,
+    and leaving the mapping to process teardown beats masking the original
+    exception.
+    """
+    try:
+        shm.close()
+    except BufferError:  # pragma: no cover - error-path cleanup only
+        pass
+
+
+def _release_segment(shm: Any) -> None:
+    """Close *and* unlink one owned segment, tolerating partial failure.
+
+    The unlink must happen even when the close fails — it operates on the
+    segment name, not the local mapping, and it is what returns the
+    ``/dev/shm`` space.  Each step swallows its own errors so that one
+    segment's failure can never skip another segment's release.
+    """
+    _close_segment(shm)
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - already released
+        pass
 
 
 def shared_memory_available() -> bool:
@@ -61,15 +92,16 @@ def shared_memory_available() -> bool:
         else:
             try:
                 probe = _shm.SharedMemory(create=True, size=8)
-                probe.close()
-                probe.unlink()
-                _SHM_OK = True
+                try:
+                    _SHM_OK = True
+                finally:
+                    _release_segment(probe)
             except OSError:
                 _SHM_OK = False
     return _SHM_OK
 
 
-def _get_pool(workers: int):
+def _get_pool(workers: int) -> multiprocessing.pool.Pool:
     """The persistent worker pool, recreated only when the size changes."""
     global _POOL, _POOL_WORKERS
     if _POOL is not None and _POOL_WORKERS == workers:
@@ -99,7 +131,9 @@ def shutdown_pool() -> None:
 atexit.register(shutdown_pool)
 
 
-def _map_shard(task):
+def _map_shard(
+    task: tuple[str, str, int, int, Sequence[Sequence[int]], int, int],
+) -> list[tuple[int, int, bytes]]:
     """Pool entry: dedup one row range of the shared parent column.
 
     Reads rows ``start:end`` of the ``(count, n)`` int64 matrix in the
@@ -116,31 +150,33 @@ def _map_shard(task):
     # Attaching re-registers the segments with the resource tracker, but
     # pool children share the parent's tracker process, so the register
     # is a set-level no-op and the parent's unlink stays the single
-    # cleanup point.
+    # cleanup point.  Each attach gets its own try/finally so a failure
+    # attaching (or detaching) one segment never leaks the other.
     shm_in = _shm.SharedMemory(name=in_name)
-    shm_out = _shm.SharedMemory(name=out_name)
     try:
-        matrix = np.ndarray((count, n), dtype=np.int64, buffer=shm_in.buf)
-        out = np.ndarray(
-            (len(inlists), count), dtype=np.int64, buffer=shm_out.buf
-        )
-        chunk = matrix[start:end]
-        payload = []
-        for si, in_list in enumerate(inlists):
-            uniq, inv = _candidate_uniq_inv(np, chunk, in_list)
-            out[si, start:end] = inv
-            payload.append((uniq.shape[0], uniq.shape[1], uniq.tobytes()))
-        del matrix, out, chunk
-        return payload
-    finally:
+        shm_out = _shm.SharedMemory(name=out_name)
         try:
-            shm_in.close()
-            shm_out.close()
-        except BufferError:  # pragma: no cover - error-path cleanup only
-            pass
+            matrix = np.ndarray((count, n), dtype=np.int64, buffer=shm_in.buf)
+            out = np.ndarray(
+                (len(inlists), count), dtype=np.int64, buffer=shm_out.buf
+            )
+            chunk = matrix[start:end]
+            payload = []
+            for si, in_list in enumerate(inlists):
+                uniq, inv = _candidate_uniq_inv(np, chunk, in_list)
+                out[si, start:end] = inv
+                payload.append((uniq.shape[0], uniq.shape[1], uniq.tobytes()))
+            del matrix, out, chunk
+            return payload
+        finally:
+            _close_segment(shm_out)
+    finally:
+        _close_segment(shm_in)
 
 
-def map_layer_shards(level_matrix, inlists, workers: int) -> list:
+def map_layer_shards(
+    level_matrix: Any, inlists: Sequence[Sequence[int]], workers: int
+) -> list[tuple[Any, Any]]:
     """Sharded candidate dedup of one layer: ``[(uniq, inv)]`` per in-list.
 
     ``level_matrix`` is the C-contiguous ``(count, n)`` int64 parent
@@ -156,52 +192,53 @@ def map_layer_shards(level_matrix, inlists, workers: int) -> list:
     count, n = level_matrix.shape
     workers = max(1, min(workers, count))
     bounds = [count * s // workers for s in range(workers + 1)]
+    # Each segment is created directly above its own try/finally: creating
+    # the output segment used to sit *before* the input segment's
+    # protecting try, so an allocation failure there (or any exception
+    # past the first close()) leaked segments until process teardown.
     shm_in = _shm.SharedMemory(create=True, size=level_matrix.nbytes)
-    shm_out = _shm.SharedMemory(
-        create=True, size=8 * count * len(inlists)
-    )
     try:
-        stage = np.ndarray((count, n), dtype=np.int64, buffer=shm_in.buf)
-        stage[:] = level_matrix
-        del stage
-        tasks = [
-            (
-                shm_in.name,
-                shm_out.name,
-                count,
-                n,
-                inlists,
-                bounds[s],
-                bounds[s + 1],
-            )
-            for s in range(workers)
-        ]
-        payloads = _get_pool(workers).map(_map_shard, tasks)
-        out = np.ndarray(
-            (len(inlists), count), dtype=np.int64, buffer=shm_out.buf
+        shm_out = _shm.SharedMemory(
+            create=True, size=8 * count * len(inlists)
         )
-        results = []
-        for si in range(len(inlists)):
-            parts = [
-                np.frombuffer(raw, dtype=np.int64).reshape(u, k)
-                for (u, k, raw) in (payload[si] for payload in payloads)
-            ]
-            uniq, global_inv = _unique_rows(np, np.vstack(parts))
-            inv = np.empty(count, dtype=np.int64)
-            offset = 0
-            for s in range(workers):
-                shard_map = global_inv[offset : offset + len(parts[s])]
-                local = out[si, bounds[s] : bounds[s + 1]]
-                inv[bounds[s] : bounds[s + 1]] = shard_map[local]
-                offset += len(parts[s])
-            results.append((uniq, inv))
-        del out
-        return results
-    finally:
         try:
-            shm_in.close()
-            shm_in.unlink()
-            shm_out.close()
-            shm_out.unlink()
-        except BufferError:  # pragma: no cover - error-path cleanup only
-            pass
+            stage = np.ndarray((count, n), dtype=np.int64, buffer=shm_in.buf)
+            stage[:] = level_matrix
+            del stage
+            tasks = [
+                (
+                    shm_in.name,
+                    shm_out.name,
+                    count,
+                    n,
+                    inlists,
+                    bounds[s],
+                    bounds[s + 1],
+                )
+                for s in range(workers)
+            ]
+            payloads = _get_pool(workers).map(_map_shard, tasks)
+            out = np.ndarray(
+                (len(inlists), count), dtype=np.int64, buffer=shm_out.buf
+            )
+            results = []
+            for si in range(len(inlists)):
+                parts = [
+                    np.frombuffer(raw, dtype=np.int64).reshape(u, k)
+                    for (u, k, raw) in (payload[si] for payload in payloads)
+                ]
+                uniq, global_inv = _unique_rows(np, np.vstack(parts))
+                inv = np.empty(count, dtype=np.int64)
+                offset = 0
+                for s in range(workers):
+                    shard_map = global_inv[offset : offset + len(parts[s])]
+                    local = out[si, bounds[s] : bounds[s + 1]]
+                    inv[bounds[s] : bounds[s + 1]] = shard_map[local]
+                    offset += len(parts[s])
+                results.append((uniq, inv))
+            del out
+            return results
+        finally:
+            _release_segment(shm_out)
+    finally:
+        _release_segment(shm_in)

@@ -21,7 +21,9 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import Any, Iterable, Iterator
+
+from repro.schemas import RUN_RECORD
 
 __all__ = [
     "SCHEMA",
@@ -31,8 +33,9 @@ __all__ = [
     "read_jsonl",
 ]
 
-#: Schema tag written on the header line of version-2 JSONL files.
-SCHEMA = "repro.run-record/2"
+#: Schema tag written on the header line of version-2 JSONL files (the
+#: canonical definition lives in :mod:`repro.schemas`).
+SCHEMA = RUN_RECORD
 
 
 def certificate_summary(result) -> str:
@@ -122,12 +125,12 @@ class RunRecord:
         elapsed_s: float,
         views_interned: int,
         shard: int,
-        tags: dict | None = None,
+        tags: dict[str, Any] | None = None,
         family: str | None = None,
         seed: int | None = None,
         oracle: bool | None = None,
         cgp: bool | None = None,
-        spec: dict | None = None,
+        spec: dict[str, Any] | None = None,
     ) -> None:
         self.index = index
         self.adversary = adversary
@@ -140,7 +143,7 @@ class RunRecord:
         self.elapsed_s = elapsed_s
         self.views_interned = views_interned
         self.shard = shard
-        self.tags = tags or {}
+        self.tags = {} if tags is None else tags
         self.family = family
         self.seed = seed
         self.oracle = oracle
@@ -162,11 +165,11 @@ class RunRecord:
         tag = self.tags.get("family")
         return tag if isinstance(tag, str) and tag else "-"
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {key: getattr(self, key) for key in self.__slots__}
 
     @classmethod
-    def from_dict(cls, data: dict) -> "RunRecord":
+    def from_dict(cls, data: dict[str, Any]) -> "RunRecord":
         # Version-1 fields stay required — a KeyError points at the bad
         # line rather than yielding half-None records that misread
         # downstream.  Everything newer defaults.

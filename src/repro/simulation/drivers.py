@@ -20,6 +20,7 @@ admissible prefix.
 from __future__ import annotations
 
 import random
+from typing import Iterable
 
 from repro.adversaries.base import MessageAdversary
 from repro.core.graphword import GraphWord, heard_of_step
@@ -94,8 +95,12 @@ class DelayBroadcastDriver(AdversaryDriver):
     know the algorithm (Section 2), made executable.
     """
 
-    def __init__(self, adversary, avoid_broadcast_of=None) -> None:
-        self.avoid = frozenset(avoid_broadcast_of or ())
+    def __init__(
+        self, adversary, avoid_broadcast_of: Iterable[int] | None = None
+    ) -> None:
+        self.avoid = frozenset(
+            () if avoid_broadcast_of is None else avoid_broadcast_of
+        )
         super().__init__(adversary)
 
     def _choose(self, options):

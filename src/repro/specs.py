@@ -42,7 +42,7 @@ from __future__ import annotations
 
 import json
 import random
-from typing import Callable, Iterable, Mapping
+from typing import Any, Callable, Iterable, Mapping
 
 from repro.adversaries.generators import (
     random_oblivious_adversary,
@@ -107,7 +107,12 @@ class _Family:
 
     __slots__ = ("name", "builder", "requires_seed")
 
-    def __init__(self, name: str, builder, requires_seed: bool) -> None:
+    def __init__(
+        self,
+        name: str,
+        builder: Callable[..., MessageAdversary],
+        requires_seed: bool,
+    ) -> None:
         self.name = name
         self.builder = builder
         self.requires_seed = requires_seed
@@ -174,7 +179,7 @@ class AdversarySpec:
     def __init__(
         self,
         family: str,
-        params: Mapping | None = None,
+        params: Mapping[str, Any] | None = None,
         seed: int | None = None,
     ) -> None:
         if family not in _REGISTRY:
@@ -187,7 +192,7 @@ class AdversarySpec:
         if _REGISTRY[family].requires_seed and seed is None:
             raise AdversaryError(f"family {family!r} requires a seed")
         self.family = family
-        self.params = dict(params or {})
+        self.params = {} if params is None else dict(params)
         self.seed = seed
         try:
             self._canonical = json.dumps(
@@ -205,11 +210,11 @@ class AdversarySpec:
         rng = random.Random(self.seed) if entry.requires_seed else None
         return entry.builder(self.params, rng)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {"family": self.family, "params": dict(self.params), "seed": self.seed}
 
     @classmethod
-    def from_dict(cls, data: Mapping) -> "AdversarySpec":
+    def from_dict(cls, data: Mapping[str, Any]) -> "AdversarySpec":
         return cls(data["family"], data.get("params"), data.get("seed"))
 
     @classmethod
@@ -270,7 +275,7 @@ class AdversarySpec:
         return f"AdversarySpec({self.family!r}, {self.params!r}{seed})"
 
 
-def build_adversary(data: Mapping | AdversarySpec) -> MessageAdversary:
+def build_adversary(data: Mapping[str, Any] | AdversarySpec) -> MessageAdversary:
     """Build an adversary from a spec or its dict form (manifest helper)."""
     spec = data if isinstance(data, AdversarySpec) else AdversarySpec.from_dict(data)
     return spec.build()
@@ -281,14 +286,14 @@ def build_adversary(data: Mapping | AdversarySpec) -> MessageAdversary:
 # --------------------------------------------------------------------- #
 
 
-def _build_oblivious(params: Mapping, rng) -> MessageAdversary:
+def _build_oblivious(params: Mapping[str, Any], rng: random.Random | None) -> MessageAdversary:
     n = params["n"]
     return ObliviousAdversary(
         n, _graphs_from_keys(n, params["graphs"]), name=params.get("name")
     )
 
 
-def _build_two_process(params: Mapping, rng) -> MessageAdversary:
+def _build_two_process(params: Mapping[str, Any], rng: random.Random | None) -> MessageAdversary:
     family = two_process_oblivious_family()
     index = params["index"]
     if not 0 <= index < len(family):
@@ -298,7 +303,7 @@ def _build_two_process(params: Mapping, rng) -> MessageAdversary:
     return family[index]
 
 
-def _build_santoro_widmayer(params: Mapping, rng) -> MessageAdversary:
+def _build_santoro_widmayer(params: Mapping[str, Any], rng: random.Random | None) -> MessageAdversary:
     return santoro_widmayer_family(params["n"], params["losses"])
 
 
@@ -309,7 +314,7 @@ _HEARD_OF = {
 }
 
 
-def _build_heard_of(params: Mapping, rng) -> MessageAdversary:
+def _build_heard_of(params: Mapping[str, Any], rng: random.Random | None) -> MessageAdversary:
     predicate = params["predicate"]
     if predicate == "min-degree":
         return min_degree_adversary(params["n"], params["k"])
@@ -322,7 +327,7 @@ def _build_heard_of(params: Mapping, rng) -> MessageAdversary:
         ) from None
 
 
-def _build_named(params: Mapping, rng) -> MessageAdversary:
+def _build_named(params: Mapping[str, Any], rng: random.Random | None) -> MessageAdversary:
     name = params["name"]
     try:
         return NAMED_ADVERSARIES[name]()
@@ -333,7 +338,7 @@ def _build_named(params: Mapping, rng) -> MessageAdversary:
         ) from None
 
 
-def _build_eventually_forever(params: Mapping, rng) -> MessageAdversary:
+def _build_eventually_forever(params: Mapping[str, Any], rng: random.Random | None) -> MessageAdversary:
     n = params["n"]
     return EventuallyForeverAdversary(
         n,
@@ -343,7 +348,7 @@ def _build_eventually_forever(params: Mapping, rng) -> MessageAdversary:
     )
 
 
-def _build_stabilizing(params: Mapping, rng) -> MessageAdversary:
+def _build_stabilizing(params: Mapping[str, Any], rng: random.Random | None) -> MessageAdversary:
     n = params["n"]
     return StabilizingAdversary(
         n,
@@ -354,7 +359,7 @@ def _build_stabilizing(params: Mapping, rng) -> MessageAdversary:
     )
 
 
-def _build_random_rooted(params: Mapping, rng: random.Random) -> MessageAdversary:
+def _build_random_rooted(params: Mapping[str, Any], rng: random.Random) -> MessageAdversary:
     return random_oblivious_adversary(
         rng,
         params["n"],
@@ -364,7 +369,7 @@ def _build_random_rooted(params: Mapping, rng: random.Random) -> MessageAdversar
     )
 
 
-def _build_random_oblivious(params: Mapping, rng: random.Random) -> MessageAdversary:
+def _build_random_oblivious(params: Mapping[str, Any], rng: random.Random) -> MessageAdversary:
     return random_oblivious_adversary(
         rng,
         params["n"],

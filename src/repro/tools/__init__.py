@@ -1,0 +1,7 @@
+"""Developer tooling shipped with the library.
+
+Nothing under :mod:`repro.tools` is imported by the runtime kernels; the
+subpackages are standalone utilities (static analysis, maintenance
+scripts) that happen to live in-tree so they version together with the
+invariants they enforce.
+"""

@@ -1,0 +1,7 @@
+"""``python -m repro.tools.lint`` — alias for the ``repro-lint`` script."""
+
+import sys
+
+from repro.tools.lint.cli import main
+
+sys.exit(main())

@@ -1,0 +1,117 @@
+"""Linter configuration: ``[tool.repro-lint]`` in ``pyproject.toml``.
+
+The config surface is deliberately small:
+
+``disable``
+    Rule ids switched off entirely.
+``exclude``
+    ``fnmatch`` glob patterns over posix-style file paths to skip.
+``[tool.repro-lint.severity]``
+    Per-rule severity override (``"error"`` or ``"warning"``); only
+    error-severity findings fail the run.
+``[tool.repro-lint.rules.<ID>]``
+    Per-rule options (allowlists, designated-module lists).  Keys may be
+    written with hyphens; they are normalized to underscores before the
+    rule sees them.
+
+Rules carry their own defaults, so an empty config is a working config.
+``tomllib`` ships with Python 3.11+; on 3.10 the pyproject loader is
+unavailable and callers must pass a :class:`LintConfig` explicitly (the
+CLI reports this as a usage error rather than crashing).
+"""
+
+from __future__ import annotations
+
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Any, Mapping
+
+try:
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - Python 3.10
+    tomllib = None  # type: ignore[assignment]
+
+__all__ = ["LintConfig", "find_pyproject"]
+
+_SEVERITIES = ("error", "warning")
+
+
+def _normalize_options(options: Mapping[str, Any]) -> dict[str, Any]:
+    return {key.replace("-", "_"): value for key, value in options.items()}
+
+
+class LintConfig:
+    """Resolved linter configuration (see module docstring for the keys)."""
+
+    def __init__(
+        self,
+        disable: tuple[str, ...] = (),
+        exclude: tuple[str, ...] = (),
+        severity: Mapping[str, str] | None = None,
+        rules: Mapping[str, Mapping[str, Any]] | None = None,
+    ) -> None:
+        self.disabled = frozenset(disable)
+        self.exclude = tuple(exclude)
+        self.severity = dict(severity) if severity is not None else {}
+        for rule_id, level in self.severity.items():
+            if level not in _SEVERITIES:
+                raise ValueError(
+                    f"severity for {rule_id} must be one of {_SEVERITIES}, "
+                    f"got {level!r}"
+                )
+        self._rules = (
+            {rule_id: _normalize_options(options) for rule_id, options in rules.items()}
+            if rules is not None
+            else {}
+        )
+
+    def rule_options(self, rule_id: str) -> dict[str, Any]:
+        """The configured option overrides for one rule (may be empty)."""
+        return self._rules.get(rule_id, {})
+
+    def excluded(self, path: Path) -> bool:
+        """Whether a file is excluded from linting by path pattern."""
+        posix = path.as_posix()
+        return any(
+            fnmatch(posix, pattern) or fnmatch(path.name, pattern)
+            for pattern in self.exclude
+        )
+
+    @classmethod
+    def from_pyproject(cls, path: str | Path) -> "LintConfig":
+        """Load the ``[tool.repro-lint]`` table of a ``pyproject.toml``.
+
+        A pyproject without the table yields the all-defaults config.
+        """
+        if tomllib is None:
+            raise RuntimeError(
+                "reading pyproject.toml needs tomllib (Python 3.11+); "
+                "construct a LintConfig directly on older interpreters"
+            )
+        with Path(path).open("rb") as handle:
+            document = tomllib.load(handle)
+        table = document.get("tool", {}).get("repro-lint", {})
+        return cls(
+            disable=tuple(table.get("disable", ())),
+            exclude=tuple(table.get("exclude", ())),
+            severity=table.get("severity", {}),
+            rules=table.get("rules", {}),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"LintConfig(disabled={sorted(self.disabled)}, "
+            f"rules={sorted(self._rules)})"
+        )
+
+
+def find_pyproject(start: str | Path) -> Path | None:
+    """The nearest ``pyproject.toml`` at or above ``start``."""
+    current = Path(start).resolve()
+    if current.is_file():
+        current = current.parent
+    for directory in (current, *current.parents):
+        candidate = directory / "pyproject.toml"
+        if candidate.is_file():
+            return candidate
+    return None

@@ -1,0 +1,355 @@
+"""The ``repro-lint`` engine: findings, rule registry, file runner.
+
+A :class:`Rule` inspects one parsed module (:class:`LintContext`) and
+yields :class:`Finding` objects.  The engine owns everything around the
+rules: discovering files, parsing, pragma suppression
+(:mod:`repro.tools.lint.pragmas`), per-rule configuration and severity
+(:mod:`repro.tools.lint.config`), and rendering human or machine-readable
+(:data:`repro.schemas.LINT_REPORT`) output.
+
+Rules register themselves with :func:`register_rule`; the registry is the
+single source of the rule catalogue for the CLI, the docs, and the tests.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+from repro.schemas import LINT_REPORT
+from repro.tools.lint.config import LintConfig
+from repro.tools.lint.pragmas import Pragmas, parse_pragmas
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "Rule",
+    "RULES",
+    "register_rule",
+    "iter_rules",
+    "lint_source",
+    "lint_file",
+    "run_lint",
+    "module_name_for",
+    "findings_document",
+    "render_findings",
+]
+
+#: Pseudo-rule id used for files the parser rejects.
+PARSE_ERROR = "E0"
+
+
+class Finding:
+    """One rule violation at one source location."""
+
+    __slots__ = ("rule", "name", "severity", "path", "line", "col", "message")
+
+    def __init__(
+        self,
+        rule: str,
+        name: str,
+        severity: str,
+        path: str,
+        line: int,
+        col: int,
+        message: str,
+    ) -> None:
+        self.rule = rule
+        self.name = name
+        self.severity = severity
+        self.path = path
+        self.line = line
+        self.col = col
+        self.message = message
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "name": self.name,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: {self.rule} "
+            f"[{self.severity}] {self.message}"
+        )
+
+    def __repr__(self) -> str:
+        return f"Finding({self.rule} @ {self.path}:{self.line}: {self.message!r})"
+
+
+class LintContext:
+    """One module as the rules see it: AST plus navigation helpers."""
+
+    def __init__(
+        self,
+        path: str,
+        module: str,
+        source: str,
+        tree: ast.Module,
+        config: LintConfig,
+    ) -> None:
+        self.path = path
+        self.module = module
+        self.source = source
+        self.tree = tree
+        self.config = config
+        self._parents: dict[ast.AST, ast.AST] | None = None
+
+    @property
+    def in_repro_package(self) -> bool:
+        """Whether the module lives inside the ``repro`` package."""
+        return self.module == "repro" or self.module.startswith("repro.")
+
+    def parent_map(self) -> dict[ast.AST, ast.AST]:
+        """Child -> parent links for the whole tree (built lazily, cached)."""
+        if self._parents is None:
+            parents: dict[ast.AST, ast.AST] = {}
+            for node in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(node):
+                    parents[child] = node
+            self._parents = parents
+        return self._parents
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """The ancestor chain of ``node``, nearest first."""
+        parents = self.parent_map()
+        current = parents.get(node)
+        while current is not None:
+            yield current
+            current = parents.get(current)
+
+    def enclosing_suite(self, node: ast.AST) -> list[ast.stmt] | None:
+        """The statement list that directly contains ``node``'s statement."""
+        statement = self.enclosing_statement(node)
+        if statement is None:
+            return None
+        parent = self.parent_map().get(statement)
+        if parent is None:
+            return None
+        for _, value in ast.iter_fields(parent):
+            if isinstance(value, list) and statement in value:
+                return value
+        return None
+
+    def enclosing_statement(self, node: ast.AST) -> ast.stmt | None:
+        """The innermost statement containing ``node`` (itself, if one)."""
+        current: ast.AST | None = node
+        while current is not None and not isinstance(current, ast.stmt):
+            current = self.parent_map().get(current)
+        return current
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+
+class Rule:
+    """Base class of every lint rule.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    ``options`` is the rule's :attr:`defaults` merged with any
+    ``[tool.repro-lint.rules.<ID>]`` overrides; ``repro_only`` rules are
+    skipped for modules outside the ``repro`` package (repo-invariant
+    rules make no sense on arbitrary files).
+    """
+
+    id: str = ""
+    name: str = ""
+    description: str = ""
+    default_severity: str = "error"
+    repro_only: bool = False
+    defaults: dict[str, Any] = {}
+
+    def options(self, ctx: LintContext) -> dict[str, Any]:
+        merged = dict(self.defaults)
+        merged.update(ctx.config.rule_options(self.id))
+        return merged
+
+    def severity(self, ctx: LintContext) -> str:
+        return ctx.config.severity.get(self.id, self.default_severity)
+
+    def finding(self, ctx: LintContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.id,
+            name=self.name,
+            severity=self.severity(ctx),
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+#: The rule registry: id -> rule instance, in registration order.
+RULES: dict[str, Rule] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the registry (id must be unique)."""
+    rule = cls()
+    if not rule.id or not rule.name:
+        raise ValueError(f"rule {cls.__name__} needs an id and a name")
+    if rule.id in RULES:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    RULES[rule.id] = rule
+    return cls
+
+
+def iter_rules() -> tuple[Rule, ...]:
+    """All registered rules, in id order."""
+    return tuple(RULES[rule_id] for rule_id in sorted(RULES))
+
+
+def module_name_for(path: Path) -> str:
+    """Best-effort dotted module name of a file, from ``__init__.py`` chains.
+
+    ``src/repro/core/views.py`` maps to ``repro.core.views`` regardless of
+    where the source tree is checked out; files outside any package fall
+    back to their stem.
+    """
+    path = Path(path)
+    parts = [] if path.name == "__init__.py" else [path.stem]
+    parent = path.parent
+    while (parent / "__init__.py").is_file():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts) if parts else path.stem
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    module: str | None = None,
+    config: LintConfig | None = None,
+    select: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Lint one source string; the core entry point the tests drive.
+
+    ``module`` scopes the ``repro_only`` rules (pass a dotted name like
+    ``repro.core.views`` to opt fixture code into them); ``select``
+    restricts to a subset of rule ids.
+    """
+    config = config if config is not None else LintConfig()
+    module = module if module is not None else module_name_for(Path(path))
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule=PARSE_ERROR,
+                name="parse-error",
+                severity="error",
+                path=path,
+                line=exc.lineno if exc.lineno is not None else 1,
+                col=(exc.offset if exc.offset is not None else 0) + 1,
+                message=f"cannot parse: {exc.msg}",
+            )
+        ]
+    pragmas: Pragmas = parse_pragmas(source)
+    ctx = LintContext(path=path, module=module, source=source, tree=tree, config=config)
+    selected = set(select) if select is not None else None
+    findings: list[Finding] = []
+    for rule in iter_rules():
+        if selected is not None and rule.id not in selected:
+            continue
+        if rule.id in config.disabled:
+            continue
+        if rule.repro_only and not ctx.in_repro_package:
+            continue
+        for finding in rule.check(ctx):
+            if pragmas.suppressed(finding.rule, finding.line):
+                continue
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return findings
+
+
+def lint_file(
+    path: str | Path,
+    config: LintConfig | None = None,
+    select: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Lint one file on disk."""
+    path = Path(path)
+    source = path.read_text(encoding="utf-8")
+    return lint_source(
+        source,
+        path=path.as_posix(),
+        module=module_name_for(path),
+        config=config,
+        select=select,
+    )
+
+
+def _discover(paths: Iterable[str | Path], config: LintConfig) -> list[Path]:
+    files: list[Path] = []
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            files.extend(sorted(entry.rglob("*.py")))
+        else:
+            files.append(entry)
+    return [path for path in files if not config.excluded(path)]
+
+
+def run_lint(
+    paths: Iterable[str | Path],
+    config: LintConfig | None = None,
+    select: Iterable[str] | None = None,
+) -> tuple[list[Finding], int]:
+    """Lint files and directories; returns ``(findings, files_checked)``."""
+    config = config if config is not None else LintConfig()
+    files = _discover(paths, config)
+    findings: list[Finding] = []
+    for path in files:
+        findings.extend(lint_file(path, config=config, select=select))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings, len(files)
+
+
+def findings_document(findings: list[Finding], files_checked: int) -> dict[str, Any]:
+    """The machine-readable report (stable ``--json`` shape).
+
+    Key stability is part of the contract: downstream tooling reads
+    ``schema`` / ``files_checked`` / ``errors`` / ``warnings`` /
+    ``counts_by_rule`` / ``findings``, and the tests pin exactly this set.
+    """
+    counts: dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return {
+        "schema": LINT_REPORT,
+        "files_checked": files_checked,
+        "errors": sum(1 for f in findings if f.severity == "error"),
+        "warnings": sum(1 for f in findings if f.severity == "warning"),
+        "counts_by_rule": dict(sorted(counts.items())),
+        "findings": [finding.to_dict() for finding in findings],
+    }
+
+
+def render_findings(findings: list[Finding], files_checked: int) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = [finding.render() for finding in findings]
+    errors = sum(1 for f in findings if f.severity == "error")
+    warnings = len(findings) - errors
+    if findings:
+        lines.append("")
+    lines.append(
+        f"{len(findings)} finding(s) ({errors} error(s), {warnings} "
+        f"warning(s)) in {files_checked} file(s)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,103 @@
+"""Shared-memory segment lifecycle of the sharded map phase.
+
+The R2 lint rule machine-checks the *shape* of the cleanup code; these
+tests check the *behavior*: whatever goes wrong mid-map — a worker dying
+on its shard, the second segment failing to allocate — no ``/dev/shm``
+segment may outlive the call.  Before the nested-try restructure, both
+scenarios leaked: an allocation failure of the output segment skipped the
+input segment's cleanup entirely, and an early ``close()`` failure in the
+shared ``finally`` suite skipped every release after it.
+"""
+
+import os
+
+import pytest
+
+import repro.core.parallel as parallel
+import repro.core.views as views_module
+from repro.core.views import numpy_available
+
+pytestmark = pytest.mark.skipif(
+    not numpy_available(), reason="the sharded map phase requires numpy"
+)
+
+SHM_DIR = "/dev/shm"
+
+
+def _segments():
+    if not os.path.isdir(SHM_DIR):  # pragma: no cover - non-Linux
+        pytest.skip("no /dev/shm to observe segment lifecycles in")
+    return {name for name in os.listdir(SHM_DIR) if name.startswith("psm_")}
+
+
+@pytest.fixture
+def fresh_pool():
+    # Monkeypatched module state reaches fork-pool workers only if the
+    # pool is created after the patch; tear down around each test so one
+    # test's patched workers can never serve another test's dispatch.
+    parallel.shutdown_pool()
+    yield
+    parallel.shutdown_pool()
+
+
+def _matrix(np, count=64, n=3):
+    return np.arange(count * n, dtype=np.int64).reshape(count, n) % 5
+
+
+def test_worker_death_mid_map_leaks_no_segments(monkeypatch, fresh_pool):
+    np = views_module.numpy_module()
+    before = _segments()
+
+    def dying_worker(np_mod, chunk, in_list):
+        raise RuntimeError("worker killed mid-map")
+
+    monkeypatch.setattr(views_module, "_candidate_uniq_inv", dying_worker)
+    with pytest.raises(Exception):
+        parallel.map_layer_shards(_matrix(np), [(0, 1), (1, 2)], workers=2)
+    assert _segments() == before
+
+
+def test_second_segment_allocation_failure_releases_first(
+    monkeypatch, fresh_pool
+):
+    np = views_module.numpy_module()
+    before = _segments()
+    real_shm = parallel._shm
+    created = []
+
+    class FailingSecondCreate:
+        def SharedMemory(self, *args, **kwargs):
+            if kwargs.get("create") and created:
+                raise OSError("no space for the output segment")
+            segment = real_shm.SharedMemory(*args, **kwargs)
+            if kwargs.get("create"):
+                created.append(segment)
+            return segment
+
+    monkeypatch.setattr(parallel, "_shm", FailingSecondCreate())
+    with pytest.raises(OSError):
+        parallel.map_layer_shards(_matrix(np), [(0, 1)], workers=2)
+    assert len(created) == 1, "the input segment must have been created"
+    assert _segments() == before, "the input segment leaked"
+
+
+def test_successful_map_leaves_no_segments(fresh_pool):
+    np = views_module.numpy_module()
+    before = _segments()
+    matrix = _matrix(np)
+    results = parallel.map_layer_shards(matrix, [(0, 1), (0, 2)], workers=2)
+    assert len(results) == 2
+    for uniq, inv in results:
+        assert inv.shape == (matrix.shape[0],)
+        assert uniq.ndim == 2
+    assert _segments() == before
+
+
+def test_availability_probe_leaves_no_segments():
+    before = _segments()
+    parallel._SHM_OK = None
+    try:
+        assert parallel.shared_memory_available() in (True, False)
+    finally:
+        parallel._SHM_OK = None
+    assert _segments() == before
