@@ -12,7 +12,8 @@ library's workflow around four ideas:
   so consecutive checks share view tables and memoized level extensions
   the way a sweep shard does; ``session.check(...)`` accepts specs or
   live adversaries, ``session.sweep(...)`` fans a family out through any
-  :class:`~repro.backends.SweepBackend`.
+  :class:`~repro.backends.SweepBackend` — including the crash-tolerant
+  :class:`~repro.fleet.FleetBackend`.
 * :class:`~repro.records.RunRecord` — the single versioned result schema
   every sweep, census, and benchmark writes, with :mod:`repro.analysis`
   reports on top.
@@ -65,6 +66,7 @@ from repro.consensus.solvability import (
 )
 from repro.consensus.spec import ConsensusSpec
 from repro.core.views import ViewInterner
+from repro.fleet import FleetBackend
 from repro.records import (
     RunRecord,
     certificate_summary,
@@ -90,6 +92,7 @@ __all__ = [
     "SerialBackend",
     "ProcessBackend",
     "ManifestBackend",
+    "FleetBackend",
     "SweepReport",
     "build_adversary",
     "certificate_summary",

@@ -21,8 +21,10 @@ The sweep engine classifies a family of adversaries by fanning independent
 
 All backends return the same :class:`~repro.records.RunRecord` list,
 sorted by job index, and accept ``record_timing=False`` to zero the
-wall-clock field — with identical shard striding this makes equal-spec
-runs byte-identical across backends, which the tests assert.
+run-dependent observability fields (``elapsed_s`` wall-clock and
+``views_interned`` interner-reuse counts) — this makes equal-spec runs
+byte-identical across backends *and shard counts*, which the tests (and
+the fault-tolerance guarantees of :mod:`repro.fleet`) assert.
 """
 
 from __future__ import annotations
@@ -51,6 +53,7 @@ __all__ = [
     "SerialBackend",
     "ProcessBackend",
     "ManifestBackend",
+    "iter_job_records",
     "jobs_for",
     "retry_jobs",
     "write_manifest",
@@ -217,18 +220,28 @@ def _validate_jobs(jobs: Sequence[SweepJob]) -> list[SweepJob]:
     return jobs
 
 
-def _run_jobs(
+def iter_job_records(
     shard: int,
     jobs: Sequence[SweepJob],
     options: CheckOptions | None = None,
     record_timing: bool = True,
-) -> list[RunRecord]:
-    """Run one shard's jobs inline, sharing interners per process count."""
+) -> Iterator[RunRecord]:
+    """Run one shard's jobs inline, yielding each record as it finishes.
+
+    Interners are shared per process count across the shard's jobs, as
+    always.  The streaming shape is what the fleet worker consumes — it
+    appends each record to its shard output (and checks its lease)
+    between checks, so a killed worker leaves a readable record prefix
+    rather than nothing.  With ``record_timing=False`` the two
+    run-dependent observability fields (``elapsed_s`` and
+    ``views_interned`` — the latter depends on how jobs were sharded
+    across interners) are zeroed, so equal-spec runs are byte-identical
+    across backends and shard counts.
+    """
     from repro.consensus.solvability import check_consensus_with_options
 
     base = options or CheckOptions()
     interners: dict[int, ViewInterner] = {}
-    records = []
     for job in jobs:
         adversary = job.adversary
         interner = interners.get(adversary.n)
@@ -246,26 +259,33 @@ def _run_jobs(
         )
         elapsed = time.perf_counter() - start
         spec = job.spec
-        records.append(
-            RunRecord(
-                index=job.index,
-                adversary=adversary.name,
-                n=adversary.n,
-                alphabet=len(adversary.alphabet()),
-                max_depth=job.max_depth,
-                status=result.status.value,
-                certified_depth=result.certified_depth,
-                certificate=certificate_summary(result),
-                elapsed_s=elapsed if record_timing else 0.0,
-                views_interned=len(interner) - before,
-                shard=shard,
-                tags=job.tags,
-                family=spec.family if spec is not None else None,
-                seed=spec.seed if spec is not None else None,
-                spec=spec.to_dict() if spec is not None else None,
-            )
+        yield RunRecord(
+            index=job.index,
+            adversary=adversary.name,
+            n=adversary.n,
+            alphabet=len(adversary.alphabet()),
+            max_depth=job.max_depth,
+            status=result.status.value,
+            certified_depth=result.certified_depth,
+            certificate=certificate_summary(result),
+            elapsed_s=elapsed if record_timing else 0.0,
+            views_interned=(len(interner) - before) if record_timing else 0,
+            shard=shard,
+            tags=job.tags,
+            family=spec.family if spec is not None else None,
+            seed=spec.seed if spec is not None else None,
+            spec=spec.to_dict() if spec is not None else None,
         )
-    return records
+
+
+def _run_jobs(
+    shard: int,
+    jobs: Sequence[SweepJob],
+    options: CheckOptions | None = None,
+    record_timing: bool = True,
+) -> list[RunRecord]:
+    """Run one shard's jobs inline (the eager form of the iterator)."""
+    return list(iter_job_records(shard, jobs, options, record_timing))
 
 
 @runtime_checkable

@@ -10,6 +10,12 @@ Subcommands:
   distributed runner) drives this process; ``--retry records.jsonl
   --max-depth +2`` re-queues only the undecided records of an earlier
   sweep at a deeper budget;
+* ``fleet`` — fault-tolerant distributed sweep over a shared state
+  directory: ``fleet run`` initializes the leased shard queue and drives
+  worker subprocesses to completion (``--chaos`` injects deterministic
+  faults), ``fleet status --json`` snapshots a live run (with an embedded
+  sweep report over the merged-so-far records), ``fleet resume`` picks up
+  after any crash, and ``fleet work`` is the spawned worker loop;
 * ``report`` — render status/certificate histograms and pivot tables from
   a sweep JSONL file (old headerless or new versioned format); ``--json``
   emits the machine-readable ``repro.sweep-report/1`` document instead
@@ -99,6 +105,23 @@ def cmd_census(args: argparse.Namespace) -> int:
     return 0 if agreements == len(rows) else 1
 
 
+def _add_family_arguments(parser: argparse.ArgumentParser) -> None:
+    """Scenario-family options shared by ``sweep`` and ``fleet run``."""
+    parser.add_argument("--family", choices=["two-process", "rooted", "sw"],
+                        default=None,
+                        help="scenario family (default two-process)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="PRNG seed for sampled families")
+    parser.add_argument("--n", type=int, default=3,
+                        help="processes for rooted/sw families")
+    parser.add_argument("--samples", type=int, default=25,
+                        help="sample count for the rooted family")
+    parser.add_argument("--sizes", type=int, nargs="+", default=[1, 2, 3],
+                        help="alphabet sizes for the rooted family")
+    parser.add_argument("--losses", type=int, default=1,
+                        help="max losses for the Santoro-Widmayer family")
+
+
 def _sweep_specs(args: argparse.Namespace) -> list:
     """The CLI family as serializable specs (manifest-ready jobs)."""
     from repro.adversaries import two_process_oblivious_family
@@ -127,17 +150,26 @@ def _sweep_backend(args: argparse.Namespace):
 
     from repro.backends import ManifestBackend, ProcessBackend, SerialBackend
 
+    record_timing = not args.no_timing
     if args.backend == "serial":
-        return SerialBackend()
+        return SerialBackend(record_timing=record_timing)
     if args.backend == "process":
-        return ProcessBackend(max(args.workers, 1))
+        return ProcessBackend(max(args.workers, 1), record_timing=record_timing)
     if args.backend == "manifest":
         workdir = args.manifest_dir
         if workdir is None:
             workdir = (
                 Path(args.out).parent / "shards" if args.out else Path("sweep-shards")
             )
-        return ManifestBackend(workdir, shards=max(args.workers, 1))
+        return ManifestBackend(
+            workdir, shards=max(args.workers, 1), record_timing=record_timing
+        )
+    if args.no_timing:
+        # No explicit backend: mirror run_sweep's worker-count default but
+        # thread record_timing through, which run_sweep cannot do itself.
+        if args.workers <= 1:
+            return SerialBackend(record_timing=False)
+        return ProcessBackend(args.workers, record_timing=False)
     return None
 
 
@@ -254,6 +286,112 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     )
     _print_sweep_records(records, args.workers, args.out)
     return 0
+
+
+def _fleet_config(args: argparse.Namespace):
+    from repro.fleet import ChaosSpec, FleetConfig
+
+    chaos = ChaosSpec.parse(args.chaos) if args.chaos else None
+    return FleetConfig(
+        shards=args.shards,
+        record_timing=not args.no_timing,
+        lease_ttl_s=args.lease_ttl,
+        heartbeat_s=args.heartbeat,
+        max_attempts=args.max_attempts,
+        backoff_base_s=args.backoff_base,
+        backoff_cap_s=args.backoff_cap,
+        poll_s=args.poll,
+        seed=args.seed,
+        chaos=chaos,
+    )
+
+
+def cmd_fleet_run(args: argparse.Namespace) -> int:
+    from repro.backends import jobs_for
+    from repro.errors import AnalysisError
+    from repro.fleet import FleetRunner
+    from repro.records import write_jsonl
+
+    jobs = jobs_for(
+        _sweep_specs(args),
+        max_depth=args.max_depth,
+        tags={"family": args.family or "two-process", "seed": args.seed},
+    )
+    runner = FleetRunner(args.dir)
+    try:
+        records = runner.run(
+            jobs,
+            config=_fleet_config(args),
+            workers=args.workers,
+            timeout_s=args.timeout,
+        )
+    except AnalysisError as exc:
+        print(f"fleet run failed: {exc}", file=sys.stderr)
+        return 1
+    if args.out:
+        write_jsonl(records, args.out)
+    _print_sweep_records(records, args.workers, args.out)
+    print(f"fleet state in {args.dir} (merged.jsonl is the record of truth)")
+    return 0
+
+
+def cmd_fleet_status(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis import json_report_jsonl
+    from repro.fleet.state import FleetPaths, snapshot
+
+    snap = snapshot(args.dir)
+    if args.json:
+        merged = FleetPaths(args.dir).merged
+        if snap["counts"]["merged"] > 0 and merged.is_file():
+            # Live mid-run reporting: the merged file only ever holds
+            # validated whole shards, so the sweep report over it is
+            # always well-formed — just partial until the fleet is done.
+            snap["report"] = json.loads(json_report_jsonl(merged, top=args.top))
+        print(json.dumps(snap, indent=2, sort_keys=True))
+        return 0
+    counts = snap["counts"]
+    print(
+        f"fleet {args.dir}: {counts['merged']}/{counts['shards']} shards "
+        f"merged ({snap['records_merged']}/{snap['jobs']} records), "
+        f"{counts['leased']} leased, {counts['pending']} pending, "
+        f"{counts['poisoned']} poisoned"
+    )
+    for lease in snap["leases"]:
+        holder = "alive" if lease["holder_alive"] else "DEAD"
+        print(
+            f"  shard {lease['shard']}: leased by {lease['worker']} "
+            f"(attempt {lease['attempt']}, {holder}, "
+            f"expires in {lease['expires_in_s']:.1f}s)"
+        )
+    for shard in snap["poisoned"]:
+        print(f"  shard {shard}: POISONED")
+    print("done" if snap["done"] else "in progress")
+    return 0
+
+
+def cmd_fleet_resume(args: argparse.Namespace) -> int:
+    from repro.errors import AnalysisError
+    from repro.fleet import FleetRunner
+    from repro.records import write_jsonl
+
+    runner = FleetRunner(args.dir)
+    try:
+        records = runner.resume(workers=args.workers, timeout_s=args.timeout)
+    except AnalysisError as exc:
+        print(f"fleet resume failed: {exc}", file=sys.stderr)
+        return 1
+    if args.out:
+        write_jsonl(records, args.out)
+    _print_sweep_records(records, args.workers, args.out)
+    return 0
+
+
+def cmd_fleet_work(args: argparse.Namespace) -> int:
+    from repro.fleet import run_worker
+
+    return run_worker(args.dir, args.worker)
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -412,10 +550,7 @@ def main(argv: list[str] | None = None) -> int:
     sweep = sub.add_parser(
         "sweep", help="sharded (adversary, depth) sweep with JSONL output"
     )
-    sweep.add_argument("--family", choices=["two-process", "rooted", "sw"],
-                       default=None,
-                       help="scenario family (default two-process; "
-                            "incompatible with --retry)")
+    _add_family_arguments(sweep)
     sweep.add_argument("--workers", type=int, default=1,
                        help="process/manifest shard count (ignored with "
                             "--backend serial)")
@@ -435,17 +570,82 @@ def main(argv: list[str] | None = None) -> int:
                             "with --retry to deepen each retried record's "
                             "old budget by N (default +2)")
     sweep.add_argument("--out", help="write one JSON record per job to this file")
-    sweep.add_argument("--seed", type=int, default=0,
-                       help="PRNG seed for sampled families")
-    sweep.add_argument("--n", type=int, default=3,
-                       help="processes for rooted/sw families")
-    sweep.add_argument("--samples", type=int, default=25,
-                       help="sample count for the rooted family")
-    sweep.add_argument("--sizes", type=int, nargs="+", default=[1, 2, 3],
-                       help="alphabet sizes for the rooted family")
-    sweep.add_argument("--losses", type=int, default=1,
-                       help="max losses for the Santoro-Widmayer family")
+    sweep.add_argument("--no-timing", action="store_true",
+                       help="zero the timing/observability fields so equal "
+                            "sweeps are byte-identical across backends")
     sweep.set_defaults(func=cmd_sweep)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="fault-tolerant distributed sweep (leases, retries, resume)",
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    fleet_run = fleet_sub.add_parser(
+        "run", help="initialize a fleet directory and drive workers to done"
+    )
+    fleet_run.add_argument("--dir", required=True,
+                           help="fleet state directory (must not already "
+                                "hold a fleet)")
+    _add_family_arguments(fleet_run)
+    fleet_run.add_argument("--max-depth", type=int, default=6)
+    fleet_run.add_argument("--shards", type=int, default=4,
+                           help="work-queue shards (capped at the job count)")
+    fleet_run.add_argument("--workers", type=int, default=2,
+                           help="worker subprocesses to keep alive")
+    fleet_run.add_argument("--chaos", default=None,
+                           help="fault-injection schedule: inline JSON "
+                                '{"events": [...]} or a path to one')
+    fleet_run.add_argument("--no-timing", action="store_true",
+                           help="zero timing fields (byte-identical to a "
+                                "serial --no-timing sweep)")
+    fleet_run.add_argument("--lease-ttl", type=float, default=15.0,
+                           help="seconds before an unrenewed lease expires")
+    fleet_run.add_argument("--heartbeat", type=float, default=3.0,
+                           help="worker lease-renewal cadence in seconds")
+    fleet_run.add_argument("--max-attempts", type=int, default=4,
+                           help="attempts per shard before poisoning it")
+    fleet_run.add_argument("--backoff-base", type=float, default=0.25,
+                           help="base retry delay (doubles per failure)")
+    fleet_run.add_argument("--backoff-cap", type=float, default=5.0,
+                           help="retry delay ceiling in seconds")
+    fleet_run.add_argument("--poll", type=float, default=0.2,
+                           help="coordinator/worker poll interval in seconds")
+    fleet_run.add_argument("--timeout", type=float, default=None,
+                           help="abort the drive loop after this many seconds")
+    fleet_run.add_argument("--out",
+                           help="also copy the merged records to this file")
+    fleet_run.set_defaults(func=cmd_fleet_run)
+
+    fleet_status = fleet_sub.add_parser(
+        "status", help="snapshot a fleet directory (live or finished)"
+    )
+    fleet_status.add_argument("--dir", required=True)
+    fleet_status.add_argument("--json", action="store_true",
+                              help="emit the repro.fleet-state/1 status "
+                                   "document with an embedded sweep report "
+                                   "over the merged-so-far records")
+    fleet_status.add_argument("--top", type=int, default=5,
+                              help="slowest-job count for the embedded report")
+    fleet_status.set_defaults(func=cmd_fleet_status)
+
+    fleet_resume = fleet_sub.add_parser(
+        "resume", help="pick up an interrupted fleet exactly where it died"
+    )
+    fleet_resume.add_argument("--dir", required=True)
+    fleet_resume.add_argument("--workers", type=int, default=2)
+    fleet_resume.add_argument("--timeout", type=float, default=None)
+    fleet_resume.add_argument("--out",
+                              help="also copy the merged records to this file")
+    fleet_resume.set_defaults(func=cmd_fleet_resume)
+
+    fleet_work = fleet_sub.add_parser(
+        "work", help="worker main loop (spawned by `fleet run`)"
+    )
+    fleet_work.add_argument("--dir", required=True)
+    fleet_work.add_argument("--worker", required=True,
+                            help="worker id stamped into leases and markers")
+    fleet_work.set_defaults(func=cmd_fleet_work)
 
     report = sub.add_parser(
         "report", help="aggregate a sweep JSONL file into histograms/tables"

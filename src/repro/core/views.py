@@ -79,6 +79,7 @@ from __future__ import annotations
 
 import os
 import sys
+import warnings
 from array import array
 from typing import Iterable, Sequence
 
@@ -419,6 +420,10 @@ class ViewStats:
     ``plan_cache_size`` capacity), and ``approx_bytes`` an estimate of the
     resident size of all tables (columns, side tables, cache and plan keys;
     Python object headers of shared children are not counted).
+    ``mp_fallbacks`` counts sharded extension dispatches that fell back to
+    the serial kernel because the worker pool failed — nonzero means the
+    run silently lost its parallelism (each fallback also raises a
+    ``RuntimeWarning`` at the dispatch site).
     """
 
     __slots__ = (
@@ -429,6 +434,7 @@ class ViewStats:
         "cached_extensions",
         "cached_plans",
         "approx_bytes",
+        "mp_fallbacks",
     )
 
     def __init__(
@@ -440,6 +446,7 @@ class ViewStats:
         cached_extensions: int = 0,
         approx_bytes: int = 0,
         cached_plans: int = 0,
+        mp_fallbacks: int = 0,
     ) -> None:
         self.total = total
         self.leaves = leaves
@@ -448,6 +455,7 @@ class ViewStats:
         self.cached_extensions = cached_extensions
         self.cached_plans = cached_plans
         self.approx_bytes = approx_bytes
+        self.mp_fallbacks = mp_fallbacks
 
     def __repr__(self) -> str:
         return (
@@ -455,7 +463,8 @@ class ViewStats:
             f"max_depth={self.max_depth}, rows={self.rows}, "
             f"cached_extensions={self.cached_extensions}, "
             f"cached_plans={self.cached_plans}, "
-            f"approx_bytes={self.approx_bytes})"
+            f"approx_bytes={self.approx_bytes}, "
+            f"mp_fallbacks={self.mp_fallbacks})"
         )
 
 
@@ -493,6 +502,7 @@ class ViewInterner:
         "plan_cache_size",
         "extension_workers",
         "_mp_dispatches",
+        "_mp_fallbacks",
         "_pid",
         "_depth",
         "_row",
@@ -548,6 +558,7 @@ class ViewInterner:
         self.plan_cache_size = plan_cache_size
         self.extension_workers = extension_workers
         self._mp_dispatches = 0
+        self._mp_fallbacks = 0
         self.n = n
         # Parallel per-view columns.  Owners and depths are plain lists of
         # (interpreter-shared) small ints — same 8 bytes per slot as an
@@ -1474,7 +1485,11 @@ class ViewInterner:
 
         Returns ``None`` when the map phase cannot run (shared-memory or
         pool failure); the dispatcher then falls back to the serial
-        kernel, which recomputes from the untouched interner state.
+        kernel, which recomputes from the untouched interner state.  The
+        fallback is correct but silently serial, so it is counted
+        (``stats().mp_fallbacks``) and surfaced as a ``RuntimeWarning``
+        carrying the original cause — a sweep that lost its workers
+        should look degraded, not healthy.
         """
         np = _np
         from repro.core import parallel
@@ -1484,7 +1499,15 @@ class ViewInterner:
             uniq_inv = parallel.map_layer_shards(
                 level_matrix, plan[2], workers
             )
-        except Exception:
+        except Exception as exc:
+            self._mp_fallbacks += 1
+            warnings.warn(
+                f"sharded layer extension fell back to the serial kernel "
+                f"(fallback #{self._mp_fallbacks}): "
+                f"{type(exc).__name__}: {exc}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
             return None
         self._mp_dispatches += 1
         depth = self._depth[int(level_matrix[0, 0])] + 1
@@ -1716,6 +1739,7 @@ class ViewInterner:
             cached_extensions=len(self._ext_cache),
             cached_plans=len(self._plan_cache),
             approx_bytes=approx,
+            mp_fallbacks=self._mp_fallbacks,
         )
 
     def __len__(self) -> int:

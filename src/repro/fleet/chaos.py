@@ -1,0 +1,190 @@
+"""Deterministic fault injection for the fleet runner.
+
+A :class:`ChaosSpec` is a list of *events*, each pinned to one
+``(shard, attempt)`` execution — not a probability — so a chaos schedule
+is exactly reproducible (repro-lint R3: no unseeded randomness; the only
+randomness anywhere in the fleet is the backoff jitter, which is seeded
+from the run config).  The worker consults :meth:`ChaosSpec.plan_for`
+before and during each attempt and injects the faults on itself:
+
+``kill``
+    SIGKILL the worker process after writing ``after`` records of the
+    shard output (mid-shard by construction) — the crash-recovery path:
+    dead pid, partial output, no done marker.
+``stall``
+    Stop heartbeating for ``seconds`` while mid-attempt, long enough for
+    the lease to expire and be reaped — the zombie path: the attempt
+    completes *late* and its done marker must be rejected.
+``truncate``
+    After finishing, chop the output mid-line (torn trailing record)
+    and publish the done marker anyway — the validation path for a kill
+    during the final append.
+``corrupt``
+    Overwrite bytes in the *middle* of the output — the validation path
+    for damage that recovery must refuse to repair.
+``delay``
+    Add ``seconds`` before every lease renewal (a slow heartbeat that
+    stays within the deadline exercises renewal under load; beyond it,
+    behaves like ``stall``).
+
+The spec serializes into the fleet config (``repro.fleet-state/1``), so
+a chaos soak run's faults are part of its on-disk audit trail, and
+``repro-consensus fleet run --chaos`` accepts either inline JSON or a
+path to a JSON file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import AnalysisError
+
+__all__ = ["ChaosPlan", "ChaosSpec"]
+
+#: Recognized event actions and the extra keys each accepts.
+_ACTIONS: dict[str, tuple[str, ...]] = {
+    "kill": ("after",),
+    "stall": ("seconds",),
+    "truncate": (),
+    "corrupt": (),
+    "delay": ("seconds",),
+}
+
+
+class ChaosPlan:
+    """The faults injected into one ``(shard, attempt)`` execution."""
+
+    __slots__ = ("kill_after", "stall_s", "truncate", "corrupt", "renew_delay_s")
+
+    def __init__(
+        self,
+        kill_after: int | None = None,
+        stall_s: float | None = None,
+        truncate: bool = False,
+        corrupt: bool = False,
+        renew_delay_s: float | None = None,
+    ) -> None:
+        self.kill_after = kill_after
+        self.stall_s = stall_s
+        self.truncate = truncate
+        self.corrupt = corrupt
+        self.renew_delay_s = renew_delay_s
+
+    @property
+    def quiet(self) -> bool:
+        """True when no fault applies (the overwhelmingly common case)."""
+        return (
+            self.kill_after is None
+            and self.stall_s is None
+            and not self.truncate
+            and not self.corrupt
+            and self.renew_delay_s is None
+        )
+
+    def __repr__(self) -> str:
+        parts = []
+        if self.kill_after is not None:
+            parts.append(f"kill_after={self.kill_after}")
+        if self.stall_s is not None:
+            parts.append(f"stall_s={self.stall_s}")
+        if self.truncate:
+            parts.append("truncate")
+        if self.corrupt:
+            parts.append("corrupt")
+        if self.renew_delay_s is not None:
+            parts.append(f"renew_delay_s={self.renew_delay_s}")
+        return f"ChaosPlan({', '.join(parts) if parts else 'quiet'})"
+
+
+class ChaosSpec:
+    """A deterministic fault schedule: events keyed by (shard, attempt)."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: list[dict[str, Any]] | None = None) -> None:
+        self.events = [
+            self._validate(event) for event in (events if events is not None else [])
+        ]
+
+    @staticmethod
+    def _validate(event: dict[str, Any]) -> dict[str, Any]:
+        action = event.get("action")
+        if action not in _ACTIONS:
+            raise AnalysisError(
+                f"unknown chaos action {action!r}; "
+                f"choose from {sorted(_ACTIONS)}"
+            )
+        for key in ("shard", "attempt"):
+            if not isinstance(event.get(key), int) or event[key] < 0:
+                raise AnalysisError(
+                    f"chaos event {event!r} needs a non-negative integer "
+                    f"{key!r} (faults are pinned, never probabilistic)"
+                )
+        allowed = {"action", "shard", "attempt", *_ACTIONS[action]}
+        unknown = set(event) - allowed
+        if unknown:
+            raise AnalysisError(
+                f"chaos {action!r} event has unknown keys {sorted(unknown)}; "
+                f"allowed extras: {sorted(_ACTIONS[action])}"
+            )
+        if action == "kill" and (
+            not isinstance(event.get("after"), int) or event["after"] < 0
+        ):
+            raise AnalysisError("chaos 'kill' needs after=<records written>")
+        if action in ("stall", "delay") and not isinstance(
+            event.get("seconds"), (int, float)
+        ):
+            raise AnalysisError(f"chaos {action!r} needs seconds=<float>")
+        return dict(event)
+
+    def plan_for(self, shard: int, attempt: int) -> ChaosPlan:
+        """Merge every event pinned to this (shard, attempt) into one plan."""
+        plan = ChaosPlan()
+        for event in self.events:
+            if event["shard"] != shard or event["attempt"] != attempt:
+                continue
+            action = event["action"]
+            if action == "kill":
+                plan.kill_after = event["after"]
+            elif action == "stall":
+                plan.stall_s = float(event["seconds"])
+            elif action == "truncate":
+                plan.truncate = True
+            elif action == "corrupt":
+                plan.corrupt = True
+            elif action == "delay":
+                plan.renew_delay_s = float(event["seconds"])
+        return plan
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"events": [dict(event) for event in self.events]}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ChaosSpec":
+        return cls(events=list(data.get("events", [])))
+
+    @classmethod
+    def parse(cls, text: str) -> "ChaosSpec":
+        """The ``--chaos`` argument: inline JSON, or a path to a JSON file."""
+        text = text.strip()
+        if text.startswith("{"):
+            payload = text
+        else:
+            path = Path(text)
+            if not path.is_file():
+                raise AnalysisError(
+                    f"--chaos: {text!r} is neither inline JSON nor a file"
+                )
+            payload = path.read_text(encoding="utf-8")
+        try:
+            data = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise AnalysisError(f"--chaos: invalid JSON ({exc})") from exc
+        if not isinstance(data, dict):
+            raise AnalysisError('--chaos: expected {"events": [...]}')
+        return cls.from_dict(data)
+
+    def __repr__(self) -> str:
+        return f"ChaosSpec({len(self.events)} event(s))"

@@ -1,0 +1,27 @@
+"""The fleet's only doorway to the wall clock.
+
+Lease deadlines, heartbeats, and retry backoff are *about* real time, so
+the fleet runner genuinely needs ``time.time`` — which repro-lint rule R3
+bans everywhere else in the package, because wall-clock reads in kernel
+code are hidden nondeterminism.  Concentrating every read here (the
+module is designated in ``[tool.repro-lint.rules.R3] clock-modules``)
+keeps the exemption auditable: checker results still never depend on the
+clock, only scheduling does, and tests drive the state machine with
+explicit ``now`` values instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["wall_now", "sleep"]
+
+
+def wall_now() -> float:
+    """Seconds since the epoch, as lease deadlines are expressed."""
+    return time.time()
+
+
+def sleep(seconds: float) -> None:
+    """Plain ``time.sleep`` (importable alongside :func:`wall_now`)."""
+    time.sleep(seconds)

@@ -21,13 +21,14 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Iterable, Iterator
+from typing import Any, Iterable, Iterator, Literal, overload
 
 from repro.schemas import RUN_RECORD
 
 __all__ = [
     "SCHEMA",
     "RunRecord",
+    "JsonlCorruption",
     "certificate_summary",
     "write_jsonl",
     "read_jsonl",
@@ -201,14 +202,130 @@ def write_jsonl(records: Iterable[RunRecord], path: str | Path) -> None:
             handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
 
 
-def read_jsonl(path: str | Path) -> Iterator[RunRecord]:
-    """Yield the records of a sweep JSONL file, any schema version.
+class JsonlCorruption:
+    """Report of a recoverable defect found while reading a JSONL file.
+
+    Produced by ``read_jsonl(..., recover=True)`` when the *final* line of
+    the file does not parse — the signature a process killed mid-append
+    leaves behind.  The fleet merge path treats any non-``None`` report as
+    "this shard output is incomplete": the readable prefix is still
+    returned, but the attempt is retried rather than merged.
+    """
+
+    __slots__ = ("path", "line_number", "reason", "fragment")
+
+    def __init__(
+        self, path: str, line_number: int, reason: str, fragment: str
+    ) -> None:
+        self.path = path
+        #: 1-based number of the offending (dropped) line.
+        self.line_number = line_number
+        self.reason = reason
+        #: Leading bytes of the dropped line, for the report (bounded).
+        self.fragment = fragment
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "path": self.path,
+            "line_number": self.line_number,
+            "reason": self.reason,
+            "fragment": self.fragment,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"JsonlCorruption({self.path}:{self.line_number}: {self.reason})"
+        )
+
+
+def _parse_record_lines(
+    path: Path, lines: list[str], tolerate_torn_tail: bool
+) -> tuple[list[RunRecord], JsonlCorruption | None]:
+    """Shared v1/v2 parsing over materialized lines.
+
+    With ``tolerate_torn_tail`` a parse failure on the *last* non-empty
+    line is reported instead of raised (mid-write kill signature); a
+    failure on any earlier line always raises — the rest of the file
+    cannot be trusted after unexplained corruption in the middle.
+    """
+    numbered = [
+        (number, line.strip())
+        for number, line in enumerate(lines, start=1)
+        if line.strip()
+    ]
+    records: list[RunRecord] = []
+    for position, (number, line) in enumerate(numbered):
+        last = position == len(numbered) - 1
+        try:
+            data = json.loads(line)
+            if position == 0:
+                schema = data.get("schema") if isinstance(data, dict) else None
+                if schema is not None:
+                    if schema != SCHEMA:
+                        raise ValueError(
+                            f"unsupported record schema {schema!r} "
+                            f"(this reader understands {SCHEMA!r} and "
+                            "headerless v1 files)"
+                        )
+                    continue
+            records.append(RunRecord.from_dict(data))
+        except (json.JSONDecodeError, KeyError) as exc:
+            if tolerate_torn_tail and last:
+                reason = (
+                    "truncated trailing line (mid-write kill?)"
+                    if isinstance(exc, json.JSONDecodeError)
+                    else f"trailing record missing field {exc}"
+                )
+                return records, JsonlCorruption(
+                    path=str(path),
+                    line_number=number,
+                    reason=reason,
+                    fragment=line[:120],
+                )
+            raise
+    return records, None
+
+
+@overload
+def read_jsonl(path: str | Path) -> Iterator[RunRecord]: ...
+
+
+@overload
+def read_jsonl(
+    path: str | Path, recover: Literal[True]
+) -> tuple[list[RunRecord], JsonlCorruption | None]: ...
+
+
+def read_jsonl(
+    path: str | Path, recover: bool = False
+) -> Iterator[RunRecord] | tuple[list[RunRecord], JsonlCorruption | None]:
+    """Read the records of a sweep JSONL file, any schema version.
 
     Accepts both version-2 files (leading ``{"schema": ...}`` header) and
     the headerless version-1 files of earlier revisions; unknown newer
     schema tags raise rather than misparse.
+
+    By default returns a lazy iterator and raises
+    :class:`json.JSONDecodeError` on any malformed line.  With
+    ``recover=True`` it instead returns an eager
+    ``(records, corruption)`` pair: a torn *final* line — what a process
+    killed mid-append leaves behind — is skipped and described by a
+    :class:`JsonlCorruption` report (``corruption is None`` for a clean
+    file).  Corruption anywhere but the tail still raises: a damaged
+    middle means the file cannot be trusted at all.  The fleet merge path
+    reads every shard output this way, so worker death during a write
+    downgrades to a retriable validation failure instead of an exception.
     """
-    with Path(path).open("r", encoding="utf-8") as handle:
+    path = Path(path)
+    if recover:
+        with path.open("r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        return _parse_record_lines(path, lines, tolerate_torn_tail=True)
+    return _iter_jsonl(path)
+
+
+def _iter_jsonl(path: Path) -> Iterator[RunRecord]:
+    with path.open("r", encoding="utf-8") as handle:
         first = True
         for line in handle:
             line = line.strip()

@@ -25,6 +25,7 @@ __all__ = [
     "SWEEP_MANIFEST",
     "SWEEP_REPORT",
     "LINT_REPORT",
+    "FLEET_STATE",
     "SCHEMAS",
     "parse_schema",
     "schema_name",
@@ -45,12 +46,20 @@ SWEEP_REPORT = "repro.sweep-report/1"
 #: The machine-readable ``repro-lint --json`` findings document.
 LINT_REPORT = "repro.lint-report/1"
 
+#: Every state document of the fault-tolerant fleet runner
+#: (:mod:`repro.fleet`): the run config, shard leases, done markers, the
+#: merge journal, the poison list, and status snapshots all carry this
+#: tag plus a ``kind`` discriminator, so a fleet directory is
+#: self-describing and workers refuse state they do not understand.
+FLEET_STATE = "repro.fleet-state/1"
+
 #: Every schema the library currently reads or writes, by document name.
 SCHEMAS: dict[str, str] = {
     "repro.run-record": RUN_RECORD,
     "repro.sweep-manifest": SWEEP_MANIFEST,
     "repro.sweep-report": SWEEP_REPORT,
     "repro.lint-report": LINT_REPORT,
+    "repro.fleet-state": FLEET_STATE,
 }
 
 _SCHEMA_RE = re.compile(r"^(repro\.[a-z0-9-]+)/([0-9]+)$")

@@ -29,6 +29,7 @@ __all__ = [
     "ColumnarHotPathRule",
     "BackendParityRule",
     "BareExceptMutableDefaultRule",
+    "AtomicStateWriteRule",
 ]
 
 
@@ -442,6 +443,11 @@ class SeededRandomnessRule(Rule):
     wall-clock reads (``time.time``) smuggle nondeterminism in through
     the back door.  Timing *measurement* (``perf_counter`` and friends)
     stays allowed.
+
+    Modules listed in ``clock_modules`` are exempt from the wall-clock
+    ban only (randomness stays banned): infrastructure like lease
+    deadlines genuinely needs wall time, and funneling every such read
+    through one designated module keeps the exemption auditable.
     """
 
     id = "R3"
@@ -454,12 +460,17 @@ class SeededRandomnessRule(Rule):
     defaults: dict[str, Any] = {
         "allowed_random_attrs": ["Random"],
         "banned_time_attrs": ["time", "time_ns"],
+        "clock_modules": [],
     }
 
     def check(self, ctx: LintContext) -> Iterable[Finding]:
         options = self.options(ctx)
         allowed_random = set(options["allowed_random_attrs"])
         banned_time = set(options["banned_time_attrs"])
+        if ctx.module in set(options["clock_modules"]):
+            # The designated clock funnel: wall-clock reads are its whole
+            # purpose, so drop the time bans but keep every entropy ban.
+            banned_time = set()
         advice = "; thread an explicit random.Random(seed) instead"
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.ImportFrom):
@@ -1010,3 +1021,95 @@ class BareExceptMutableDefaultRule(Rule):
             name = _call_name(node)
             return name in _MUTABLE_FACTORIES and not node.args and not node.keywords
         return False
+
+
+# --------------------------------------------------------------------- #
+# R9 — crash-safe state writes in the fleet runner
+# --------------------------------------------------------------------- #
+
+
+@register_rule
+class AtomicStateWriteRule(Rule):
+    """R9: fleet state files are written only through the atomic funnel.
+
+    The fleet's whole correctness story is that any process can be
+    SIGKILLed between any two instructions and the on-disk state stays
+    readable.  That holds because every write goes through the four
+    crash-safe shapes in :mod:`repro.fleet.files` (write-temp-then-rename,
+    exclusive hard-link create, fsynced append).  A bare
+    ``open(path, "w")`` anywhere else in the fleet reintroduces torn
+    files — silently, and only under the exact crash timing the chaos
+    harness exists to produce.  So: modules under ``state_modules`` may
+    not open files for writing at all, except the designated
+    ``io_modules`` that implement the funnel.
+    """
+
+    id = "R9"
+    name = "atomic-state-write"
+    description = (
+        "fleet modules must write state via repro.fleet.files "
+        "(write-temp-then-rename / exclusive create / fsynced append), "
+        "never a bare open(path, 'w')"
+    )
+    repro_only = True
+    defaults: dict[str, Any] = {
+        "state_modules": ["repro.fleet"],
+        "io_modules": ["repro.fleet.files"],
+    }
+
+    #: Mode characters that make an ``open`` call a write.
+    _WRITE_MODES = frozenset("wax+")
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        options = self.options(ctx)
+        if ctx.module in set(options["io_modules"]):
+            return
+        if not any(
+            ctx.module == prefix or ctx.module.startswith(prefix + ".")
+            for prefix in options["state_modules"]
+        ):
+            return
+        advice = (
+            "; route the write through repro.fleet.files so a kill at any "
+            "instruction leaves readable state"
+        )
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualname = _qualname(node.func)
+            name = _call_name(node)
+            if name in ("write_text", "write_bytes"):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f".{name}() truncates in place — a kill mid-call "
+                    f"leaves a torn file{advice}",
+                )
+                continue
+            if name != "open":
+                continue
+            # Builtin open(path, mode) has the mode second; the
+            # pathlib/file-object .open(mode) method has it first.
+            position = 1 if qualname == "open" else 0
+            mode = next(
+                (kw.value for kw in node.keywords if kw.arg == "mode"),
+                node.args[position] if len(node.args) > position else None,
+            )
+            if mode is None:
+                continue  # default "r"
+            if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+                if not self._WRITE_MODES.intersection(mode.value):
+                    continue
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"open(..., {mode.value!r}) writes state directly — "
+                    f"not crash-safe{advice}",
+                )
+            else:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"open() with a dynamic mode cannot be verified "
+                    f"read-only{advice}",
+                )

@@ -287,3 +287,33 @@ def test_workers_flow_through_check_options():
 def test_serial_worker_count_never_dispatches():
     space = build_space(lossy_link_full(), 1, 6)
     assert space.interner._mp_dispatches == 0
+
+
+def test_poisoned_pool_falls_back_loudly_and_correctly(monkeypatch):
+    # Satellite regression for the silent-fallback hazard: when the map
+    # phase dies (lost pool, shm failure), the run must still produce the
+    # exact serial layers — but visibly: a RuntimeWarning carrying the
+    # cause, and a nonzero stats().mp_fallbacks counter.
+    from repro.core import parallel
+
+    def poisoned(*args, **kwargs):
+        raise RuntimeError("worker pool lost (injected)")
+
+    monkeypatch.setattr(parallel, "map_layer_shards", poisoned)
+    serial = build_space(lossy_link_full(), 1, 5)
+    with pytest.warns(RuntimeWarning, match="worker pool lost"):
+        sharded = build_space(lossy_link_full(), 4, 5)
+    assert sharded.interner._mp_dispatches == 0
+    stats = sharded.interner.stats()
+    assert stats.mp_fallbacks > 0
+    assert interner_state(sharded.interner) == interner_state(serial.interner)
+    for d in range(6):
+        assert list(sharded.layer_store(d).levels.ids) == list(
+            serial.layer_store(d).levels.ids
+        )
+
+
+def test_healthy_run_reports_zero_fallbacks():
+    space = build_space(lossy_link_full(), 2, 5)
+    assert space.interner.stats().mp_fallbacks == 0
+    assert "mp_fallbacks" in repr(space.interner.stats())

@@ -1,0 +1,76 @@
+"""Shared fixtures for the fleet suite.
+
+The acceptance contract under test everywhere here: a fleet run with
+``record_timing=False`` produces a ``merged.jsonl`` byte-identical to
+:class:`~repro.backends.SerialBackend` output over the same jobs — no
+lost records, no duplicates — no matter which faults fired along the way.
+
+``drive_simulated`` is the deterministic harness: it plays both roles
+(coordinator ``step(now=...)`` and a simulate-mode worker) against a real
+fleet directory, advancing an explicit clock instead of sleeping, so
+every lease expiry and backoff window in a test is exact and instant.
+"""
+
+import pytest
+
+from repro.backends import SerialBackend, jobs_for
+from repro.fleet import FleetRunner, SimulatedCrash
+from repro.fleet.worker import claim_next, run_attempt
+from repro.records import write_jsonl
+from repro.specs import AdversarySpec
+
+
+@pytest.fixture()
+def jobs6():
+    specs = [AdversarySpec("two-process", {"index": i}) for i in range(6)]
+    return jobs_for(
+        specs, max_depth=4, tags={"family": "two-process", "seed": 0}
+    )
+
+
+@pytest.fixture()
+def serial_bytes(jobs6, tmp_path_factory):
+    """The reference output: a no-timing serial sweep of the same jobs."""
+    records = SerialBackend(record_timing=False).run(jobs6)
+    path = tmp_path_factory.mktemp("serial") / "serial.jsonl"
+    write_jsonl(records, path)
+    return path.read_bytes()
+
+
+@pytest.fixture()
+def drive_simulated():
+    def drive(runner: FleetRunner, *, now: float = 1000.0, budget: int = 200):
+        """Run a fleet to completion with one simulated worker.
+
+        A chaos ``stall`` is modeled faithfully: the attempt runs with no
+        heartbeat, so the clock jumps past the lease deadline and the
+        coordinator reaps *before* the (now zombie) attempt publishes its
+        done marker — exactly the interleaving a real stalled worker hits.
+        """
+        root = runner.paths.root
+        snap = runner.step(now=now)
+        while not snap["done"]:
+            budget -= 1
+            assert budget > 0, f"fleet did not converge: {snap['counts']}"
+            claim = claim_next(root, "sim", now=now)
+            if claim is not None:
+                shard, attempt = claim
+                config = runner.config
+                plan = (
+                    config.chaos.plan_for(shard, attempt)
+                    if config.chaos is not None
+                    else None
+                )
+                if plan is not None and plan.stall_s is not None:
+                    now += config.lease_ttl_s + plan.stall_s
+                    runner.step(now=now)
+                try:
+                    run_attempt(root, "sim", shard, attempt, simulate=True)
+                except SimulatedCrash:
+                    now += config.lease_ttl_s + 1.0
+            # Clear any backoff window before the next coordinator pass.
+            now += runner.config.backoff_cap_s + 1.0
+            snap = runner.step(now=now)
+        return snap
+
+    return drive

@@ -1,0 +1,203 @@
+"""The acceptance suite: seeded chaos schedules end-to-end.
+
+Every scenario drives a real fleet directory (simulate-mode workers, a
+steppable coordinator, explicit clocks) through injected faults and then
+asserts the ISSUE's contract: the run completes with zero lost or
+duplicated records and a ``merged.jsonl`` byte-identical to the serial
+reference.  The last test runs the whole thing for real — worker
+subprocesses, SIGKILL chaos, wall clocks — through :class:`FleetBackend`.
+"""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.fleet import ChaosSpec, FleetBackend, FleetConfig, FleetRunner
+from repro.fleet import state
+from repro.fleet.state import FleetPaths
+from repro.records import read_jsonl
+
+
+def build(tmp_path, jobs6, chaos, **overrides):
+    root = tmp_path / "fleet"
+    runner = FleetRunner(root)
+    config = FleetConfig(
+        shards=3,
+        record_timing=False,
+        lease_ttl_s=10.0,
+        chaos=chaos,
+        seed=7,
+        **overrides,
+    )
+    runner.initialize(jobs6, config=config)
+    return root, runner
+
+
+def assert_contract(root, serial_bytes):
+    """Zero lost/duplicated records, byte-identical to the serial run."""
+    paths = FleetPaths(root)
+    assert paths.merged.read_bytes() == serial_bytes
+    records = list(read_jsonl(paths.merged))
+    assert [record.index for record in records] == list(range(6))
+    journal = state.read_journal(root)
+    assert sorted(entry["shard"] for entry in journal) == [0, 1, 2]
+
+
+def test_schedule_worker_killed_mid_shard(
+    tmp_path, jobs6, serial_bytes, drive_simulated
+):
+    chaos = ChaosSpec(
+        [
+            {"action": "kill", "shard": 0, "attempt": 0, "after": 1},
+            {"action": "kill", "shard": 2, "attempt": 0, "after": 0},
+        ]
+    )
+    root, runner = build(tmp_path, jobs6, chaos)
+    drive_simulated(runner)
+    assert_contract(root, serial_bytes)
+    ledger = state.read_attempts(root)
+    assert ledger["0"]["failures"] == 1 and ledger["2"]["failures"] == 1
+    assert "lease expired" in ledger["0"]["reasons"][0]
+    # The killed attempt's partial output is still on disk for audit —
+    # one header plus one record written before the kill.
+    partial = FleetPaths(root).attempt_out(0, 0)
+    assert len(partial.read_text(encoding="utf-8").splitlines()) == 2
+
+
+def test_schedule_heartbeat_stall_past_deadline(
+    tmp_path, jobs6, serial_bytes, drive_simulated
+):
+    chaos = ChaosSpec(
+        [{"action": "stall", "shard": 1, "attempt": 0, "seconds": 30.0}]
+    )
+    root, runner = build(tmp_path, jobs6, chaos)
+    drive_simulated(runner)
+    assert_contract(root, serial_bytes)
+    ledger = state.read_attempts(root)
+    assert "heartbeat stalled past the deadline" in ledger["1"]["reasons"][0]
+    # The stalled attempt finished late: its done marker exists, but the
+    # merge took attempt 1.
+    assert FleetPaths(root).attempt_done(1, 0).is_file()
+    (entry,) = [e for e in state.read_journal(root) if e["shard"] == 1]
+    assert entry["attempt"] == 1
+
+
+def test_schedule_truncated_and_corrupted_output(
+    tmp_path, jobs6, serial_bytes, drive_simulated
+):
+    chaos = ChaosSpec(
+        [
+            {"action": "truncate", "shard": 0, "attempt": 0},
+            {"action": "corrupt", "shard": 1, "attempt": 0},
+        ]
+    )
+    root, runner = build(tmp_path, jobs6, chaos)
+    drive_simulated(runner)
+    assert_contract(root, serial_bytes)
+    ledger = state.read_attempts(root)
+    assert "torn output" in ledger["0"]["reasons"][0]
+    # Corruption lands *before* the worker publishes its digest, so the
+    # marker matches the damaged bytes and the reader is what refuses.
+    assert "unreadable output" in ledger["1"]["reasons"][0]
+
+
+def test_schedule_repeated_faults_then_poison(tmp_path, jobs6, drive_simulated):
+    # Shard 0 fails every one of its 3 attempts: it must be quarantined
+    # while the rest of the fleet completes.
+    chaos = ChaosSpec(
+        [
+            {"action": "truncate", "shard": 0, "attempt": attempt}
+            for attempt in range(3)
+        ]
+    )
+    root, runner = build(tmp_path, jobs6, chaos, max_attempts=3)
+    snap = drive_simulated(runner)
+    assert snap["counts"]["poisoned"] == 1 and snap["counts"]["merged"] == 2
+    poison = state.read_poison(root)
+    assert poison["0"]["failures"] == 3
+    assert all("torn output" in reason for reason in poison["0"]["reasons"])
+    # The partial merge holds exactly the two healthy shards' records.
+    records = state.rebuild_merged(root)
+    assert [record.index for record in records] == [1, 2, 4, 5]
+
+
+def test_interrupted_then_resumed_mid_chaos(
+    tmp_path, jobs6, serial_bytes, drive_simulated
+):
+    from repro.fleet import SimulatedCrash
+    from repro.fleet.worker import claim_next, run_attempt
+
+    chaos = ChaosSpec(
+        [{"action": "kill", "shard": 1, "attempt": 0, "after": 1}]
+    )
+    root, runner = build(tmp_path, jobs6, chaos)
+    # First life: merge shard 0, crash the worker on shard 1, then the
+    # coordinator itself "dies" (we simply drop it).
+    assert claim_next(root, "w", now=0.0) == (0, 0)
+    run_attempt(root, "w", 0, 0, simulate=True)
+    runner.step(now=1.0)
+    assert claim_next(root, "w", now=2.0) == (1, 0)
+    with pytest.raises(SimulatedCrash):
+        run_attempt(root, "w", 1, 0, simulate=True)
+    # Second life: a fresh coordinator resumes from the files alone.
+    drive_simulated(FleetRunner(root), now=100.0)
+    assert_contract(root, serial_bytes)
+
+
+def test_fleet_backend_real_subprocesses_under_chaos(
+    tmp_path, jobs6, serial_bytes
+):
+    # The full stack, no simulation: worker subprocesses get SIGKILLed
+    # mid-shard and one output is truncated; the drive loop reaps,
+    # retries, and still merges byte-identically.
+    chaos = ChaosSpec(
+        [
+            {"action": "kill", "shard": 0, "attempt": 0, "after": 1},
+            {"action": "truncate", "shard": 2, "attempt": 0},
+        ]
+    )
+    backend = FleetBackend(
+        tmp_path / "fleet",
+        shards=3,
+        workers=2,
+        record_timing=False,
+        chaos=chaos,
+        lease_ttl_s=3.0,
+        heartbeat_s=0.5,
+        backoff_base_s=0.1,
+        backoff_cap_s=0.5,
+        poll_s=0.05,
+        timeout_s=120.0,
+    )
+    records = backend.run(jobs6)
+    assert [record.index for record in records] == list(range(6))
+    assert (tmp_path / "fleet" / "merged.jsonl").read_bytes() == serial_bytes
+    ledger = state.read_attempts(tmp_path / "fleet")
+    assert ledger["0"]["failures"] >= 1 and ledger["2"]["failures"] >= 1
+
+
+def test_drive_raises_with_poison_report(tmp_path, jobs6):
+    chaos = ChaosSpec(
+        [
+            {"action": "corrupt", "shard": 0, "attempt": attempt}
+            for attempt in range(2)
+        ]
+    )
+    backend = FleetBackend(
+        tmp_path / "fleet",
+        shards=3,
+        workers=2,
+        record_timing=False,
+        chaos=chaos,
+        lease_ttl_s=3.0,
+        heartbeat_s=0.5,
+        max_attempts=2,
+        backoff_base_s=0.1,
+        backoff_cap_s=0.5,
+        poll_s=0.05,
+        timeout_s=120.0,
+    )
+    with pytest.raises(AnalysisError, match="quarantined 1 shard"):
+        backend.run(jobs6)
+    # The healthy shards' partial merge survives for inspection.
+    merged = list(read_jsonl(tmp_path / "fleet" / "merged.jsonl"))
+    assert [record.index for record in merged] == [1, 2, 4, 5]

@@ -1,0 +1,76 @@
+"""ChaosSpec validation, parsing, and (shard, attempt) plan merging."""
+
+import json
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.fleet import ChaosSpec
+from repro.fleet.state import FleetConfig
+
+
+def test_plan_merging_and_quiet():
+    spec = ChaosSpec(
+        [
+            {"action": "kill", "shard": 0, "attempt": 0, "after": 2},
+            {"action": "truncate", "shard": 0, "attempt": 0},
+            {"action": "stall", "shard": 1, "attempt": 1, "seconds": 9.0},
+        ]
+    )
+    plan = spec.plan_for(0, 0)
+    assert plan.kill_after == 2 and plan.truncate and not plan.quiet
+    assert spec.plan_for(1, 1).stall_s == 9.0
+    assert spec.plan_for(0, 1).quiet
+    assert spec.plan_for(5, 0).quiet
+
+
+@pytest.mark.parametrize(
+    "event",
+    [
+        {"action": "explode", "shard": 0, "attempt": 0},
+        {"action": "kill", "attempt": 0, "after": 1},
+        {"action": "kill", "shard": -1, "attempt": 0, "after": 1},
+        {"action": "kill", "shard": 0, "attempt": 0},
+        {"action": "kill", "shard": 0, "attempt": 0, "after": "soon"},
+        {"action": "stall", "shard": 0, "attempt": 0},
+        {"action": "truncate", "shard": 0, "attempt": 0, "after": 1},
+    ],
+    ids=[
+        "unknown-action",
+        "missing-shard",
+        "negative-shard",
+        "kill-without-after",
+        "kill-bad-after",
+        "stall-without-seconds",
+        "unknown-extra-key",
+    ],
+)
+def test_invalid_events_rejected(event):
+    with pytest.raises(AnalysisError):
+        ChaosSpec([event])
+
+
+def test_parse_inline_and_file(tmp_path):
+    payload = {
+        "events": [{"action": "delay", "shard": 2, "attempt": 0, "seconds": 1.5}]
+    }
+    inline = ChaosSpec.parse(json.dumps(payload))
+    assert inline.plan_for(2, 0).renew_delay_s == 1.5
+    path = tmp_path / "chaos.json"
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    assert ChaosSpec.parse(str(path)).to_dict() == inline.to_dict()
+
+
+@pytest.mark.parametrize("text", ["not json and not a file", "{broken", "[1]"])
+def test_parse_rejects_garbage(text):
+    with pytest.raises(AnalysisError):
+        ChaosSpec.parse(text)
+
+
+def test_spec_survives_config_round_trip():
+    spec = ChaosSpec([{"action": "corrupt", "shard": 1, "attempt": 2}])
+    config = FleetConfig(shards=3, chaos=spec)
+    rebuilt = FleetConfig.from_dict(json.loads(json.dumps(config.to_dict())))
+    assert rebuilt.chaos is not None
+    assert rebuilt.chaos.to_dict() == spec.to_dict()
+    assert rebuilt.chaos.plan_for(1, 2).corrupt

@@ -1,0 +1,86 @@
+"""The tolerant JSONL reader: ``read_jsonl(..., recover=True)``.
+
+The recovery contract backs the fleet merge path: a torn *final* line —
+the only damage a mid-append kill can produce under the append+fsync
+write discipline — is reported, not raised, and the readable prefix is
+still returned; damage anywhere else stays fatal.
+"""
+
+import json
+
+import pytest
+
+from repro.backends import SerialBackend, jobs_for
+from repro.records import JsonlCorruption, read_jsonl, write_jsonl
+from repro.specs import AdversarySpec
+
+
+@pytest.fixture()
+def written(tmp_path):
+    specs = [AdversarySpec("two-process", {"index": i}) for i in range(4)]
+    jobs = jobs_for(specs, max_depth=4, tags={"family": "two-process"})
+    records = SerialBackend(record_timing=False).run(jobs)
+    path = tmp_path / "records.jsonl"
+    write_jsonl(records, path)
+    return path, records
+
+
+def test_clean_file_has_no_corruption(written):
+    path, records = written
+    recovered, corruption = read_jsonl(path, recover=True)
+    assert corruption is None
+    assert [r.index for r in recovered] == [r.index for r in records]
+    assert [r.to_dict() for r in recovered] == [r.to_dict() for r in records]
+
+
+def test_torn_final_line_is_reported_not_raised(written):
+    path, records = written
+    torn = path.read_bytes()[:-9]
+    path.write_bytes(torn)
+    recovered, corruption = read_jsonl(path, recover=True)
+    assert [r.index for r in recovered] == [r.index for r in records[:-1]]
+    assert isinstance(corruption, JsonlCorruption)
+    assert corruption.line_number == len(records) + 1  # header + records
+    assert "truncated trailing line" in corruption.reason
+    assert corruption.fragment  # leading bytes kept for the report
+    assert set(corruption.to_dict()) == {
+        "path",
+        "line_number",
+        "reason",
+        "fragment",
+    }
+    # The default strict reader still raises on the same file.
+    with pytest.raises(json.JSONDecodeError):
+        list(read_jsonl(path))
+
+
+def test_mid_file_corruption_still_raises(written):
+    path, _ = written
+    lines = path.read_text(encoding="utf-8").splitlines()
+    lines[2] = lines[2][:20]  # damage a record that is not the tail
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    with pytest.raises(json.JSONDecodeError):
+        read_jsonl(path, recover=True)
+
+
+def test_trailing_record_missing_field_is_recoverable(written):
+    path, records = written
+    lines = path.read_text(encoding="utf-8").splitlines()
+    damaged = json.loads(lines[-1])
+    del damaged["status"]
+    lines[-1] = json.dumps(damaged, sort_keys=True)
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    recovered, corruption = read_jsonl(path, recover=True)
+    assert len(recovered) == len(records) - 1
+    assert corruption is not None
+    assert "missing field" in corruption.reason
+
+
+def test_recover_reads_headerless_v1_files(written, tmp_path):
+    path, records = written
+    v1 = tmp_path / "v1.jsonl"
+    body = path.read_text(encoding="utf-8").splitlines()[1:]  # drop header
+    v1.write_text("\n".join(body) + "\n", encoding="utf-8")
+    recovered, corruption = read_jsonl(v1, recover=True)
+    assert corruption is None
+    assert [r.index for r in recovered] == [r.index for r in records]

@@ -41,9 +41,9 @@ def rules_of(found):
 # --------------------------------------------------------------------- #
 
 
-def test_all_eight_rules_registered():
+def test_all_nine_rules_registered():
     ids = [rule.id for rule in iter_rules()]
-    assert ids == ["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"]
+    assert ids == ["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9"]
     for rule in iter_rules():
         assert rule.name and rule.description
 
@@ -224,6 +224,28 @@ def test_r3_flags_unseeded_randomness_and_wall_clock():
 
 def test_r3_passes_explicit_rng_and_timers():
     assert findings(R3_GOOD, select={"R3"}) == []
+
+
+R3_CLOCK_FUNNEL = """\
+import time
+
+
+def wall_now():
+    return time.time()
+"""
+
+
+def test_r3_clock_modules_exempt_wall_clock_only():
+    # Undesignated module: the wall-clock read is flagged.
+    assert rules_of(findings(R3_CLOCK_FUNNEL, select={"R3"})) == ["R3"]
+    config = LintConfig(rules={"R3": {"clock_modules": [REPRO_MODULE]}})
+    assert findings(R3_CLOCK_FUNNEL, select={"R3"}, config=config) == []
+    # The exemption never extends to entropy: randomness in the clock
+    # funnel is still a finding.
+    assert rules_of(findings(R3_BAD, select={"R3"}, config=config)) == [
+        "R3",
+        "R3",
+    ]
 
 
 # --------------------------------------------------------------------- #
@@ -433,6 +455,85 @@ def test_r8_flags_bare_except_and_mutable_default():
 
 def test_r8_passes_narrow_except_and_none_default():
     assert findings(R8_GOOD, select={"R8"}) == []
+
+
+# --------------------------------------------------------------------- #
+# R9 — crash-safe fleet state writes
+# --------------------------------------------------------------------- #
+
+R9_BAD = """\
+import json
+from pathlib import Path
+
+
+def save(path, doc):
+    with open(path, "w") as handle:
+        json.dump(doc, handle)
+
+
+def publish(path, text):
+    Path(path).write_text(text)
+
+
+def log(path, line):
+    with Path(path).open("a") as handle:
+        handle.write(line)
+"""
+
+R9_GOOD = """\
+import json
+from repro.fleet import files
+
+
+def save(path, doc):
+    files.atomic_write_json(path, doc)
+
+
+def load(path):
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def peek(path):
+    with open(path, "rb") as handle:
+        return handle.read(16)
+"""
+
+R9_DYNAMIC = """\
+def touch(path, mode):
+    return open(path, mode)
+"""
+
+
+def test_r9_flags_raw_writes_in_fleet_modules():
+    found = findings(R9_BAD, module="repro.fleet.worker", select={"R9"})
+    assert rules_of(found) == ["R9", "R9", "R9"]
+    assert any("write_text" in f.message for f in found)
+
+
+def test_r9_allows_reads_and_the_funnel_helpers():
+    assert findings(R9_GOOD, module="repro.fleet.state", select={"R9"}) == []
+
+
+def test_r9_dynamic_mode_is_flagged():
+    found = findings(R9_DYNAMIC, module="repro.fleet.state", select={"R9"})
+    assert rules_of(found) == ["R9"]
+    assert "dynamic mode" in found[0].message
+
+
+def test_r9_exempts_the_io_module_and_other_packages():
+    # The funnel itself may open files for writing...
+    assert findings(R9_BAD, module="repro.fleet.files", select={"R9"}) == []
+    # ...and modules outside the fleet are out of scope entirely.
+    assert findings(R9_BAD, module="repro.backends", select={"R9"}) == []
+
+
+def test_r9_state_modules_configurable():
+    config = LintConfig(
+        rules={"R9": {"state_modules": ["repro.fake"], "io_modules": []}}
+    )
+    found = findings(R9_BAD, select={"R9"}, config=config)
+    assert rules_of(found) == ["R9", "R9", "R9"]
 
 
 # --------------------------------------------------------------------- #
