@@ -339,9 +339,14 @@ def cmd_fleet_status(args: argparse.Namespace) -> int:
     import json
 
     from repro.analysis import json_report_jsonl
+    from repro.errors import AnalysisError
     from repro.fleet.state import FleetPaths, snapshot
 
-    snap = snapshot(args.dir)
+    try:
+        snap = snapshot(args.dir)
+    except AnalysisError as exc:
+        print(f"fleet status failed: {exc}", file=sys.stderr)
+        return 1
     if args.json:
         merged = FleetPaths(args.dir).merged
         if snap["counts"]["merged"] > 0 and merged.is_file():

@@ -12,9 +12,12 @@ sleep-free.
 
 Crash-safety ordering inside a step (each line is atomic or append-only):
 
-* merge:   journal append  →  lease removal  →  merged rebuild.
-  Dying between any two is recoverable: a journaled shard is simply
-  skipped (its leftover lease swept) and the rebuild is idempotent.
+* merge:   journal append  →  ledger bump  →  lease removal  →  merged
+  rebuild.  Dying between any two is recoverable: a journaled shard is
+  simply skipped (its leftover lease swept) and the rebuild is
+  idempotent.  The bump mirrors the fail path so attempt numbers are
+  single-use across success too — a claim raced into the removal window
+  carries a stale attempt and is swept, never rerun over merged output.
 * fail:    ledger bump (attempt += 1)  →  lease removal.
   The bump first means a zombie holder's next renewal sees the moved
   ledger and stops; a lease recreated in the unlucky window carries the
@@ -176,6 +179,12 @@ class FleetRunner:
                         "records": len(records),
                     },
                 )
+                # Bump before the lease removal, mirroring the fail path:
+                # a zombie holder's next renewal sees the moved ledger and
+                # stops, and any claim raced in after the removal carries
+                # a stale attempt number instead of this one.
+                ledger[str(shard)]["attempt"] = current + 1
+                state.write_attempts(root, ledger)
                 state.release_lease(root, shard)
                 journaled.add(shard)
                 merged_any = True

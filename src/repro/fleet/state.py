@@ -36,6 +36,7 @@ from __future__ import annotations
 import json
 import os
 import random
+import sys
 from pathlib import Path
 from typing import Any, Sequence
 
@@ -289,10 +290,17 @@ def init_fleet(
         },
     )
     write_poison(root, {})
+    # The header goes through the temp-then-replace funnel, not a bare
+    # append: a crash between here and the config write leaves a rerun
+    # free to re-init, and an appended second header would wedge every
+    # later journal parse.  (No merge entries can predate the config, so
+    # create-or-truncate is safe.)
+    temp = paths.journal.with_name(f".{paths.journal.name}.{os.getpid()}.tmp")
     files.append_line(
-        paths.journal,
+        temp,
         json.dumps({"schema": FLEET_STATE, "kind": "journal"}, sort_keys=True),
     )
+    files.atomic_replace_file(temp, paths.journal)
     files.atomic_write_json(paths.config, config.to_dict())
     return config
 
@@ -317,7 +325,14 @@ def load_shard_jobs(
 
 
 def pid_alive(pid: int) -> bool:
-    """Whether a process with this pid exists (signal-0 probe)."""
+    """Whether a process with this pid exists (signal-0 probe).
+
+    POSIX only: on Windows ``os.kill`` cannot probe — any signal other
+    than the CTRL events *terminates* the target — so the answer there is
+    "assume alive" and lease expiry rests on the deadline alone.
+    """
+    if sys.platform == "win32":
+        return True
     try:
         os.kill(pid, 0)
     except ProcessLookupError:
@@ -401,7 +416,8 @@ def renew_lease(
 
 
 def release_lease(root: str | Path, shard: int) -> None:
-    """Remove a lease file (coordinator-side: after merge or reap)."""
+    """Remove a lease file (coordinator after merge/reap, or a worker
+    abandoning a claim its post-claim journal re-check disowned)."""
     FleetPaths(root).lease(shard).unlink(missing_ok=True)
 
 

@@ -36,6 +36,7 @@ import threading
 from pathlib import Path
 
 from repro.backends import iter_job_records
+from repro.errors import AnalysisError
 from repro.fleet import files
 from repro.fleet.chaos import ChaosPlan
 from repro.fleet.clock import sleep, wall_now
@@ -48,6 +49,7 @@ from repro.fleet.state import (
     read_attempts,
     read_journal,
     read_poison,
+    release_lease,
     renew_lease,
 )
 from repro.records import SCHEMA as RECORD_SCHEMA
@@ -76,6 +78,13 @@ def claim_next(
     pre-check is advisory (another worker can appear in between); the
     exclusive create inside :func:`~repro.fleet.state.claim_shard` is
     what actually arbitrates.
+
+    A won claim is confirmed against a *fresh* journal read before it is
+    returned.  The coordinator merges with append-then-release ordering,
+    so a lease create that succeeds because of the release is guaranteed
+    to see the journal entry on this re-read — without it, a worker whose
+    journal view predates the append could re-claim a merged shard and
+    rewrite the very output the journal's digest points at.
     """
     now = wall_now() if now is None else now
     config = load_config(root)
@@ -93,6 +102,12 @@ def claim_next(
             continue
         attempt = entry["attempt"]
         if claim_shard(root, shard, worker, attempt, config.lease_ttl_s, now=now):
+            if shard in {entry["shard"] for entry in read_journal(root)}:
+                # Our pre-claim journal view was stale: the shard merged
+                # between the read and the claim.  Abandon the lease we
+                # just created (it is ours to remove) and move on.
+                release_lease(root, shard)
+                continue
             return shard, attempt
     return None
 
@@ -133,6 +148,16 @@ def run_attempt(
     removes lease and shard together (merge) or bumps the attempt (fail).
     """
     config = load_config(root)
+    if shard in {entry["shard"] for entry in read_journal(root)}:
+        # A journaled shard's output is the referent of the journal's
+        # digest; rewriting it would wedge every later merge rebuild.
+        # claim_next's post-claim re-check makes this unreachable in the
+        # worker loop — this guard covers direct callers with a stale
+        # claim.
+        raise AnalysisError(
+            f"shard {shard} is already journaled; refusing to run attempt "
+            f"{attempt} over its merged output"
+        )
     plan = (
         config.chaos.plan_for(shard, attempt)
         if config.chaos is not None
@@ -141,9 +166,9 @@ def run_attempt(
     jobs, options, record_timing = load_shard_jobs(root, shard)
     paths = FleetPaths(root)
     out = paths.attempt_out(shard, attempt)
-    # Attempt numbers are single-use (the ledger bumps on every reap), so
-    # a pre-existing file can only be debris from our own failed claim;
-    # start clean rather than appending to it.
+    # Attempt numbers are single-use (the ledger bumps on every reap and
+    # every merge), so a pre-existing file can only be debris from our own
+    # failed claim; start clean rather than appending to it.
     out.unlink(missing_ok=True)
     files.append_line(out, json.dumps({"schema": RECORD_SCHEMA}, sort_keys=True))
     stop: threading.Event | None = None

@@ -10,6 +10,7 @@ import pytest
 from repro.errors import AnalysisError
 from repro.fleet import FleetConfig, FleetRunner
 from repro.fleet import files, state
+from repro.fleet import worker as worker_module
 from repro.fleet.state import FleetPaths
 from repro.fleet.worker import claim_next, run_attempt
 
@@ -110,6 +111,61 @@ def test_resume_after_coordinator_killed_mid_merge(
 def test_resume_refuses_non_fleet_directory(tmp_path):
     with pytest.raises(AnalysisError):
         FleetRunner(tmp_path / "not-a-fleet").resume(workers=1)
+
+
+def test_merge_bumps_ledger_like_the_fail_path(fleet):
+    root, runner = fleet
+    assert claim_next(root, "w", now=0.0) == (0, 0)
+    run_attempt(root, "w", 0, 0, simulate=True)
+    runner.step(now=1.0)
+    # Attempt numbers are single-use across *success* too: a claim raced
+    # into the lease-removal window carries a stale number and is swept
+    # instead of rerunning over merged output.
+    ledger = state.read_attempts(root)
+    assert ledger["0"]["attempt"] == 1
+    assert ledger["0"]["failures"] == 0
+
+
+def test_stale_journal_view_cannot_reclaim_a_merged_shard(fleet, monkeypatch):
+    root, runner = fleet
+    assert claim_next(root, "w", now=0.0) == (0, 0)
+    run_attempt(root, "w", 0, 0, simulate=True)
+    runner.step(now=1.0)  # journal append → ledger bump → lease removal
+    # The reviewer's race: a worker reads the journal *before* the merge
+    # append but wins the lease *after* the release.  Blank the first
+    # journal read to replay exactly that interleaving.
+    real_read_journal = worker_module.read_journal
+    calls = iter([True])
+
+    def stale_then_real(path):
+        if next(calls, False):
+            return []
+        return real_read_journal(path)
+
+    monkeypatch.setattr(worker_module, "read_journal", stale_then_real)
+    # The post-claim re-check disowns the shard-0 claim (append-then-
+    # release ordering guarantees the fresh read sees the merge) and the
+    # worker moves on to shard 1; no lease is left behind.
+    assert claim_next(root, "stale", now=2.0) == (1, 0)
+    assert state.read_lease(root, 0) is None
+    state.rebuild_merged(root)  # journaled digests still verify
+
+
+def test_run_attempt_refuses_a_journaled_shard(fleet):
+    root, runner = fleet
+    assert claim_next(root, "w", now=0.0) == (0, 0)
+    run_attempt(root, "w", 0, 0, simulate=True)
+    runner.step(now=1.0)
+    # A fully stale direct caller (journal *and* ledger views predate the
+    # merge) re-creates the claim with the journaled attempt number; the
+    # attempt must refuse rather than rewrite the bytes the journal's
+    # digest points at.
+    out_bytes = FleetPaths(root).attempt_out(0, 0).read_bytes()
+    assert state.claim_shard(root, 0, "stale", 0, 10.0, now=2.0)
+    with pytest.raises(AnalysisError, match="already journaled"):
+        run_attempt(root, "stale", 0, 0, simulate=True)
+    assert FleetPaths(root).attempt_out(0, 0).read_bytes() == out_bytes
+    state.rebuild_merged(root)  # digests still verify
 
 
 def test_stranded_lease_of_journaled_shard_is_swept(fleet):

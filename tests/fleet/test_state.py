@@ -41,6 +41,31 @@ def test_init_layout_and_double_init(fleet, jobs6):
         runner.initialize(jobs6)
 
 
+def test_init_is_crash_idempotent_before_config_lands(tmp_path, jobs6):
+    # init dying between the journal write and the config write must not
+    # wedge the directory: the rerun passes the config-exists check and
+    # must end up with exactly one journal header, not an appended second
+    # one that every later parse trips over.
+    root = tmp_path / "fleet"
+    FleetRunner(root).initialize(jobs6)
+    FleetPaths(root).config.unlink()  # the crash window
+    FleetRunner(root).initialize(jobs6)
+    assert state.read_journal(root) == []
+    header_lines = [
+        line for line in files.read_lines(FleetPaths(root).journal) if line.strip()
+    ]
+    assert len(header_lines) == 1
+
+
+def test_cli_status_on_non_fleet_dir_is_a_clean_error(tmp_path, capsys):
+    from repro.cli import main
+
+    assert main(["fleet", "status", "--dir", str(tmp_path / "nope")]) == 1
+    captured = capsys.readouterr()
+    assert "fleet status failed" in captured.err
+    assert "Traceback" not in captured.err
+
+
 def test_init_caps_shards_at_job_count(tmp_path, jobs6):
     runner = FleetRunner(tmp_path / "wide")
     config = runner.initialize(jobs6, config=FleetConfig(shards=50))
