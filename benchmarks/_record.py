@@ -73,6 +73,7 @@ SUITES = {
     "scaling_checker": ["bench_scaling_checker.py"],
     "fig2_ptg": ["bench_fig2_ptg.py"],
     "census": ["bench_census.py"],
+    "service": ["bench_service.py"],
     "figures": [
         "bench_fig1_spaces.py",
         "bench_fig2_ptg.py",

@@ -1,0 +1,137 @@
+"""Result store + query service: hot lookups vs cold checks, mixed load.
+
+The acceptance study of the content-addressed result store: a cache hit
+must answer at least 50x faster than the depth-10 cold check it replaces
+(in practice it is thousands of times faster), and the asyncio query
+service must sustain a concurrent 90/10 hot/cold mix without losing or
+duplicating a single response.
+"""
+
+import asyncio
+import tempfile
+import time
+
+from conftest import emit
+
+from repro.backends import jobs_for
+from repro.consensus.solvability import CheckOptions
+from repro.service import QueryService, run_load_test
+from repro.store import CachedBackend, ResultStore
+
+from repro.specs import AdversarySpec
+
+#: The cold workload: the full lossy link walked to the 236k-prefix
+#: depth-10 layer with provers and the broadcaster certificate disabled —
+#: the same pipeline scenario as ``bench_scaling_checker``.
+DEPTH10_SPEC = AdversarySpec("named", {"name": "lossy-full"})
+DEPTH10_OPTIONS = CheckOptions(
+    max_depth=10,
+    use_impossibility_provers=False,
+    use_broadcaster_certificate=False,
+)
+
+#: Floor the committed baseline must clear: hit >= 50x faster than cold.
+REQUIRED_SPEEDUP = 50.0
+
+
+def _depth10_jobs():
+    return jobs_for([DEPTH10_SPEC], max_depth=DEPTH10_OPTIONS.max_depth)
+
+
+def test_service_cold_depth10_check(benchmark):
+    """Cold path: the depth-10 check a cache miss has to pay for."""
+
+    def kernel():
+        with tempfile.TemporaryDirectory() as tmp:
+            backend = CachedBackend(ResultStore(tmp))
+            [record] = backend.run(_depth10_jobs(), DEPTH10_OPTIONS)
+        return record
+
+    record = benchmark.pedantic(kernel, rounds=3, iterations=1)
+    emit(
+        benchmark,
+        "service: cold depth-10 check (cache miss)",
+        [f"{record.status} after walking depth {record.max_depth}"],
+    )
+    assert record.status == "undecided"
+
+
+def test_service_cache_hit_depth10(benchmark):
+    """Hot path: the same depth-10 query served from the result store.
+
+    The kernel is the whole ``CachedBackend.run`` round trip — key
+    derivation, O(1) object probe, normalization — not a bare dict get.
+    The in-test gate asserts the >= 50x acceptance floor against a fresh
+    cold measurement on the same machine.
+    """
+    with tempfile.TemporaryDirectory() as tmp:
+        backend = CachedBackend(ResultStore(tmp))
+        start = time.perf_counter()
+        backend.run(_depth10_jobs(), DEPTH10_OPTIONS)  # warm the store
+        cold_s = time.perf_counter() - start
+
+        [record] = benchmark(
+            lambda: backend.run(_depth10_jobs(), DEPTH10_OPTIONS)
+        )
+
+    hit_s = benchmark.stats.stats.mean
+    speedup = cold_s / hit_s
+    benchmark.extra_info["cold_s"] = round(cold_s, 4)
+    benchmark.extra_info["speedup_vs_cold"] = round(speedup, 1)
+    emit(
+        benchmark,
+        "service: depth-10 cache hit (O(1) lookup)",
+        [
+            f"cold check: {cold_s:.3f} s, hit: {hit_s * 1e6:.0f} us "
+            f"-> {speedup:.0f}x",
+            f"acceptance floor: {REQUIRED_SPEEDUP:.0f}x",
+        ],
+    )
+    assert record.status == "undecided"
+    assert record.elapsed_s == 0.0  # served normalized, timing zeroed
+    assert speedup >= REQUIRED_SPEEDUP
+
+
+def test_service_mixed_load_90_10(benchmark):
+    """Concurrent 90/10 hot/cold mix through the asyncio query service.
+
+    Each round boots a fresh service on an ephemeral port with an empty
+    store and drives 1000 queries over 50 connections (hot pool warmed
+    first, every tenth query a distinct cold key) — the load-test
+    acceptance scenario, timed end to end.
+    """
+
+    def kernel():
+        async def scenario():
+            with tempfile.TemporaryDirectory() as tmp:
+                service = QueryService(
+                    ResultStore(tmp), workers=2, queue_limit=256
+                )
+                host, port = await service.start()
+                try:
+                    return await run_load_test(
+                        host, port, total=1000, cold_stride=10, connections=50
+                    )
+                finally:
+                    await service.stop()
+
+        return asyncio.run(scenario())
+
+    report = benchmark.pedantic(kernel, rounds=3, iterations=1)
+    as_dict = report.to_dict()
+    benchmark.extra_info["hot_latency_p99_s"] = as_dict["hot_latency_p99_s"]
+    benchmark.extra_info["cold_latency_p99_s"] = as_dict["cold_latency_p99_s"]
+    emit(
+        benchmark,
+        "service: 1000-query concurrent mixed load (90% hot / 10% cold)",
+        [
+            f"{report.responses}/{report.total} responses, "
+            f"{report.errors} errors, "
+            f"{len(report.lost_ids)} lost, {len(report.duplicated_ids)} dup",
+            f"hot p50/p99: {as_dict['hot_latency_p50_s'] * 1e3:.2f}/"
+            f"{as_dict['hot_latency_p99_s'] * 1e3:.2f} ms, "
+            f"cold p50: {as_dict['cold_latency_p50_s'] * 1e3:.1f} ms",
+        ],
+    )
+    assert report.ok
+    assert report.hot_hits == report.hot_requests == 900

@@ -36,7 +36,7 @@ place; see README "Public API" for the old → new migration table.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 from repro.adversaries.base import MessageAdversary
 from repro.analysis import (
@@ -66,6 +66,7 @@ from repro.consensus.solvability import (
 )
 from repro.consensus.spec import ConsensusSpec
 from repro.core.views import ViewInterner
+from repro.errors import AdversaryError
 from repro.fleet import FleetBackend
 from repro.records import (
     RunRecord,
@@ -80,6 +81,8 @@ from repro.specs import (
     random_rooted_specs,
     register_family,
 )
+from repro.store.backend import CachedBackend
+from repro.store.cache import ResultStore
 from repro.sweep import run_sweep
 
 __all__ = [
@@ -93,6 +96,8 @@ __all__ = [
     "ProcessBackend",
     "ManifestBackend",
     "FleetBackend",
+    "CachedBackend",
+    "ResultStore",
     "SweepReport",
     "build_adversary",
     "certificate_summary",
@@ -135,16 +140,31 @@ class Session:
         Default for the interner-sharing memo when the per-call options
         leave it ``None``; the session shares interners by design, so the
         default here is ``True``.
+    store:
+        Optional content-addressed result store
+        (:class:`~repro.store.cache.ResultStore`, or a path that opens
+        one).  With a store, :meth:`check_record` and :meth:`sweep`
+        serve previously-computed verdicts as O(1) lookups — no checker
+        work, no interner growth — and write every newly computed
+        cacheable verdict back.  :meth:`check` always computes: its
+        :class:`SolvabilityResult` carries live certificate objects a
+        stored record cannot rebuild.
     """
 
     def __init__(
         self,
         options: CheckOptions | None = None,
         memo_extensions: bool = True,
+        store: ResultStore | str | Path | None = None,
     ) -> None:
         self.options = options or CheckOptions()
         if self.options.memo_extensions is None:
             self.options = self.options.replace(memo_extensions=memo_extensions)
+        self.store: ResultStore | None
+        if store is None or isinstance(store, ResultStore):
+            self.store = store
+        else:
+            self.store = ResultStore(store)
         self._interners: dict[int, ViewInterner] = {}
 
     def interner(self, n: int) -> ViewInterner:
@@ -186,6 +206,68 @@ class Session:
             interner=self.interner(adversary.n),
         )
 
+    def check_record(
+        self,
+        target: AdversarySpec | MessageAdversary,
+        options: CheckOptions | None = None,
+        tags: dict[str, Any] | None = None,
+    ) -> RunRecord:
+        """Check one adversary to a :class:`RunRecord`, via the store.
+
+        The record-granular sibling of :meth:`check`: with a session
+        ``store``, an already-cached (spec, options) pair is answered
+        without any checker work — the session interners are not even
+        consulted, which the cache tests assert through
+        :meth:`stats`.  Misses run through :meth:`check` (sharing the
+        session's interners as usual) and are written back, so the
+        second identical call is a hit.  Timing fields are always zero:
+        a record that may be served from cache must not depend on when
+        it was computed.  Adversaries without a canonical spec are
+        checked but never cached.
+        """
+        effective = options or self.options
+        adversary_spec: AdversarySpec | None
+        if isinstance(target, AdversarySpec):
+            adversary_spec = target
+        else:
+            try:
+                adversary_spec = AdversarySpec.from_adversary(target)
+            except AdversaryError:
+                adversary_spec = None
+        if self.store is not None and adversary_spec is not None:
+            cached = self.store.get(adversary_spec, effective)
+            if cached is not None:
+                data = cached.to_dict()
+                data["tags"] = {} if tags is None else dict(tags)
+                return RunRecord.from_dict(data)
+        resolved = (
+            adversary_spec.build()
+            if isinstance(target, AdversarySpec) and adversary_spec is not None
+            else target
+        )
+        assert not isinstance(resolved, AdversarySpec)  # resolved above
+        result = self.check(resolved, options=effective)
+        record = RunRecord(
+            index=0,
+            adversary=resolved.name,
+            n=resolved.n,
+            alphabet=len(resolved.alphabet()),
+            max_depth=effective.max_depth,
+            status=result.status.value,
+            certified_depth=result.certified_depth,
+            certificate=certificate_summary(result),
+            elapsed_s=0.0,
+            views_interned=0,
+            shard=0,
+            tags={} if tags is None else dict(tags),
+            family=adversary_spec.family if adversary_spec is not None else None,
+            seed=adversary_spec.seed if adversary_spec is not None else None,
+            spec=adversary_spec.to_dict() if adversary_spec is not None else None,
+        )
+        if self.store is not None and adversary_spec is not None:
+            self.store.put(adversary_spec, effective, record)
+        return record
+
     def sweep(
         self,
         targets: Iterable[AdversarySpec | MessageAdversary] | Sequence[SweepJob],
@@ -194,6 +276,7 @@ class Session:
         jsonl_path: str | Path | None = None,
         tags: dict[str, Any] | None = None,
         options: CheckOptions | None = None,
+        store: ResultStore | str | Path | None = None,
     ) -> list[RunRecord]:
         """Classify a family of specs/adversaries on a sweep backend.
 
@@ -202,7 +285,9 @@ class Session:
         effective options' ``max_depth`` as each job's depth budget).
         Backend selection matches :func:`repro.sweep.run_sweep`; shards
         use their own interners — process boundaries cannot share the
-        session's tables.
+        session's tables.  The session's ``store`` (or the per-call
+        ``store`` override) turns repeat sweeps of equal specs into pure
+        cache reads — see :func:`repro.sweep.run_sweep`.
         """
         effective = options or self.options
         targets = list(targets)
@@ -216,6 +301,7 @@ class Session:
             jsonl_path=jsonl_path,
             backend=backend,
             options=effective,
+            store=store if store is not None else self.store,
         )
 
     def stats(self) -> dict[int, object]:

@@ -21,6 +21,16 @@ Subcommands:
   emits the machine-readable ``repro.sweep-report/1`` document instead
   (incl. the CGP/oracle cross-validation sections) for CI artifacts and
   dashboards;
+* ``cache`` — inspect and maintain a content-addressed result store:
+  ``cache stats``, ``cache gc`` (stale-object sweep + optional
+  ``--max-objects``/``--max-bytes`` budget), ``cache verify`` (re-hash
+  every object against its canonical payload);
+* ``serve`` — the asyncio consensus-query service over a result store:
+  hot queries are O(1) store lookups, cold queries queue onto a bounded
+  worker pool with status polling and streamed progress;
+* ``load-test`` — drive thousands of concurrent mixed hot/cold queries
+  at a (self-hosted or remote) query service and audit that no response
+  is lost or duplicated;
 * ``simulate`` — run the universal algorithm against sampled sequences;
 * ``ptg`` — print the Figure 2 process-time graph.
 
@@ -283,9 +293,116 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         workers=args.workers,
         jsonl_path=args.out,
         backend=_sweep_backend(args),
+        store=args.store,
     )
     _print_sweep_records(records, args.workers, args.out)
     return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import ReproError
+    from repro.store import ResultStore
+
+    store = ResultStore(args.store)
+    try:
+        if args.cache_command == "stats":
+            report = store.stats()
+        elif args.cache_command == "verify":
+            report = store.verify()
+        else:
+            report = store.gc(
+                max_objects=args.max_objects, max_bytes=args.max_bytes
+            )
+    except ReproError as exc:
+        print(f"cache {args.cache_command} failed: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if args.cache_command == "verify" and not report["ok"]:
+        return 1
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import QueryService
+    from repro.store import ResultStore
+
+    async def _serve() -> None:
+        service = QueryService(
+            ResultStore(args.store),
+            workers=args.workers,
+            queue_limit=args.queue_limit,
+        )
+        host, port = await service.start(args.host, args.port)
+        # The ready line the smoke tests and orchestrators wait for.
+        print(f"repro-consensus serving on {host}:{port}", flush=True)
+        try:
+            await service.serve_forever()
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("repro-consensus serve: shut down")
+    return 0
+
+
+def cmd_load_test(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.consensus.solvability import CheckOptions
+    from repro.service import QueryService, run_load_test
+    from repro.store import ResultStore
+
+    if (args.store is None) == (args.connect is None):
+        print("load-test needs exactly one of --store or --connect",
+              file=sys.stderr)
+        return 2
+    options = CheckOptions(max_depth=args.max_depth)
+
+    async def _run() -> dict:
+        if args.connect:
+            host, _, port = args.connect.rpartition(":")
+            report = await run_load_test(
+                host or "127.0.0.1",
+                int(port),
+                total=args.total,
+                cold_stride=args.cold_stride,
+                connections=args.connections,
+                options=options,
+            )
+            return report.to_dict()
+        # Self-hosted mode: spin a server over the given store in this
+        # process, on an ephemeral port, and drive it.
+        service = QueryService(
+            ResultStore(args.store),
+            workers=args.workers,
+            queue_limit=args.queue_limit,
+        )
+        host, port = await service.start()
+        try:
+            report = await run_load_test(
+                host,
+                port,
+                total=args.total,
+                cold_stride=args.cold_stride,
+                connections=args.connections,
+                options=options,
+            )
+            result = report.to_dict()
+            result["server_stats"] = service.stats()
+            return result
+        finally:
+            await service.stop()
+
+    result = asyncio.run(_run())
+    print(json.dumps(result, indent=2, sort_keys=True))
+    return 0 if result["ok"] else 1
 
 
 def _fleet_config(args: argparse.Namespace):
@@ -578,7 +695,70 @@ def main(argv: list[str] | None = None) -> int:
     sweep.add_argument("--no-timing", action="store_true",
                        help="zero the timing/observability fields so equal "
                             "sweeps are byte-identical across backends")
+    sweep.add_argument("--store", metavar="DIR",
+                       help="content-addressed result store: serve cached "
+                            "verdicts as O(1) lookups and write computed "
+                            "ones back (hits have zeroed timing)")
     sweep.set_defaults(func=cmd_sweep)
+
+    cache = sub.add_parser(
+        "cache", help="inspect/maintain a content-addressed result store"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    for name, help_text in (
+        ("stats", "session-independent store counters, object count, bytes"),
+        ("gc", "drop stale objects, optionally trim to a budget"),
+        ("verify", "re-hash every object against its canonical payload"),
+    ):
+        cache_cmd = cache_sub.add_parser(name, help=help_text)
+        cache_cmd.add_argument("--store", metavar="DIR", required=True,
+                               help="store root directory")
+        if name == "gc":
+            cache_cmd.add_argument("--max-objects", type=int, default=None,
+                                   help="keep at most this many objects "
+                                        "(least recently put evicted first)")
+            cache_cmd.add_argument("--max-bytes", type=int, default=None,
+                                   help="trim the object payload to at most "
+                                        "this many bytes")
+        cache_cmd.set_defaults(func=cmd_cache)
+
+    serve = sub.add_parser(
+        "serve", help="asyncio consensus-query service over a result store"
+    )
+    serve.add_argument("--store", metavar="DIR", required=True,
+                       help="result store backing the service")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 = ephemeral, printed on the "
+                            "ready line)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="cold-query worker threads")
+    serve.add_argument("--queue-limit", type=int, default=64,
+                       help="max queued cold queries before rejection")
+    serve.set_defaults(func=cmd_serve)
+
+    load_test = sub.add_parser(
+        "load-test",
+        help="drive concurrent mixed hot/cold queries at a query service",
+    )
+    load_test.add_argument("--store", metavar="DIR",
+                           help="self-host a server over this store on an "
+                                "ephemeral port (default mode)")
+    load_test.add_argument("--connect", metavar="HOST:PORT",
+                           help="target an already-running server instead")
+    load_test.add_argument("--total", type=int, default=1000,
+                           help="total queries to issue")
+    load_test.add_argument("--cold-stride", type=int, default=10,
+                           help="every Nth query is cold (10 = 90/10 mix)")
+    load_test.add_argument("--connections", type=int, default=50,
+                           help="concurrent client connections")
+    load_test.add_argument("--max-depth", type=int, default=2,
+                           help="depth budget of the load-test queries")
+    load_test.add_argument("--workers", type=int, default=2,
+                           help="server worker threads (self-hosted mode)")
+    load_test.add_argument("--queue-limit", type=int, default=256,
+                           help="server queue limit (self-hosted mode)")
+    load_test.set_defaults(func=cmd_load_test)
 
     fleet = sub.add_parser(
         "fleet",

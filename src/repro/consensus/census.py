@@ -198,6 +198,7 @@ def _classify(
     oracle_fn,
     backend: SweepBackend | None = None,
     jsonl_path: str | Path | None = None,
+    store=None,
 ) -> list[CensusRow]:
     """Run the checker over a family and attach oracle/CGP verdicts."""
     # Lazy: repro.sweep pulls in the backends module, which imports this
@@ -205,9 +206,12 @@ def _classify(
     from repro.sweep import jobs_for, run_sweep
 
     adversaries = list(adversaries)
-    if backend is not None or workers > 1:
+    if backend is not None or workers > 1 or store is not None:
         records = run_sweep(
-            jobs_for(adversaries, max_depth), workers=workers, backend=backend
+            jobs_for(adversaries, max_depth),
+            workers=workers,
+            backend=backend,
+            store=store,
         )
         rows = [
             CensusRow.from_record(
@@ -254,13 +258,16 @@ def two_process_census(
     workers: int = 1,
     backend: SweepBackend | None = None,
     jsonl_path: str | Path | None = None,
+    store=None,
 ) -> list[CensusRow]:
     """Classify all 15 nonempty two-process oblivious adversaries.
 
     Every row carries the exact literature verdict; the census is complete
     and the test suite asserts full agreement.  ``workers > 1`` (or an
     explicit ``backend``) fans the checker jobs out through the sweep
-    engine; ``jsonl_path`` writes the rows' records as a standard
+    engine; a ``store`` (result-store instance or path) routes the jobs
+    through the content-addressed cache, so a repeat census is pure
+    lookups; ``jsonl_path`` writes the rows' records as a standard
     versioned JSONL stream.
     """
     return _classify(
@@ -270,6 +277,7 @@ def two_process_census(
         two_process_oblivious_verdict,
         backend=backend,
         jsonl_path=jsonl_path,
+        store=store,
     )
 
 
@@ -282,6 +290,7 @@ def random_rooted_census(
     workers: int = 1,
     backend: SweepBackend | None = None,
     jsonl_path: str | Path | None = None,
+    store=None,
 ) -> list[CensusRow]:
     """Classify random rooted oblivious adversaries on ``n`` processes.
 
@@ -299,4 +308,5 @@ def random_rooted_census(
         lambda adversary: None,
         backend=backend,
         jsonl_path=jsonl_path,
+        store=store,
     )

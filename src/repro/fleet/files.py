@@ -1,36 +1,34 @@
-"""Crash-safe file primitives — the only module that may write raw files.
+"""Compatibility shim: the crash-safe funnel lives in :mod:`repro.io.atomic`.
 
-Every fleet state document goes through one of four write shapes, each
-safe against SIGKILL at any instruction:
-
-* :func:`atomic_write_json` — write-temp-then-``os.replace``: readers see
-  the old document or the new one, never a torn mix (lease renewals, the
-  attempt ledger, the poison list, rebuilt merges);
-* :func:`atomic_create_json` — write-temp-then-``os.link``: hard-linking
-  the temp into place is an *exclusive* create, so when several workers
-  race to claim one shard the filesystem picks exactly one winner (a
-  plain rename would silently overwrite the other claim);
-* :func:`append_line` — append + flush + fsync: the journal and attempt
-  outputs grow by whole lines, and a kill mid-append leaves at worst one
-  torn trailing line, which the recovery reader truncates;
-* reads return ``None`` for files that do not exist yet, because absence
-  is a normal state (an unclaimed shard simply has no lease file).
-
-repro-lint rule R9 enforces the funnel: any other module under
-``repro.fleet`` that opens a file for writing is a lint error.
+The four write shapes the fleet is built on (write-temp-then-rename,
+exclusive hard-link create, fsynced append, plus the chaos harness's
+deliberate in-place clobber) started life here and are now shared with
+the content-addressed result store (:mod:`repro.store`), so the
+implementation was hoisted into :mod:`repro.io.atomic`.  Every existing
+import — ``from repro.fleet import files`` and
+``from repro.fleet.files import atomic_write_json`` alike — keeps
+working through this re-export, and repro-lint rule R9 keeps both module
+names in its funnel allowlist.
 """
 
 from __future__ import annotations
 
-import hashlib
-import itertools
-import json
-import os
-from pathlib import Path
-from typing import Any
+from repro.io.atomic import (
+    append_line,
+    atomic_create_json,
+    atomic_replace_file,
+    atomic_write_json,
+    atomic_write_text,
+    fsync_dir,
+    overwrite_bytes,
+    read_json,
+    read_lines,
+    sha256_file,
+)
 
 __all__ = [
     "atomic_write_json",
+    "atomic_write_text",
     "atomic_create_json",
     "atomic_replace_file",
     "append_line",
@@ -40,132 +38,3 @@ __all__ = [
     "sha256_file",
     "fsync_dir",
 ]
-
-
-def fsync_dir(directory: Path) -> None:
-    """Best-effort fsync of a directory entry (rename durability)."""
-    try:
-        fd = os.open(directory, os.O_RDONLY)
-    except OSError:
-        return
-    try:
-        os.fsync(fd)
-    except OSError:
-        pass
-    finally:
-        os.close(fd)
-
-
-#: Distinguishes temp files of concurrent writers *within* one process
-#: (heartbeat threads, racing test claimants); the pid handles the rest.
-_TEMP_SERIAL = itertools.count()
-
-
-def _temp_path(path: Path) -> Path:
-    # Same directory as the target (os.replace/os.link must not cross
-    # filesystems); pid+serial-suffixed so concurrent writers — other
-    # processes or other threads of this one — never collide.
-    serial = next(_TEMP_SERIAL)
-    return path.with_name(f".{path.name}.{os.getpid()}.{serial}.tmp")
-
-
-def _write_temp(path: Path, payload: dict[str, Any]) -> Path:
-    temp = _temp_path(path)
-    with temp.open("w", encoding="utf-8") as handle:
-        handle.write(json.dumps(payload, sort_keys=True, indent=1) + "\n")
-        handle.flush()
-        os.fsync(handle.fileno())
-    return temp
-
-
-def atomic_write_json(path: str | Path, payload: dict[str, Any]) -> None:
-    """Replace ``path`` with a JSON document, atomically."""
-    path = Path(path)
-    temp = _write_temp(path, payload)
-    os.replace(temp, path)
-    fsync_dir(path.parent)
-
-
-def atomic_create_json(path: str | Path, payload: dict[str, Any]) -> bool:
-    """Create ``path`` exclusively; True iff this caller won the race.
-
-    The hard-link trick: ``os.link(temp, path)`` fails with
-    ``FileExistsError`` when the target exists, and the link itself is
-    atomic — so of any number of concurrent claimants, exactly one
-    returns True and everyone else sees False with the winner's document
-    in place.
-    """
-    path = Path(path)
-    temp = _write_temp(path, payload)
-    try:
-        os.link(temp, path)
-    except FileExistsError:
-        return False
-    finally:
-        temp.unlink(missing_ok=True)
-    fsync_dir(path.parent)
-    return True
-
-
-def atomic_replace_file(temp: str | Path, path: str | Path) -> None:
-    """Move a fully-written temp file into place (for non-JSON payloads)."""
-    path = Path(path)
-    os.replace(temp, path)
-    fsync_dir(path.parent)
-
-
-def append_line(path: str | Path, line: str) -> None:
-    """Append one line durably (flush + fsync before returning).
-
-    A kill during the write leaves at most one torn trailing line; every
-    fleet reader of appended files goes through a recovery parse that
-    truncates exactly that.
-    """
-    path = Path(path)
-    with path.open("a", encoding="utf-8") as handle:
-        handle.write(line + "\n")
-        handle.flush()
-        os.fsync(handle.fileno())
-
-
-def read_json(path: str | Path) -> dict[str, Any] | None:
-    """Load a JSON state document; ``None`` when the file does not exist."""
-    try:
-        text = Path(path).read_text(encoding="utf-8")
-    except FileNotFoundError:
-        return None
-    data = json.loads(text)
-    if not isinstance(data, dict):
-        raise ValueError(f"{path}: fleet state documents are JSON objects")
-    return data
-
-
-def read_lines(path: str | Path) -> list[str] | None:
-    """All lines of a text file; ``None`` when the file does not exist."""
-    try:
-        with Path(path).open("r", encoding="utf-8") as handle:
-            return handle.readlines()
-    except FileNotFoundError:
-        return None
-
-
-def overwrite_bytes(path: str | Path, offset: int, data: bytes) -> None:
-    """Deliberately clobber bytes in place — the chaos harness only.
-
-    This is the *opposite* of crash-safe, which is exactly why it lives
-    here: the fault injector needs one in-place write primitive, and
-    keeping it in the R9 funnel means every other fleet module still
-    cannot tear a file.
-    """
-    with Path(path).open("r+b") as handle:
-        handle.seek(max(0, offset))
-        handle.write(data)
-
-
-def sha256_file(path: str | Path) -> str:
-    """Hex digest of a file's bytes (attempt-output validation)."""
-    digest = hashlib.sha256()
-    with Path(path).open("rb") as handle:
-        for chunk in iter(lambda: handle.read(1 << 16), b""):
-            digest.update(chunk)
-    return digest.hexdigest()

@@ -1,0 +1,36 @@
+"""Shared low-level I/O primitives.
+
+:mod:`repro.io.atomic` is the crash-safe write funnel used by every
+subsystem that persists state — the fault-tolerant fleet runner
+(:mod:`repro.fleet`) and the content-addressed result store
+(:mod:`repro.store`).  repro-lint rule R9 enforces that those packages
+never open a file for writing outside the funnel.
+"""
+
+from __future__ import annotations
+
+from repro.io.atomic import (
+    append_line,
+    atomic_create_json,
+    atomic_replace_file,
+    atomic_write_json,
+    atomic_write_text,
+    fsync_dir,
+    overwrite_bytes,
+    read_json,
+    read_lines,
+    sha256_file,
+)
+
+__all__ = [
+    "append_line",
+    "atomic_create_json",
+    "atomic_replace_file",
+    "atomic_write_json",
+    "atomic_write_text",
+    "fsync_dir",
+    "overwrite_bytes",
+    "read_json",
+    "read_lines",
+    "sha256_file",
+]

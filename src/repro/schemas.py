@@ -26,6 +26,8 @@ __all__ = [
     "SWEEP_REPORT",
     "LINT_REPORT",
     "FLEET_STATE",
+    "RESULT_STORE",
+    "SERVICE_PROTOCOL",
     "SCHEMAS",
     "parse_schema",
     "schema_name",
@@ -53,6 +55,18 @@ LINT_REPORT = "repro.lint-report/1"
 #: self-describing and workers refuse state they do not understand.
 FLEET_STATE = "repro.fleet-state/1"
 
+#: Object documents of the content-addressed result store
+#: (:mod:`repro.store`): one cached, timing-normalized
+#: :class:`~repro.records.RunRecord` per canonical (spec, options,
+#: record-schema, kernel-epoch) cache key.  ``cache verify`` and the
+#: store's stale counters dispatch on this tag.
+RESULT_STORE = "repro.result-store/1"
+
+#: The newline-delimited JSON protocol of the asyncio consensus-query
+#: service (``repro-consensus serve``): the server's hello line carries
+#: this tag and clients refuse servers they do not understand.
+SERVICE_PROTOCOL = "repro.service-protocol/1"
+
 #: Every schema the library currently reads or writes, by document name.
 SCHEMAS: dict[str, str] = {
     "repro.run-record": RUN_RECORD,
@@ -60,6 +74,8 @@ SCHEMAS: dict[str, str] = {
     "repro.sweep-report": SWEEP_REPORT,
     "repro.lint-report": LINT_REPORT,
     "repro.fleet-state": FLEET_STATE,
+    "repro.result-store": RESULT_STORE,
+    "repro.service-protocol": SERVICE_PROTOCOL,
 }
 
 _SCHEMA_RE = re.compile(r"^(repro\.[a-z0-9-]+)/([0-9]+)$")

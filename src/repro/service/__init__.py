@@ -1,0 +1,24 @@
+"""The asyncio consensus-query service and its load-test harness.
+
+``repro-consensus serve`` answers solvability queries over a
+newline-delimited-JSON TCP protocol (:data:`repro.schemas.
+SERVICE_PROTOCOL`): *hot* queries — (spec, options) pairs already in the
+content-addressed result store — are answered in O(1) straight off the
+event loop; *cold* queries coalesce by cache key onto a bounded worker
+pool, with a job-status endpoint and optional streamed progress for
+clients that wait.  :mod:`repro.service.loadtest` drives thousands of
+concurrent mixed hot/cold queries against a live server and verifies
+that no response is lost or duplicated.
+"""
+
+from __future__ import annotations
+
+from repro.service.loadtest import LoadReport, run_load_test
+from repro.service.server import QueryService, execute_query
+
+__all__ = [
+    "LoadReport",
+    "QueryService",
+    "execute_query",
+    "run_load_test",
+]

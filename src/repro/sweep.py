@@ -47,6 +47,8 @@ from repro.records import (
     read_jsonl,
     write_jsonl,
 )
+from repro.store.backend import CachedBackend
+from repro.store.cache import ResultStore
 
 __all__ = [
     "SweepJob",
@@ -78,6 +80,7 @@ def run_sweep(
     jsonl_path: str | Path | None = None,
     backend: SweepBackend | None = None,
     options: CheckOptions | None = None,
+    store: "ResultStore | str | Path | None" = None,
 ) -> list[RunRecord]:
     """Classify every job on a sweep backend.
 
@@ -85,9 +88,14 @@ def run_sweep(
     otherwise ``workers <= 1`` runs the inline
     :class:`~repro.backends.SerialBackend` (the fully deterministic
     reference path) and ``workers > 1`` the strided
-    :class:`~repro.backends.ProcessBackend`.  The returned records are
-    sorted by job index regardless of completion order, and — when
-    ``jsonl_path`` is given — are then written to disk in that order via
+    :class:`~repro.backends.ProcessBackend`.  A ``store`` (a
+    :class:`~repro.store.cache.ResultStore` or a path to one) wraps
+    whichever backend was chosen in a
+    :class:`~repro.store.backend.CachedBackend`: jobs whose verdicts are
+    already cached never reach the backend, and every computed cacheable
+    verdict is written back.  The returned records are sorted by job
+    index regardless of completion order, and — when ``jsonl_path`` is
+    given — are then written to disk in that order via
     :func:`~repro.records.write_jsonl` (one JSON object per line after the
     schema header; the write happens after the backend completes, so an
     interrupted sweep leaves no partial file).
@@ -98,6 +106,8 @@ def run_sweep(
             backend = SerialBackend()
         else:
             backend = ProcessBackend(min(workers, len(jobs)))
+    if store is not None:
+        backend = CachedBackend(store, backend)
     records = backend.run(jobs, options)
     if jsonl_path is not None:
         write_jsonl(records, jsonl_path)

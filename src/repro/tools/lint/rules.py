@@ -1030,31 +1030,33 @@ class BareExceptMutableDefaultRule(Rule):
 
 @register_rule
 class AtomicStateWriteRule(Rule):
-    """R9: fleet state files are written only through the atomic funnel.
+    """R9: persistent state is written only through the atomic funnel.
 
-    The fleet's whole correctness story is that any process can be
-    SIGKILLed between any two instructions and the on-disk state stays
-    readable.  That holds because every write goes through the four
-    crash-safe shapes in :mod:`repro.fleet.files` (write-temp-then-rename,
-    exclusive hard-link create, fsynced append).  A bare
-    ``open(path, "w")`` anywhere else in the fleet reintroduces torn
-    files — silently, and only under the exact crash timing the chaos
-    harness exists to produce.  So: modules under ``state_modules`` may
-    not open files for writing at all, except the designated
-    ``io_modules`` that implement the funnel.
+    The correctness story of both state-writing subsystems — the fleet
+    runner and the content-addressed result store — is that any process
+    can be SIGKILLed between any two instructions and the on-disk state
+    stays readable.  That holds because every write goes through the
+    crash-safe shapes in :mod:`repro.io.atomic` (write-temp-then-rename,
+    exclusive hard-link create, fsynced append; re-exported by
+    ``repro.fleet.files`` for compatibility).  A bare
+    ``open(path, "w")`` anywhere else in those packages reintroduces
+    torn files — silently, and only under the exact crash timing the
+    chaos harness exists to produce.  So: modules under
+    ``state_modules`` may not open files for writing at all, except the
+    designated ``io_modules`` that implement the funnel.
     """
 
     id = "R9"
     name = "atomic-state-write"
     description = (
-        "fleet modules must write state via repro.fleet.files "
-        "(write-temp-then-rename / exclusive create / fsynced append), "
-        "never a bare open(path, 'w')"
+        "state modules (repro.fleet, repro.store) must write via the "
+        "repro.io.atomic funnel (write-temp-then-rename / exclusive "
+        "create / fsynced append), never a bare open(path, 'w')"
     )
     repro_only = True
     defaults: dict[str, Any] = {
-        "state_modules": ["repro.fleet"],
-        "io_modules": ["repro.fleet.files"],
+        "state_modules": ["repro.fleet", "repro.store"],
+        "io_modules": ["repro.fleet.files", "repro.io.atomic"],
     }
 
     #: Mode characters that make an ``open`` call a write.
@@ -1070,7 +1072,7 @@ class AtomicStateWriteRule(Rule):
         ):
             return
         advice = (
-            "; route the write through repro.fleet.files so a kill at any "
+            "; route the write through repro.io.atomic so a kill at any "
             "instruction leaves readable state"
         )
         for node in ast.walk(ctx.tree):

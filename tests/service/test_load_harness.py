@@ -1,0 +1,77 @@
+"""The load harness, at acceptance scale: >= 1000 concurrent mixed queries."""
+
+import asyncio
+
+import pytest
+
+from repro.consensus.solvability import CheckOptions
+from repro.errors import AnalysisError
+from repro.service import LoadReport, QueryService, run_load_test
+from repro.service.loadtest import default_cold_specs, default_hot_specs
+from repro.store import ResultStore, cache_key
+
+
+def run(coro, timeout=240):
+    return asyncio.run(asyncio.wait_for(coro, timeout=timeout))
+
+
+def test_hot_and_cold_pools_never_alias():
+    hot = {cache_key(s, CheckOptions(max_depth=2)) for s in default_hot_specs()}
+    cold = {
+        cache_key(s, CheckOptions(max_depth=2)) for s in default_cold_specs(200)
+    }
+    assert not hot & cold
+    assert len(cold) == 200  # every cold spec is distinct
+
+
+def test_thousand_concurrent_mixed_queries_none_lost_none_duplicated(tmp_path):
+    async def scenario():
+        service = QueryService(
+            ResultStore(tmp_path), workers=2, queue_limit=256
+        )
+        host, port = await service.start()
+        try:
+            report = await run_load_test(
+                host,
+                port,
+                total=1000,
+                cold_stride=10,
+                connections=50,
+            )
+            return report, service.stats()
+        finally:
+            await service.stop()
+
+    report, stats = run(scenario())
+    assert report.ok, report.to_dict()
+    assert report.total == 1000 and report.responses == 1000
+    assert report.hot_requests == 900 and report.cold_requests == 100
+    assert report.hot_hits == 900  # every hot query served from cache
+    assert not report.lost_ids and not report.duplicated_ids
+    assert report.errors == 0 and report.mismatched_hot == 0
+    # The server did checker work only for the distinct cold keys plus
+    # the warm-up pool — never per-request.
+    assert stats["puts"] == 100 + len(default_hot_specs())
+    assert stats["rejected"] == 0
+
+
+def test_report_percentiles_and_dict_shape():
+    report = LoadReport()
+    report.total = 2
+    report.responses = 2
+    report.hot_latency_s = [0.001, 0.002, 0.003]
+    as_dict = report.to_dict()
+    assert as_dict["hot_latency_p50_s"] == 0.002
+    assert as_dict["cold_latency_p50_s"] is None
+    assert as_dict["ok"] is True
+
+
+def test_harness_validates_its_arguments(tmp_path):
+    with pytest.raises(AnalysisError):
+        run(run_load_test("127.0.0.1", 1, total=0))
+    with pytest.raises(AnalysisError):
+        run(run_load_test("127.0.0.1", 1, cold_stride=0))
+    with pytest.raises(AnalysisError):
+        run(run_load_test("127.0.0.1", 1, connections=0))
+    with pytest.raises(AnalysisError):
+        default_hot_specs(0)

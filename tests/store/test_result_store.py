@@ -1,0 +1,227 @@
+"""The on-disk result store: normalization, counters, staleness, gc, verify."""
+
+import json
+
+import pytest
+
+from repro.consensus.solvability import CheckOptions
+from repro.errors import AnalysisError
+from repro.records import RunRecord
+from repro.schemas import RESULT_STORE, RUN_RECORD
+from repro.specs import AdversarySpec
+from repro.store import ResultStore, cache_key, normalize_record
+
+OPTIONS = CheckOptions(max_depth=3)
+
+
+def spec_for(seed: int) -> AdversarySpec:
+    return AdversarySpec("random-oblivious", {"n": 2, "size": 2}, seed=seed)
+
+
+def record_for(seed: int, **overrides) -> RunRecord:
+    fields = dict(
+        index=7,
+        adversary=f"adv-{seed}",
+        n=2,
+        alphabet=2,
+        max_depth=3,
+        status="solvable",
+        certified_depth=1,
+        certificate="decision-table@1",
+        elapsed_s=1.25,
+        views_interned=99,
+        shard=3,
+        tags={"family": "demo"},
+        family="random-oblivious",
+        seed=seed,
+        spec=spec_for(seed).to_dict(),
+    )
+    fields.update(overrides)
+    return RunRecord(**fields)
+
+
+def test_put_get_round_trip_normalizes(tmp_path):
+    store = ResultStore(tmp_path)
+    key = store.put(spec_for(1), OPTIONS, record_for(1))
+    assert key == cache_key(spec_for(1), OPTIONS)
+    cached = store.get(spec_for(1), OPTIONS)
+    assert cached is not None
+    # Run-dependent fields are gone; verdict fields survive.
+    assert cached.index == 0 and cached.shard == 0
+    assert cached.elapsed_s == 0.0 and cached.views_interned == 0
+    assert cached.tags == {}
+    assert cached.status == "solvable"
+    assert cached.certificate == "decision-table@1"
+    assert cached.spec == spec_for(1).to_dict()
+    assert (store.hits, store.misses, store.puts) == (1, 0, 1)
+
+
+def test_miss_and_probe_semantics(tmp_path):
+    store = ResultStore(tmp_path)
+    key = cache_key(spec_for(2), OPTIONS)
+    assert not store.probe(key)
+    assert store.get(spec_for(2), OPTIONS) is None
+    assert (store.hits, store.misses) == (0, 1)
+    store.put(spec_for(2), OPTIONS, record_for(2))
+    assert store.probe(key)
+    # probe mutates no hit/miss counters.
+    assert (store.hits, store.misses) == (0, 1)
+
+
+def test_normalize_record_is_idempotent_and_pure():
+    record = record_for(3)
+    normalized = normalize_record(record)
+    assert record.elapsed_s == 1.25  # original untouched
+    assert normalize_record(normalized).to_dict() == normalized.to_dict()
+    assert normalized.oracle is None and normalized.cgp is None
+
+
+def test_equal_puts_are_byte_identical_and_idempotent(tmp_path):
+    store_a = ResultStore(tmp_path / "a")
+    store_b = ResultStore(tmp_path / "b")
+    # Different run-dependent fields, same verdict: identical objects.
+    key_a = store_a.put(spec_for(4), OPTIONS, record_for(4, index=1, shard=9))
+    key_b = store_b.put(
+        spec_for(4), OPTIONS, record_for(4, index=5, elapsed_s=9.0, tags={"x": 1})
+    )
+    assert key_a == key_b
+    assert (
+        store_a.object_path(key_a).read_bytes()
+        == store_b.object_path(key_b).read_bytes()
+    )
+
+
+def test_concurrent_store_instances_share_objects(tmp_path):
+    writer = ResultStore(tmp_path)
+    reader = ResultStore(tmp_path)
+    writer.put(spec_for(5), OPTIONS, record_for(5))
+    cached = reader.get(spec_for(5), OPTIONS)
+    assert cached is not None and cached.seed == 5
+    assert reader.hits == 1 and writer.hits == 0  # counters are per-instance
+
+
+def test_wrong_epoch_object_is_stale_not_served(tmp_path):
+    store = ResultStore(tmp_path)
+    key = store.put(spec_for(6), OPTIONS, record_for(6))
+    path = store.object_path(key)
+    document = json.loads(path.read_text(encoding="utf-8"))
+    document["kernel_epoch"] = 999
+    path.write_text(json.dumps(document), encoding="utf-8")
+    fresh = ResultStore(tmp_path)
+    assert fresh.get(spec_for(6), OPTIONS) is None
+    assert fresh.stale == 1 and fresh.misses == 1
+
+
+def test_unparsable_object_is_stale_not_raised(tmp_path):
+    store = ResultStore(tmp_path)
+    key = store.put(spec_for(7), OPTIONS, record_for(7))
+    store.object_path(key).write_text("{torn", encoding="utf-8")
+    fresh = ResultStore(tmp_path)
+    assert fresh.get(spec_for(7), OPTIONS) is None
+    assert fresh.stale == 1
+
+
+def test_stats_reports_disk_and_session_counters(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put(spec_for(8), OPTIONS, record_for(8))
+    store.get(spec_for(8), OPTIONS)
+    store.get(spec_for(9), OPTIONS)
+    stats = store.stats()
+    assert stats["objects"] == 1 and stats["bytes"] > 0
+    assert stats["hits"] == 1 and stats["misses"] == 1 and stats["puts"] == 1
+    assert stats["kernel_epoch"] >= 1
+    assert stats["record_schema"] == RUN_RECORD
+
+
+def test_verify_catches_payload_key_mismatch(tmp_path):
+    store = ResultStore(tmp_path)
+    key = store.put(spec_for(10), OPTIONS, record_for(10))
+    assert store.verify()["ok"]
+    path = store.object_path(key)
+    document = json.loads(path.read_text(encoding="utf-8"))
+    document["payload"]["options"]["max_depth"] = 99  # key no longer matches
+    path.write_text(json.dumps(document), encoding="utf-8")
+    report = store.verify()
+    assert not report["ok"]
+    assert report["checked"] == 1
+    assert "hashes to" in report["problems"][0]["problem"]
+
+
+def test_verify_catches_unnormalized_record(tmp_path):
+    store = ResultStore(tmp_path)
+    key = store.put(spec_for(11), OPTIONS, record_for(11))
+    path = store.object_path(key)
+    document = json.loads(path.read_text(encoding="utf-8"))
+    document["record"]["elapsed_s"] = 3.5
+    path.write_text(json.dumps(document), encoding="utf-8")
+    report = store.verify()
+    assert not report["ok"]
+    assert "not normalized" in report["problems"][0]["problem"]
+
+
+def test_gc_sweeps_stale_and_keeps_good(tmp_path):
+    store = ResultStore(tmp_path)
+    good_key = store.put(spec_for(12), OPTIONS, record_for(12))
+    bad_key = store.put(spec_for(13), OPTIONS, record_for(13))
+    bad_path = store.object_path(bad_key)
+    document = json.loads(bad_path.read_text(encoding="utf-8"))
+    document["kernel_epoch"] = 999
+    bad_path.write_text(json.dumps(document), encoding="utf-8")
+    report = store.gc()
+    assert report == {"removed_stale": 1, "removed_evicted": 0, "remaining": 1}
+    assert store.object_path(good_key).exists()
+    assert not bad_path.exists()
+
+
+def test_gc_max_objects_evicts_least_recently_put(tmp_path):
+    store = ResultStore(tmp_path)
+    keys = [store.put(spec_for(seed), OPTIONS, record_for(seed)) for seed in range(5)]
+    report = store.gc(max_objects=2)
+    assert report["removed_evicted"] == 3 and report["remaining"] == 2
+    survivors = [key for key in keys if store.object_path(key).exists()]
+    assert survivors == keys[-2:]  # oldest puts evicted first
+    # The journal was compacted to exactly the survivors, oldest first.
+    lines = store.journal_path.read_text(encoding="utf-8").splitlines()
+    assert [json.loads(line)["key"] for line in lines] == keys[-2:]
+
+
+def test_gc_max_bytes_trims_to_budget(tmp_path):
+    store = ResultStore(tmp_path)
+    for seed in range(4):
+        store.put(spec_for(seed), OPTIONS, record_for(seed))
+    budget = store.stats()["bytes"] // 2
+    store.gc(max_bytes=budget)
+    assert store.stats()["bytes"] <= budget
+    assert store.stats()["objects"] >= 1
+
+
+def test_gc_rejects_two_budgets_and_negative_ones(tmp_path):
+    store = ResultStore(tmp_path)
+    with pytest.raises(AnalysisError):
+        store.gc(max_objects=1, max_bytes=1)
+    with pytest.raises(AnalysisError):
+        store.gc(max_objects=-1)
+    with pytest.raises(AnalysisError):
+        store.gc(max_bytes=-1)
+
+
+def test_torn_journal_line_is_tolerated(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put(spec_for(20), OPTIONS, record_for(20))
+    with store.journal_path.open("a", encoding="utf-8") as handle:
+        handle.write('{"op": "put", "key"')  # mid-append kill signature
+    fresh = ResultStore(tmp_path)
+    report = fresh.gc(max_objects=10)
+    assert report["remaining"] == 1
+
+
+def test_object_document_shape(tmp_path):
+    store = ResultStore(tmp_path)
+    key = store.put(spec_for(21), OPTIONS, record_for(21))
+    document = json.loads(store.object_path(key).read_text(encoding="utf-8"))
+    assert document["schema"] == RESULT_STORE
+    assert document["key"] == key
+    assert document["record_schema"] == RUN_RECORD
+    assert set(document["payload"]) == {
+        "kernel_epoch", "record_schema", "spec", "options",
+    }

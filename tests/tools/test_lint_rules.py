@@ -458,7 +458,7 @@ def test_r8_passes_narrow_except_and_none_default():
 
 
 # --------------------------------------------------------------------- #
-# R9 — crash-safe fleet state writes
+# R9 — crash-safe state writes (fleet and result store)
 # --------------------------------------------------------------------- #
 
 R9_BAD = """\
@@ -534,6 +534,39 @@ def test_r9_state_modules_configurable():
     )
     found = findings(R9_BAD, select={"R9"}, config=config)
     assert rules_of(found) == ["R9", "R9", "R9"]
+
+
+R9_STORE_GOOD = """\
+from repro.io.atomic import append_line, atomic_write_json
+
+
+def put(path, doc):
+    atomic_write_json(path, doc)
+
+
+def journal(path, line):
+    append_line(path, line)
+
+
+def load(path):
+    with open(path) as handle:
+        return handle.read()
+"""
+
+
+def test_r9_covers_the_result_store_package():
+    # The store is a state module by default: raw writes are flagged...
+    found = findings(R9_BAD, module="repro.store.cache", select={"R9"})
+    assert rules_of(found) == ["R9", "R9", "R9"]
+    assert all("repro.io.atomic" in f.message for f in found)
+    # ...while funnel-routed writes and reads pass.
+    assert findings(R9_STORE_GOOD, module="repro.store.cache", select={"R9"}) == []
+
+
+def test_r9_exempts_the_hoisted_funnel_module():
+    # repro.io.atomic implements the funnel, so it may open for writing —
+    # exactly like the repro.fleet.files shim that re-exports it.
+    assert findings(R9_BAD, module="repro.io.atomic", select={"R9"}) == []
 
 
 # --------------------------------------------------------------------- #
